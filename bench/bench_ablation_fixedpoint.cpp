@@ -1,0 +1,93 @@
+// Ablation (Sec. V-A claims) — integer-score precision loss as a function
+// of the d in Max = d·|G_L(s)|: the paper reports <4% top-k precision loss
+// for d = average degree, <0.001% for d = max degree, and ships
+// d = max_degree/2 with q = 10. Also sweeps the shift width q.
+#include <iostream>
+
+#include "common.hpp"
+#include "graph/bfs.hpp"
+#include "ppr/diffusion.hpp"
+
+namespace meloppr::bench {
+namespace {
+
+double fixed_point_precision(const graph::Graph& g, const hw::Quantizer& q,
+                             const std::vector<graph::Subgraph>& balls,
+                             std::size_t k, const PaperSetup& setup) {
+  hw::AcceleratorConfig cfg;
+  cfg.parallelism = 4;
+  hw::Accelerator accel(cfg, q);
+  RunningStats precision;
+  for (const auto& ball : balls) {
+    const ppr::DiffusionResult ref =
+        ppr::diffuse_from(ball, 0, 1.0, {setup.alpha, setup.l1});
+    const hw::AcceleratorRun run =
+        accel.diffuse(ball, q.to_fixed(1.0), setup.l1);
+    std::vector<ppr::ScoredNode> truth;
+    std::vector<ppr::ScoredNode> fixed;
+    for (graph::NodeId v = 0; v < ball.num_nodes(); ++v) {
+      truth.push_back({ball.to_global(v), ref.accumulated[v]});
+      fixed.push_back({ball.to_global(v), q.to_real(run.accumulated[v])});
+    }
+    const std::size_t eff_k = std::min(k, ball.num_nodes());
+    precision.add(ppr::precision_at_k(ppr::top_k(truth, eff_k),
+                                      ppr::top_k(fixed, eff_k), eff_k));
+  }
+  return precision.mean();
+}
+
+int run() {
+  Rng rng = banner(
+      "Ablation: fixed-point representation (Max = d*|G_L|, alpha = "
+      "alpha_p/2^q)");
+  const PaperSetup setup = paper_setup();
+  const std::size_t seeds = bench_seed_count(20);
+
+  TablePrinter table({"Graph", "d policy", "q", "Max", "top-k precision",
+                      "loss vs float"});
+  for (graph::PaperGraphId id : graph::small_paper_graphs()) {
+    const auto& spec = graph::spec_for(id);
+    graph::Graph g = build_graph(id, rng);
+
+    std::vector<graph::Subgraph> balls;
+    for (std::size_t i = 0; i < seeds; ++i) {
+      balls.push_back(graph::extract_ball(
+          g, graph::random_seed_node(g, rng), setup.l1));
+    }
+
+    for (hw::DChoice choice :
+         {hw::DChoice::kAverageDegree, hw::DChoice::kHalfMaxDegree,
+          hw::DChoice::kMaxDegree}) {
+      const hw::Quantizer quant = hw::Quantizer::from_graph_stats(
+          setup.alpha, setup.q, choice, g.average_degree(), g.max_degree(),
+          g.num_nodes());
+      const double prec =
+          fixed_point_precision(g, quant, balls, setup.k, setup);
+      table.add_row({spec.label, to_string(choice),
+                     std::to_string(setup.q),
+                     std::to_string(quant.max_value()), fmt_percent(prec),
+                     fmt_percent(1.0 - prec, 2)});
+    }
+    // q sweep at the shipping d choice.
+    for (unsigned q : {4u, 8u, 12u}) {
+      const hw::Quantizer quant = hw::Quantizer::from_graph_stats(
+          setup.alpha, q, hw::DChoice::kHalfMaxDegree, g.average_degree(),
+          g.max_degree(), g.num_nodes());
+      const double prec =
+          fixed_point_precision(g, quant, balls, setup.k, setup);
+      table.add_row({spec.label, "d=max_degree/2", std::to_string(q),
+                     std::to_string(quant.max_value()), fmt_percent(prec),
+                     fmt_percent(1.0 - prec, 2)});
+    }
+    table.add_separator();
+  }
+  std::cout << '\n' << table.ascii() << '\n'
+            << "paper Sec. V-A: loss <4% for d=avg degree, <0.001% for "
+               "d=max degree; shipping point d=max_degree/2, q=10.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace meloppr::bench
+
+int main() { return meloppr::bench::run(); }

@@ -1,0 +1,87 @@
+// Ablation (design choice, Sec. IV-B) — how to split L = 6 into stages:
+// l1/l2 in {1+5, 2+4, 3+3, 4+2, 5+1} plus the three-stage 2+2+2. The paper
+// fixes l1 = l2 = 3; this bench shows the memory/latency/precision trade
+// behind that choice: small l1 shrinks the stage-1 ball but pushes work
+// into many stage-2 diffusions on large balls, and vice versa.
+#include <iostream>
+
+#include "common.hpp"
+
+namespace meloppr::bench {
+namespace {
+
+int run() {
+  Rng rng = banner("Ablation: stage split of L = 6");
+  const PaperSetup setup = paper_setup();
+  const std::size_t seeds = bench_seed_count(8);
+  const std::vector<std::vector<unsigned>> splits = {
+      {1, 5}, {2, 4}, {3, 3}, {4, 2}, {5, 1}, {2, 2, 2}};
+
+  for (graph::PaperGraphId id : graph::small_paper_graphs()) {
+    const auto& spec = graph::spec_for(id);
+    graph::Graph g = build_graph(id, rng);
+
+    std::vector<graph::NodeId> query_seeds;
+    for (std::size_t i = 0; i < seeds; ++i) {
+      query_seeds.push_back(graph::random_seed_node(g, rng));
+    }
+    std::vector<ppr::LocalPprResult> baselines;
+    for (graph::NodeId seed : query_seeds) {
+      baselines.push_back(
+          ppr::local_ppr(g, seed, {setup.alpha, setup.big_l, setup.k}));
+    }
+
+    TablePrinter table({"split", "precision", "peak memory (KB)",
+                        "query time (ms)", "total balls",
+                        "max ball nodes"});
+    for (const auto& split : splits) {
+      core::MelopprConfig cfg = default_config(setup.k);
+      cfg.stage_lengths = split;
+      cfg.selection = core::Selection::top_ratio(0.05);
+      core::Engine engine(g, cfg);
+
+      RunningStats precision;
+      RunningStats peak_kb;
+      RunningStats time_ms;
+      RunningStats balls;
+      RunningStats max_ball;
+      for (std::size_t i = 0; i < query_seeds.size(); ++i) {
+        core::QueryResult r = engine.query(query_seeds[i]);
+        precision.add(
+            ppr::precision_at_k(baselines[i].top, r.top, setup.k));
+        peak_kb.add(static_cast<double>(r.stats.peak_bytes) / 1024.0);
+        time_ms.add(r.stats.total_seconds * 1e3);
+        balls.add(static_cast<double>(r.stats.total_balls()));
+        std::size_t widest = 0;
+        for (const auto& st : r.stats.stages) {
+          widest = std::max(widest, st.max_ball_nodes);
+        }
+        max_ball.add(static_cast<double>(widest));
+      }
+
+      std::string name;
+      for (std::size_t i = 0; i < split.size(); ++i) {
+        if (i) name += "+";
+        name += std::to_string(split[i]);
+      }
+      table.add_row({name, fmt_percent(precision.mean()),
+                     fmt_fixed(peak_kb.mean(), 1),
+                     fmt_fixed(time_ms.mean(), 2),
+                     fmt_fixed(balls.mean(), 1),
+                     fmt_fixed(max_ball.mean(), 0)});
+    }
+    std::cout << "[" << spec.label << " " << spec.name << "]\n"
+              << table.ascii() << '\n';
+  }
+  std::cout << "reading: small l1 leaves one huge stage-2 ball (memory "
+               "spikes); small l2 multiplies the number of diffusions "
+               "(latency spikes); the paper's balanced 3+3 sits between "
+               "the extremes. 2+2+2 shrinks balls further but compounds "
+               "the selection loss across stages.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace meloppr::bench
+
+int main() { return meloppr::bench::run(); }

@@ -1,0 +1,82 @@
+// Figure 5 — FPGA scalability for the graph-diffusion operation: GD_L on
+// depth-L balls of G1, sweeping parallelism P ∈ {1,2,4,8,16}, split into
+// scheduling / diffusion / data-movement cycles, against the measured CPU
+// time for the same diffusions ("FPGA latency comparing with CPU for graph
+// diffusion", Sec. VI-A).
+#include <iostream>
+
+#include "common.hpp"
+#include "graph/bfs.hpp"
+#include "ppr/diffusion.hpp"
+
+namespace meloppr::bench {
+namespace {
+
+int run() {
+  Rng rng = banner("Figure 5: FPGA scalability with increased parallelism P");
+  const PaperSetup setup = paper_setup();
+  graph::Graph g = build_graph(graph::PaperGraphId::kG1Citeseer, rng);
+
+  const std::size_t seeds = bench_seed_count(25);
+  std::cout << "averaging GD_" << setup.big_l << " diffusions on depth-"
+            << setup.big_l << " balls over " << seeds << " random seeds\n\n";
+
+  // Sample the balls once so every P (and the CPU) sees identical work.
+  std::vector<graph::Subgraph> balls;
+  balls.reserve(seeds);
+  for (std::size_t i = 0; i < seeds; ++i) {
+    balls.push_back(graph::extract_ball(
+        g, graph::random_seed_node(g, rng), setup.big_l));
+  }
+
+  // CPU reference: measured wall-clock of the float kernel on the same
+  // balls (one warm-up pass so first-touch page faults don't pollute it).
+  for (const auto& ball : balls) {
+    ppr::diffuse_from(ball, 0, 1.0, {setup.alpha, setup.big_l});
+  }
+  double cpu_total = 0.0;
+  for (const auto& ball : balls) {
+    Timer t;
+    ppr::diffuse_from(ball, 0, 1.0, {setup.alpha, setup.big_l});
+    cpu_total += t.elapsed_seconds();
+  }
+  const double cpu_ms = cpu_total / static_cast<double>(balls.size()) * 1e3;
+
+  TablePrinter table({"P", "CPU (ms)", "FPGA total (ms)", "scheduling (ms)",
+                      "diffusion (ms)", "data movement (ms)",
+                      "sched share", "speedup vs P=1"});
+  double p1_total_ms = 0.0;
+  for (unsigned p : {1u, 2u, 4u, 8u, 16u}) {
+    hw::FpgaBackend backend = make_fpga_backend(g, p);
+    for (const auto& ball : balls) {
+      backend.run(ball, 1.0, setup.big_l);
+    }
+    const hw::CycleBreakdown cycles = backend.total_cycles();
+    const double to_ms = 1e3 / setup.clock_hz /
+                         static_cast<double>(balls.size());
+    const double sched = static_cast<double>(cycles.scheduling) * to_ms;
+    const double diff = static_cast<double>(cycles.diffusion) * to_ms;
+    const double dm = static_cast<double>(cycles.data_movement) * to_ms;
+    const double total = sched + diff + dm;
+    if (p == 1) p1_total_ms = total;
+    table.add_row({std::to_string(p), fmt_fixed(cpu_ms, 3),
+                   fmt_fixed(total, 3), fmt_fixed(sched, 3),
+                   fmt_fixed(diff, 3), fmt_fixed(dm, 3),
+                   fmt_percent(sched / (sched + diff)),
+                   fmt_ratio(p1_total_ms / total)});
+  }
+  std::cout << table.ascii() << '\n'
+            << "paper shape: >10x total-latency improvement scaling P=1 -> "
+               "16; scheduling overhead <20% of compute at P=2 and <40% for "
+               "P>2 (our crossbar arbiter is more idealized, so the share "
+               "is lower but grows with P the same way).\n"
+            << "note: the paper's CPU column is Python/NetworkX; ours is "
+               "optimized C++, so CPU-vs-FPGA ratios are not comparable — "
+               "the FPGA scaling curve is.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace meloppr::bench
+
+int main() { return meloppr::bench::run(); }

@@ -1,0 +1,94 @@
+// Figure 6 — sparsity exploitation: (top) top-k precision as a function of
+// the fraction of next-stage nodes selected for stage-2, averaged over
+// G1/G2/G3; (bottom) the normalized stage-1 PPR score distribution in log
+// scale that makes the selection ratio so cheap.
+#include <iostream>
+
+#include "common.hpp"
+#include "graph/bfs.hpp"
+#include "ppr/diffusion.hpp"
+
+namespace meloppr::bench {
+namespace {
+
+int run() {
+  Rng rng = banner(
+      "Figure 6: precision vs next-stage selection ratio + PPR sparsity");
+  const PaperSetup setup = paper_setup();
+  const std::size_t seeds = bench_seed_count(12);
+  const std::vector<double> ratios = {0.01, 0.02, 0.03, 0.046, 0.05,
+                                      0.10, 0.20, 0.30};
+
+  std::vector<graph::Graph> graphs;
+  for (graph::PaperGraphId id : graph::small_paper_graphs()) {
+    graphs.push_back(build_graph(id, rng));
+  }
+  std::cout << "averaging over " << seeds << " seeds per graph, k="
+            << setup.k << "\n\n";
+
+  // --- Bottom panel first: normalized stage-1 score distribution. ---
+  LogHistogram hist(-6.0, 0.0, 12);
+  double near_zero_fraction_sum = 0.0;
+  std::size_t near_zero_samples = 0;
+  for (const auto& g : graphs) {
+    for (std::size_t i = 0; i < seeds; ++i) {
+      const graph::NodeId seed = graph::random_seed_node(g, rng);
+      const graph::Subgraph ball = graph::extract_ball(g, seed, setup.l1);
+      const ppr::DiffusionResult diff =
+          ppr::diffuse_from(ball, 0, 1.0, {setup.alpha, setup.l1});
+      double peak = 0.0;
+      for (double s : diff.accumulated) peak = std::max(peak, s);
+      std::size_t near_zero = 0;
+      for (double s : diff.accumulated) {
+        const double normalized = peak > 0.0 ? s / peak : 0.0;
+        hist.add(normalized);
+        if (normalized < 1e-2) ++near_zero;
+      }
+      near_zero_fraction_sum += static_cast<double>(near_zero) /
+                                static_cast<double>(ball.num_nodes());
+      ++near_zero_samples;
+    }
+  }
+
+  // --- Top panel: precision vs selection ratio. ---
+  TablePrinter table({"selection ratio", "precision (avg G1-G3)",
+                      "stage-2 diffusions (avg)"});
+  for (double ratio : ratios) {
+    RunningStats precision;
+    RunningStats diffusions;
+    for (const auto& g : graphs) {
+      core::MelopprConfig cfg = default_config(setup.k);
+      cfg.selection = core::Selection::top_ratio(ratio);
+      core::Engine engine(g, cfg);
+      Rng seed_rng = rng.fork(static_cast<std::uint64_t>(ratio * 1e4));
+      for (std::size_t i = 0; i < seeds; ++i) {
+        const graph::NodeId seed = graph::random_seed_node(g, seed_rng);
+        ppr::LocalPprResult base =
+            ppr::local_ppr(g, seed, {setup.alpha, setup.big_l, setup.k});
+        core::QueryResult r = engine.query(seed);
+        precision.add(ppr::precision_at_k(base.top, r.top, setup.k));
+        diffusions.add(static_cast<double>(r.stats.stages[1].balls));
+      }
+    }
+    table.add_row({fmt_percent(ratio, 1), fmt_percent(precision.mean()),
+                   fmt_fixed(diffusions.mean(), 1)});
+  }
+  std::cout << table.ascii() << '\n';
+
+  std::cout << "normalized stage-1 PPR score distribution (log10 bins, all "
+               "graphs pooled):\n"
+            << hist.ascii(48)
+            << "fraction of in-ball nodes below 1e-2 of the peak score: "
+            << fmt_percent(near_zero_fraction_sum /
+                           static_cast<double>(near_zero_samples))
+            << "\n\n"
+            << "paper Fig. 6: >90% of nodes near zero; precision 73.8% at "
+               "1% selected, 78.1% at 2%, 85.2% at 3%, 96.1% at 20%, 96.9% "
+               "at 30%.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace meloppr::bench
+
+int main() { return meloppr::bench::run(); }

@@ -1,0 +1,114 @@
+// Figure 7 — precision-latency trade-off on all six graphs: speedup of
+// MeLoPPR-CPU and MeLoPPR-FPGA (P=16) over the single-stage CPU baseline,
+// the top-k precision, and the share of the FPGA query spent in CPU-side
+// BFS, per next-stage selection operating point.
+#include <iostream>
+
+#include "common.hpp"
+
+namespace meloppr::bench {
+namespace {
+
+struct OperatingPoint {
+  core::Selection selection;
+  std::string label;
+};
+
+int run() {
+  Rng rng = banner(
+      "Figure 7: precision-latency trade-offs (MeLoPPR-CPU / MeLoPPR-FPGA "
+      "vs LocalPPR-CPU baseline)");
+  const PaperSetup setup = paper_setup();
+
+  for (graph::PaperGraphId id : graph::all_paper_graphs()) {
+    const auto& spec = graph::spec_for(id);
+    graph::Graph g = build_graph(id, rng);
+    const bool large = g.num_nodes() > 100'000;
+    const std::size_t seeds = bench_seed_count(large ? 2 : 5);
+
+    // Operating points: the small graphs sweep the paper's ratio axis; the
+    // large ones use count-based points (a percentage of a 100k-node
+    // stage-1 ball is thousands of stage-2 diffusions — beyond this
+    // container's single-core budget; set MELOPPR_SEEDS/MELOPPR_SCALE for
+    // fuller sweeps).
+    std::vector<OperatingPoint> points;
+    if (large) {
+      points = {{core::Selection::top_count(8), "top-8"},
+                {core::Selection::top_count(32), "top-32"},
+                {core::Selection::top_count(128), "top-128"}};
+    } else {
+      points = {{core::Selection::top_ratio(0.01), "1%"},
+                {core::Selection::top_ratio(0.02), "2%"},
+                {core::Selection::top_ratio(0.05), "5%"},
+                {core::Selection::top_ratio(0.10), "10%"}};
+    }
+
+    // Fix the seed set across operating points.
+    std::vector<graph::NodeId> query_seeds;
+    for (std::size_t i = 0; i < seeds; ++i) {
+      query_seeds.push_back(graph::random_seed_node(g, rng));
+    }
+
+    // Baseline once per seed.
+    std::vector<ppr::LocalPprResult> baselines;
+    double baseline_total_s = 0.0;
+    for (graph::NodeId seed : query_seeds) {
+      baselines.push_back(
+          ppr::local_ppr(g, seed, {setup.alpha, setup.big_l, setup.k}));
+      baseline_total_s +=
+          baselines.back().bfs_seconds + baselines.back().diffusion_seconds;
+    }
+
+    TablePrinter table({"next-stage", "precision", "CPU speedup",
+                        "FPGA speedup", "BFS share (FPGA)",
+                        "stage-2 balls"});
+    for (const OperatingPoint& point : points) {
+      core::MelopprConfig cfg = default_config(setup.k);
+      cfg.selection = point.selection;
+      core::Engine engine(g, cfg);
+
+      RunningStats precision;
+      RunningStats balls;
+      double cpu_total_s = 0.0;
+      double fpga_total_s = 0.0;
+      double fpga_bfs_s = 0.0;
+      for (std::size_t i = 0; i < query_seeds.size(); ++i) {
+        core::QueryResult cpu_r = engine.query(query_seeds[i]);
+        cpu_total_s += cpu_r.stats.total_seconds;
+
+        hw::FpgaBackend fpga = make_fpga_backend(g, /*p=*/16);
+        core::TopCKAggregator table_agg(setup.c * setup.k);
+        core::QueryResult fpga_r =
+            engine.query(query_seeds[i], fpga, table_agg);
+        // Hybrid latency: measured CPU BFS + simulated device time (the
+        // engine's other bookkeeping is not part of the modeled system).
+        const double fpga_s = fpga_r.stats.bfs_seconds() +
+                              fpga_r.stats.compute_seconds() +
+                              fpga_r.stats.transfer_seconds();
+        fpga_total_s += fpga_s;
+        fpga_bfs_s += fpga_r.stats.bfs_seconds();
+
+        precision.add(
+            ppr::precision_at_k(baselines[i].top, fpga_r.top, setup.k));
+        balls.add(static_cast<double>(fpga_r.stats.stages[1].balls));
+      }
+      table.add_row({point.label, fmt_percent(precision.mean()),
+                     fmt_ratio(baseline_total_s / cpu_total_s),
+                     fmt_ratio(baseline_total_s / fpga_total_s),
+                     fmt_percent(fpga_bfs_s / fpga_total_s),
+                     fmt_fixed(balls.mean(), 1)});
+    }
+    std::cout << table.ascii() << '\n';
+  }
+
+  std::cout << "paper Fig. 7 shape: precision rises and speedup falls with "
+               "more next-stage nodes; FPGA speedups 3.1x ~ 21.8x around "
+               "90% precision (up to 707.9x at low ratios on amazon); CPU "
+               "shows slowdowns (<1x) at high precision on G1/G2/G6.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace meloppr::bench
+
+int main() { return meloppr::bench::run(); }

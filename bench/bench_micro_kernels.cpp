@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the kernels every experiment is
+// built from: BFS ball extraction, the graph-diffusion kernel, selection,
+// aggregation, and the simulated accelerator — per paper graph G1–G3.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "graph/bfs.hpp"
+#include "ppr/diffusion.hpp"
+
+namespace meloppr::bench {
+namespace {
+
+const graph::Graph& cached_graph(int index) {
+  static const std::vector<graph::Graph> graphs = [] {
+    Rng rng(bench_rng_seed());
+    std::vector<graph::Graph> out;
+    for (graph::PaperGraphId id : graph::small_paper_graphs()) {
+      out.push_back(graph::make_paper_graph(id, rng, bench_scale()));
+    }
+    return out;
+  }();
+  return graphs[static_cast<std::size_t>(index)];
+}
+
+void BM_ExtractBall(benchmark::State& state) {
+  const graph::Graph& g = cached_graph(static_cast<int>(state.range(0)));
+  const auto radius = static_cast<unsigned>(state.range(1));
+  Rng rng(7);
+  std::vector<graph::NodeId> seeds;
+  for (int i = 0; i < 64; ++i) {
+    seeds.push_back(graph::random_seed_node(g, rng));
+  }
+  std::size_t i = 0;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const graph::Subgraph ball =
+        graph::extract_ball(g, seeds[i++ % seeds.size()], radius);
+    nodes += ball.num_nodes();
+    benchmark::DoNotOptimize(ball);
+  }
+  state.counters["ball_nodes/iter"] = benchmark::Counter(
+      static_cast<double>(nodes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ExtractBall)
+    ->ArgsProduct({{0, 1, 2}, {3, 6}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Diffusion(benchmark::State& state) {
+  const graph::Graph& g = cached_graph(static_cast<int>(state.range(0)));
+  Rng rng(11);
+  const graph::Subgraph ball =
+      graph::extract_ball(g, graph::random_seed_node(g, rng), 3);
+  for (auto _ : state) {
+    auto r = ppr::diffuse_from(ball, 0, 1.0, {0.85, 3});
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["edges"] = static_cast<double>(ball.num_edges());
+}
+BENCHMARK(BM_Diffusion)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_AcceleratorDiffusion(benchmark::State& state) {
+  const graph::Graph& g = cached_graph(0);
+  Rng rng(13);
+  const graph::Subgraph ball =
+      graph::extract_ball(g, graph::random_seed_node(g, rng), 3);
+  hw::FpgaBackend backend =
+      make_fpga_backend(g, static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    auto r = backend.run(ball, 1.0, 3);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AcceleratorDiffusion)
+    ->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Selection(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<double> residual(static_cast<std::size_t>(state.range(0)));
+  for (double& r : residual) {
+    r = rng.chance(0.1) ? rng.uniform() : 0.0;  // sparse, like real PPR
+  }
+  const auto policy = core::Selection::top_ratio(0.05);
+  for (auto _ : state) {
+    auto sel = core::select_next_stage(residual, policy);
+    benchmark::DoNotOptimize(sel);
+  }
+}
+BENCHMARK(BM_Selection)->Arg(1000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+void BM_TopCkAggregation(benchmark::State& state) {
+  Rng rng(19);
+  const std::size_t updates = 10000;
+  std::vector<std::pair<graph::NodeId, double>> stream;
+  for (std::size_t i = 0; i < updates; ++i) {
+    stream.emplace_back(static_cast<graph::NodeId>(rng.below(50000)),
+                        rng.uniform() * 1e-3);
+  }
+  for (auto _ : state) {
+    core::TopCKAggregator agg(static_cast<std::size_t>(state.range(0)));
+    for (const auto& [node, delta] : stream) agg.add(node, delta);
+    benchmark::DoNotOptimize(agg);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(updates));
+}
+BENCHMARK(BM_TopCkAggregation)->Arg(400)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndQuery(benchmark::State& state) {
+  const graph::Graph& g = cached_graph(static_cast<int>(state.range(0)));
+  core::MelopprConfig cfg = default_config(200);
+  cfg.selection = core::Selection::top_ratio(0.02);
+  core::Engine engine(g, cfg);
+  Rng rng(23);
+  std::vector<graph::NodeId> seeds;
+  for (int i = 0; i < 32; ++i) {
+    seeds.push_back(graph::random_seed_node(g, rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto r = engine.query(seeds[i++ % seeds.size()]);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EndToEndQuery)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace meloppr::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Table I — FPGA resource utilization of the accelerator on the Kintex-7
+// KC705 under parallelism P = 1, 2, 4, 8, 16 (structural model; see
+// src/hw/resource_model.hpp for the cost breakdown).
+#include <iostream>
+
+#include "common.hpp"
+#include "hw/resource_model.hpp"
+
+namespace meloppr::bench {
+namespace {
+
+int run() {
+  banner("Table I: FPGA resource utilization under different parallelism P");
+  hw::ResourceModel model;
+  std::cout << "device: " << model.device().name << " ("
+            << model.device().luts << " LUTs, "
+            << model.device().bram36_blocks << " BRAM36, "
+            << model.device().dsp_slices << " DSP)\n"
+            << "per-PE tables provisioned for balls of "
+            << model.coefficients().pe_ball_nodes << " nodes / "
+            << model.coefficients().pe_ball_edges << " edges ("
+            << model.pe_bram_blocks() << " BRAM36 per PE)\n\n";
+
+  TablePrinter table({"Resource", "P=1", "P=2", "P=4", "P=8", "P=16"});
+  std::vector<std::string> lut_row{"LUTs"};
+  std::vector<std::string> bram_row{"BRAM"};
+  std::vector<std::string> dsp_row{"DSP"};
+  for (unsigned p : {1u, 2u, 4u, 8u, 16u}) {
+    const hw::ResourceUsage usage = model.estimate(p);
+    lut_row.push_back(fmt_percent(usage.lut_fraction));
+    bram_row.push_back(fmt_percent(usage.bram_fraction));
+    dsp_row.push_back(fmt_percent(usage.dsp_fraction, 2));
+  }
+  table.add_row(lut_row);
+  table.add_row(bram_row);
+  table.add_row(dsp_row);
+  std::cout << table.ascii() << '\n'
+            << "paper Table I: LUT 0.9 / 3.1 / 8.9 / 21.8 / 70.6 %, BRAM "
+               "4.8 / 9.9 / 19.2 / 36.1 / 72.8 %, DSP < 0.1% (division in "
+               "logic).\n"
+            << "largest P that fits the device: "
+            << model.max_parallelism() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace meloppr::bench
+
+int main() { return meloppr::bench::run(); }

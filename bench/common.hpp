@@ -1,0 +1,91 @@
+// Shared plumbing for the benchmark harnesses.
+//
+// Every bench binary runs with no arguments, prints the paper row/series it
+// reproduces, and honors:
+//   MELOPPR_SEEDS     — queries averaged per configuration (paper: 500–1000;
+//                       defaults here are sized for a small container)
+//   MELOPPR_RNG_SEED  — base RNG seed (default 42), printed for replay
+//   MELOPPR_SCALE     — global graph-size multiplier in (0,1] (default 1)
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/engine.hpp"
+#include "graph/paper_graphs.hpp"
+#include "hw/host.hpp"
+#include "ppr/local_ppr.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+namespace meloppr::bench {
+
+/// Paper-wide experiment constants (Sec. VI).
+struct PaperSetup {
+  double alpha = 0.85;  // not stated in the paper; standard PPR value
+  unsigned big_l = 6;   // L
+  unsigned l1 = 3;
+  unsigned l2 = 3;
+  std::size_t k = 200;
+  unsigned q = 10;
+  std::size_t c = 10;   // global table holds c·k entries
+  double clock_hz = 100e6;
+};
+
+inline PaperSetup paper_setup() { return {}; }
+
+/// Prints the standard bench banner and returns the base RNG.
+inline Rng banner(const std::string& title) {
+  const std::uint64_t seed = bench_rng_seed();
+  std::cout << "=== " << title << " ===\n"
+            << "rng_seed=" << seed
+            << "  seeds/config=" << bench_seed_count(0)
+            << " (0 → per-bench default; set MELOPPR_SEEDS to override)\n\n";
+  return Rng(seed);
+}
+
+/// Graph-size multiplier for quick runs.
+inline double bench_scale() {
+  const double s = env_double("MELOPPR_SCALE", 1.0);
+  return (s <= 0.0 || s > 1.0) ? 1.0 : s;
+}
+
+/// Builds a calibrated stand-in for a paper graph, reporting its stats.
+inline graph::Graph build_graph(graph::PaperGraphId id, Rng& rng) {
+  const auto& spec = graph::spec_for(id);
+  Timer t;
+  graph::Graph g = graph::make_paper_graph(id, rng, bench_scale());
+  std::cout << "[" << spec.label << " " << spec.name << "] " << g.summary()
+            << "  (paper: |V|=" << spec.vertices << " |E|=" << spec.edges
+            << ")  built in " << fmt_fixed(t.elapsed_seconds(), 2) << "s\n";
+  return g;
+}
+
+/// Paper-default MeLoPPR config (two stages of 3).
+inline core::MelopprConfig default_config(std::size_t k = 200) {
+  core::MelopprConfig cfg;
+  const PaperSetup setup = paper_setup();
+  cfg.alpha = setup.alpha;
+  cfg.stage_lengths = {setup.l1, setup.l2};
+  cfg.k = k;
+  return cfg;
+}
+
+/// FPGA backend with the paper's shipping configuration for a given graph
+/// (P PEs, q=10, d = max_degree/2, Max referenced to |V| as a conservative
+/// stand-in for |G_L(s)|).
+inline hw::FpgaBackend make_fpga_backend(const graph::Graph& g, unsigned p) {
+  const PaperSetup setup = paper_setup();
+  hw::AcceleratorConfig cfg;
+  cfg.parallelism = p;
+  cfg.clock_hz = setup.clock_hz;
+  hw::Quantizer quant = hw::Quantizer::from_graph_stats(
+      setup.alpha, setup.q, hw::DChoice::kHalfMaxDegree, g.average_degree(),
+      g.max_degree(), g.num_nodes());
+  return hw::FpgaBackend(hw::Accelerator(cfg, quant));
+}
+
+}  // namespace meloppr::bench

@@ -1,0 +1,90 @@
+#include "core/aggregator.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace meloppr::core {
+
+void ExactAggregator::add(graph::NodeId node, double delta) {
+  scores_[node] += delta;
+}
+
+std::vector<ScoredNode> ExactAggregator::top(std::size_t k) const {
+  return ppr::top_k(scores_, k);
+}
+
+std::size_t ExactAggregator::bytes() const {
+  // unordered_map footprint: bucket array + one heap node per entry
+  // (key+value+next pointer, rounded to malloc granularity).
+  const std::size_t per_entry =
+      sizeof(graph::NodeId) + sizeof(double) + 2 * sizeof(void*);
+  return scores_.bucket_count() * sizeof(void*) +
+         scores_.size() * per_entry;
+}
+
+TopCKAggregator::TopCKAggregator(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TopCKAggregator: capacity must be positive");
+  }
+}
+
+void TopCKAggregator::erase_index(graph::NodeId node, double score) {
+  auto [lo, hi] = by_score_.equal_range(score);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == node) {
+      by_score_.erase(it);
+      return;
+    }
+  }
+  MELO_CHECK_MSG(false, "TopCKAggregator index out of sync for node " << node);
+}
+
+void TopCKAggregator::add(graph::NodeId node, double delta) {
+  auto it = by_node_.find(node);
+  if (it != by_node_.end()) {
+    // In-place BRAM update: always allowed, no eviction.
+    const double old_score = it->second;
+    it->second += delta;
+    erase_index(node, old_score);
+    by_score_.emplace(it->second, node);
+    return;
+  }
+  if (by_node_.size() < capacity_) {
+    by_node_.emplace(node, delta);
+    by_score_.emplace(delta, node);
+    return;
+  }
+  // Full: the new score competes with the current minimum. Contributions
+  // smaller than the table minimum are dropped — this is where precision
+  // loss for small c comes from.
+  auto min_it = by_score_.begin();
+  if (delta <= min_it->first) return;
+  by_node_.erase(min_it->second);
+  by_score_.erase(min_it);
+  ++evictions_;
+  by_node_.emplace(node, delta);
+  by_score_.emplace(delta, node);
+}
+
+std::vector<ScoredNode> TopCKAggregator::top(std::size_t k) const {
+  std::vector<ScoredNode> all;
+  all.reserve(by_node_.size());
+  for (const auto& [node, score] : by_node_) all.push_back({node, score});
+  return ppr::top_k(std::move(all), k);
+}
+
+std::size_t TopCKAggregator::bytes() const {
+  // The hardware table is `capacity` slots of (node id, 32-bit score) plus a
+  // comparator tree; model as capacity × 8 bytes, matching the BRAM budget
+  // the paper reserves for the global score table.
+  return capacity_ * (sizeof(graph::NodeId) + sizeof(std::uint32_t));
+}
+
+void TopCKAggregator::clear() {
+  by_node_.clear();
+  by_score_.clear();
+  evictions_ = 0;
+}
+
+}  // namespace meloppr::core

@@ -1,0 +1,33 @@
+#include "core/backend.hpp"
+
+#include <cmath>
+
+#include "util/timer.hpp"
+
+namespace meloppr::core {
+
+BackendResult CpuBackend::run(const graph::Subgraph& ball, double mass,
+                              unsigned length) {
+  Timer timer;
+  ppr::DiffusionResult diff = ppr::diffuse_from(
+      ball, /*local_seed=*/0, mass, ppr::DiffusionParams{alpha_, length});
+  BackendResult out;
+  out.compute_seconds = timer.elapsed_seconds();
+  out.accumulated = std::move(diff.accumulated);
+  // ppr::diffuse returns the raw residual W^l·S0; the backend contract wants
+  // the α-scaled in-flight mass α^l·W^l·S0 (see backend.hpp).
+  const double alpha_pow = std::pow(alpha_, static_cast<double>(length));
+  out.inflight = std::move(diff.residual);
+  for (double& r : out.inflight) r *= alpha_pow;
+  out.edge_ops = diff.edge_ops;
+  return out;
+}
+
+std::size_t CpuBackend::working_bytes(std::size_t ball_nodes,
+                                      std::size_t /*ball_edges*/) const {
+  // The diffusion kernel holds three dense double vectors over the ball
+  // (t_k, next, accumulated) plus the active list.
+  return ball_nodes * (3 * sizeof(double) + sizeof(graph::NodeId) + 1);
+}
+
+}  // namespace meloppr::core

@@ -1,0 +1,71 @@
+// Diffusion execution backends.
+//
+// The MeLoPPR engine is backend-agnostic: the same multi-stage control flow
+// (BFS → diffuse → select → recurse, Sec. IV) runs its per-ball diffusions
+// either on the host CPU (CpuBackend) or on the simulated FPGA accelerator
+// (hw::FpgaBackend in src/hw/host.hpp). This mirrors the paper's co-design
+// split: the PS (CPU) prepares sub-graphs, the PL (FPGA) diffuses them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/subgraph.hpp"
+#include "ppr/diffusion.hpp"
+
+namespace meloppr::core {
+
+/// Outcome of one per-ball diffusion, plus device-accounting metadata.
+///
+/// `accumulated` is the absolute PPR contribution of the ball (the input
+/// mass is already fully scaled by the engine, so no further scaling is
+/// applied at aggregation). `inflight` is α^l·W^l·S0 — the α-scaled
+/// residual mass, which is *directly* both the Eq. 8 subtraction term and
+/// the next stage's input mass. Keeping the α^l inside the backend mirrors
+/// the hardware, whose integer residual table is α-scaled by construction
+/// (each propagation step multiplies by α).
+struct BackendResult {
+  std::vector<double> accumulated;  ///< π_a over local ids (absolute)
+  std::vector<double> inflight;     ///< α^l·π_r over local ids (absolute)
+  /// Time attributed to the diffusion itself: measured wall-clock for the
+  /// CPU backend, simulated cycles/frequency for the FPGA backend.
+  double compute_seconds = 0.0;
+  /// Extra time for moving the ball to the device (0 for CPU).
+  double transfer_seconds = 0.0;
+  std::uint64_t edge_ops = 0;
+};
+
+class DiffusionBackend {
+ public:
+  virtual ~DiffusionBackend() = default;
+
+  /// Diffuses `mass` placed at the ball root (local 0) for `length` steps.
+  virtual BackendResult run(const graph::Subgraph& ball, double mass,
+                            unsigned length) = 0;
+
+  /// Device memory required to process a ball of the given size, charged to
+  /// the engine's memory model. The CPU backend charges the score vectors;
+  /// the FPGA backend charges its BRAM tables.
+  [[nodiscard]] virtual std::size_t working_bytes(
+      std::size_t ball_nodes, std::size_t ball_edges) const = 0;
+
+  /// Short name for reports, e.g. "cpu" or "fpga(P=16)".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Host-CPU backend: wall-clock-measured ppr::diffuse.
+class CpuBackend final : public DiffusionBackend {
+ public:
+  explicit CpuBackend(double alpha) : alpha_(alpha) {}
+
+  BackendResult run(const graph::Subgraph& ball, double mass,
+                    unsigned length) override;
+  [[nodiscard]] std::size_t working_bytes(
+      std::size_t ball_nodes, std::size_t ball_edges) const override;
+  [[nodiscard]] std::string name() const override { return "cpu"; }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace meloppr::core

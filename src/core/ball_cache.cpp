@@ -1,0 +1,64 @@
+#include "core/ball_cache.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace meloppr::core {
+
+BallCache::BallCache(const graph::Graph& g, std::size_t byte_budget)
+    : graph_(&g), budget_(byte_budget) {
+  if (byte_budget == 0) {
+    throw std::invalid_argument("BallCache: byte budget must be positive");
+  }
+}
+
+const graph::Subgraph& BallCache::get(graph::NodeId root, unsigned radius) {
+  const Key key{root, radius};
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+    return it->second->ball;
+  }
+
+  ++misses_;
+  Timer timer;
+  graph::Subgraph ball = graph::extract_ball(*graph_, root, radius);
+  extraction_seconds_ += timer.elapsed_seconds();
+
+  const std::size_t incoming = ball.bytes();
+  if (incoming > budget_) {
+    // Too big to retain: serve it through the overflow slot.
+    overflow_ = std::move(ball);
+    return overflow_;
+  }
+  evict_until_fits(incoming);
+  lru_.push_front(Entry{key, std::move(ball)});
+  entries_.emplace(key, lru_.begin());
+  bytes_ += incoming;
+  return lru_.front().ball;
+}
+
+void BallCache::evict_until_fits(std::size_t incoming_bytes) {
+  while (!lru_.empty() && bytes_ + incoming_bytes > budget_) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.ball.bytes();
+    entries_.erase(victim.key);
+    lru_.pop_back();
+  }
+  MELO_CHECK(bytes_ + incoming_bytes <= budget_);
+}
+
+void BallCache::clear() {
+  lru_.clear();
+  entries_.clear();
+  bytes_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+  extraction_seconds_ = 0.0;
+  overflow_ = graph::Subgraph{};
+}
+
+}  // namespace meloppr::core

@@ -1,0 +1,90 @@
+// LRU cache of extracted BFS balls, keyed by (root, radius).
+//
+// In a query-serving deployment the CPU-side BFS dominates end-to-end
+// latency (Fig. 7's light-blue bars; the paper notes BFS becomes the
+// bottleneck past P=16). Consecutive queries re-extract heavily overlapping
+// stage-2 balls — popular nodes are selected as next-stage nodes by many
+// different seeds — so caching extracted balls converts BFS time into
+// memory, a second instance of the paper's central memory↔latency trade.
+// The cache is byte-budgeted and evicts least-recently-used balls.
+//
+// Not thread-safe; one cache per serving thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+
+namespace meloppr::core {
+
+class BallCache {
+ public:
+  /// `byte_budget` caps the summed Subgraph::bytes() of cached balls. A
+  /// ball larger than the whole budget is still served but never retained.
+  BallCache(const graph::Graph& g, std::size_t byte_budget);
+
+  /// Returns the ball around `root` with the given radius, extracting it on
+  /// a miss. The reference stays valid until the next get() call (eviction
+  /// may reclaim it afterwards).
+  const graph::Subgraph& get(graph::NodeId root, unsigned radius);
+
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+  [[nodiscard]] double hit_rate() const {
+    const std::size_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) /
+                                  static_cast<double>(total);
+  }
+
+  /// Current cached footprint (≤ budget, except transiently for the one
+  /// oversized ball being served).
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t byte_budget() const { return budget_; }
+  [[nodiscard]] std::size_t entries() const { return entries_.size(); }
+
+  /// Total seconds spent extracting on misses (the BFS cost actually paid).
+  [[nodiscard]] double extraction_seconds() const {
+    return extraction_seconds_;
+  }
+
+  void clear();
+
+ private:
+  struct Key {
+    graph::NodeId root;
+    unsigned radius;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.root) << 8) ^ k.radius);
+    }
+  };
+  struct Entry {
+    Key key;
+    graph::Subgraph ball;
+  };
+
+  void evict_until_fits(std::size_t incoming_bytes);
+
+  const graph::Graph* graph_;
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  double extraction_seconds_ = 0.0;
+
+  /// MRU-ordered list; lookups map keys to list iterators.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_;
+  /// Oversized ball served without being retained.
+  graph::Subgraph overflow_;
+};
+
+}  // namespace meloppr::core

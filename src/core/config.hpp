@@ -1,0 +1,55 @@
+// MeLoPPR configuration (Sec. IV + VI).
+//
+// The paper's evaluation fixes k=200, L=6, l1=l2=3 ("so that MeLoPPR
+// contains two stages"); stage_lengths generalizes to any decomposition
+// L = l1 + l2 + … + lS, which Eq. 6 supports by repeated application.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/selector.hpp"
+
+namespace meloppr::core {
+
+struct MelopprConfig {
+  double alpha = 0.85;                       ///< α-RW continuation prob.
+  std::vector<unsigned> stage_lengths{3, 3}; ///< l1, l2, …; Σ = L
+  std::size_t k = 200;                       ///< top-k query size
+  Selection selection = Selection::top_ratio(0.05);  ///< next-stage policy
+
+  /// Total diffusion length L = Σ stage lengths.
+  [[nodiscard]] unsigned total_length() const {
+    unsigned sum = 0;
+    for (unsigned l : stage_lengths) sum += l;
+    return sum;
+  }
+
+  [[nodiscard]] std::size_t num_stages() const {
+    return stage_lengths.size();
+  }
+
+  /// Throws std::invalid_argument on nonsense parameters.
+  void validate() const {
+    if (alpha <= 0.0 || alpha >= 1.0) {
+      throw std::invalid_argument("MelopprConfig: alpha must be in (0,1)");
+    }
+    if (stage_lengths.empty()) {
+      throw std::invalid_argument("MelopprConfig: need at least one stage");
+    }
+    for (unsigned l : stage_lengths) {
+      if (l == 0) {
+        throw std::invalid_argument(
+            "MelopprConfig: stage lengths must be positive");
+      }
+    }
+    if (k == 0) {
+      throw std::invalid_argument("MelopprConfig: k must be positive");
+    }
+    selection.validate();
+  }
+};
+
+}  // namespace meloppr::core

@@ -1,0 +1,134 @@
+#include "core/engine.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "graph/bfs.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace meloppr::core {
+
+Engine::Engine(const graph::Graph& g, MelopprConfig config)
+    : graph_(&g), config_(std::move(config)) {
+  config_.validate();
+}
+
+QueryResult Engine::query(graph::NodeId seed) const {
+  CpuBackend backend(config_.alpha);
+  ExactAggregator aggregator;
+  return query(seed, backend, aggregator);
+}
+
+QueryResult Engine::query(graph::NodeId seed, DiffusionBackend& backend,
+                          ScoreAggregator& aggregator) const {
+  aggregator.clear();
+  QueryResult result;
+  result.stats.stages.resize(config_.num_stages());
+
+  RecursionContext ctx{backend, aggregator, result.stats, MemoryMeter{}};
+
+  Timer total;
+  run_stage(ctx, seed, /*mass=*/1.0, /*stage=*/0);
+  result.top = aggregator.top(config_.k);
+  result.stats.total_seconds = total.elapsed_seconds();
+
+  result.stats.aggregator_bytes = aggregator.bytes();
+  result.stats.peak_bytes = ctx.meter.peak_bytes();
+  return result;
+}
+
+void Engine::run_stage(RecursionContext& ctx, graph::NodeId root_global,
+                       double mass, std::size_t stage) const {
+  MELO_CHECK(stage < config_.num_stages());
+  MELO_CHECK(mass > 0.0);
+  const unsigned length = config_.stage_lengths[stage];
+  StageStats& st = ctx.stats.stages[stage];
+
+  // --- 1. CPU-side sub-graph preparation (the PS role in Fig. 4). ---
+  // With a ball cache installed, extraction is served (and charged) by the
+  // cache; otherwise the ball is owned by this stage frame.
+  Timer bfs_timer;
+  std::optional<graph::Subgraph> owned;
+  const graph::Subgraph* ball_ptr;
+  if (cache_ != nullptr) {
+    ball_ptr = &cache_->get(root_global, length);
+    ctx.meter.set("ball_cache", cache_->bytes());
+  } else {
+    owned.emplace(graph::extract_ball(*graph_, root_global, length));
+    ball_ptr = &*owned;
+  }
+  const graph::Subgraph& ball = *ball_ptr;
+  st.bfs_seconds += bfs_timer.elapsed_seconds();
+
+  // Next-stage work list: (global id, in-flight mass) pairs. Populated
+  // inside the block below, consumed after the ball has been freed.
+  std::vector<std::pair<graph::NodeId, double>> children;
+  {
+    // Ball + device working set live only within this block; freeing them
+    // before recursion keeps the peak at "one ball at a time" — the memory
+    // claim of the paper, here verified by the meter rather than assumed.
+    ScopedAllocation ball_mem(ctx.meter, "ball",
+                              owned.has_value() ? ball.bytes() : 0);
+    ScopedAllocation work_mem(
+        ctx.meter, "device",
+        ctx.backend.working_bytes(ball.num_nodes(), ball.num_edges()));
+
+    // --- 2. Diffusion on the device (the PL role in Fig. 4). ---
+    BackendResult diff = ctx.backend.run(ball, mass, length);
+    MELO_CHECK(diff.accumulated.size() == ball.num_nodes());
+    MELO_CHECK(diff.inflight.size() == ball.num_nodes());
+
+    st.balls += 1;
+    st.max_ball_nodes = std::max(st.max_ball_nodes, ball.num_nodes());
+    st.max_ball_edges = std::max(st.max_ball_edges, ball.num_edges());
+    st.total_ball_nodes += ball.num_nodes();
+    st.total_ball_edges += ball.num_edges();
+    st.compute_seconds += diff.compute_seconds;
+    st.transfer_seconds += diff.transfer_seconds;
+    st.edge_ops += diff.edge_ops;
+
+    // --- 3. Aggregate π_a into the global score structure (Eq. 8, +GD_l
+    //        term; the input mass was pre-scaled so no factor is needed). ---
+    for (graph::NodeId local = 0; local < ball.num_nodes(); ++local) {
+      if (diff.accumulated[local] != 0.0) {
+        ctx.aggregator.add(ball.to_global(local), diff.accumulated[local]);
+      }
+    }
+    ctx.meter.set("aggregator", ctx.aggregator.bytes());
+
+    // --- 4. Select next-stage nodes from the in-flight mass (Sec. IV-D). ---
+    if (stage + 1 < config_.num_stages()) {
+      const std::vector<SelectedNode> selected =
+          select_next_stage(diff.inflight, config_.selection);
+      st.selected += selected.size();
+      for (double r : diff.inflight) {
+        if (r > 0.0) ++st.candidates;
+      }
+      children.reserve(selected.size());
+      for (const SelectedNode& sn : selected) {
+        children.emplace_back(ball.to_global(sn.local), sn.residual);
+      }
+    }
+  }
+
+  // Drop the owned ball before recursing — the "one ball at a time" peak
+  // is real, not just a meter convention. (ball_ptr/ball dangle past here.)
+  owned.reset();
+
+  if (children.empty()) return;
+
+  // --- Eq. 8: re-diffuse the selected in-flight mass one stage deeper. ---
+  ScopedAllocation pending_mem(
+      ctx.meter, "pending",
+      children.size() * sizeof(std::pair<graph::NodeId, double>));
+  for (const auto& [child_global, child_mass] : children) {
+    // Remove the α^l·r mass that GD_l left parked at the node; the child
+    // diffusion will redistribute it (and put some of it right back).
+    ctx.aggregator.add(child_global, -child_mass);
+    run_stage(ctx, child_global, child_mass, stage + 1);
+  }
+  ctx.meter.set("aggregator", ctx.aggregator.bytes());
+}
+
+}  // namespace meloppr::core

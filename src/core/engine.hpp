@@ -1,0 +1,86 @@
+// The MeLoPPR engine — multi-stage PPR per Sec. IV.
+//
+// One query proceeds recursively, implementing Eq. 8 (and its multi-stage
+// generalization by re-applying Eq. 6 inside each child):
+//
+//   stage s, root v, in-flight mass m (pre-scaled: by linearity
+//   GD_l(c·S0) = c·GD_l(S0), so all of Eq. 8's α^l factors ride along
+//   inside the mass — exactly as on the FPGA, whose integer residual table
+//   is α-scaled by construction):
+//     1. BFS:      ball ← extract_ball(G, v, l_s)                (CPU)
+//     2. Diffuse:  (π_a, α^l·π_r) ← GD_{l_s}(m·e_v) on ball      (backend)
+//     3. Aggregate: S_L[g] += π_a[g]  for every ball node g
+//     4. If not the last stage:
+//          select next-stage nodes from α^l·π_r (Sec. IV-D sparsity)
+//          for each selected node u with in-flight mass r:
+//            S_L[u] −= r                    (remove the mass that will be
+//                                            re-diffused — Eq. 8's −α^l·S^r)
+//            recurse(stage s+1, u, r)
+//
+// The ball and its score vectors are freed *before* recursing, so the peak
+// footprint is one ball at a time plus the aggregator — that is MeLoPPR's
+// O(G_l) ≪ O(G_L) memory story, and the engine's memory meter verifies it
+// rather than assuming it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/backend.hpp"
+#include "core/ball_cache.hpp"
+#include "core/config.hpp"
+#include "core/query_stats.hpp"
+#include "graph/graph.hpp"
+#include "ppr/topk.hpp"
+#include "util/memory_meter.hpp"
+
+namespace meloppr::core {
+
+struct QueryResult {
+  std::vector<ppr::ScoredNode> top;  ///< ranked top-k (global ids)
+  QueryStats stats;
+};
+
+class Engine {
+ public:
+  /// The graph must outlive the engine. Throws std::invalid_argument on an
+  /// invalid config.
+  Engine(const graph::Graph& g, MelopprConfig config);
+
+  /// Convenience query: CPU backend + exact aggregation.
+  [[nodiscard]] QueryResult query(graph::NodeId seed) const;
+
+  /// Full-control query: caller supplies the diffusion backend (CPU or
+  /// simulated FPGA) and the aggregation strategy (exact map or top-c·k
+  /// table). The aggregator is cleared first.
+  QueryResult query(graph::NodeId seed, DiffusionBackend& backend,
+                    ScoreAggregator& aggregator) const;
+
+  [[nodiscard]] const MelopprConfig& config() const { return config_; }
+  [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
+
+  /// Serves all ball extractions through `cache` (nullptr restores direct
+  /// extraction). The cache must be built over the same graph and outlive
+  /// the engine's queries; its footprint is charged to the query's memory
+  /// peak under the "ball_cache" category instead of per-stage "ball".
+  void set_ball_cache(BallCache* cache) { cache_ = cache; }
+
+ private:
+  struct RecursionContext {
+    DiffusionBackend& backend;
+    ScoreAggregator& aggregator;
+    QueryStats& stats;
+    MemoryMeter meter;
+  };
+
+  void run_stage(RecursionContext& ctx, graph::NodeId root_global,
+                 double mass, std::size_t stage) const;
+
+  const graph::Graph* graph_;
+  MelopprConfig config_;
+  BallCache* cache_ = nullptr;
+};
+
+}  // namespace meloppr::core

@@ -1,0 +1,71 @@
+// Per-query accounting produced by the MeLoPPR engine — the raw numbers
+// behind Table II (memory), Fig. 6 (precision), and Fig. 7 (latency split).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace meloppr::core {
+
+/// Aggregated statistics for one stage index (all balls diffused at that
+/// recursion depth).
+struct StageStats {
+  std::size_t balls = 0;          ///< diffusions executed at this stage
+  std::size_t selected = 0;       ///< next-stage nodes chosen here
+  std::size_t candidates = 0;     ///< non-zero residual nodes available
+  std::size_t max_ball_nodes = 0;
+  std::size_t max_ball_edges = 0;
+  std::uint64_t total_ball_nodes = 0;
+  std::uint64_t total_ball_edges = 0;
+  double bfs_seconds = 0.0;       ///< CPU-side sub-graph preparation
+  double compute_seconds = 0.0;   ///< device diffusion time
+  double transfer_seconds = 0.0;  ///< host↔device data movement (FPGA only)
+  std::uint64_t edge_ops = 0;
+};
+
+struct QueryStats {
+  std::vector<StageStats> stages;
+
+  /// Peak simultaneously-live bytes: ball + device working set + aggregator
+  /// + pending next-stage lists. The "Memory (MB)" column of Table II.
+  std::size_t peak_bytes = 0;
+
+  /// Aggregator footprint at the end of the query.
+  std::size_t aggregator_bytes = 0;
+
+  double total_seconds = 0.0;  ///< end-to-end query latency
+
+  [[nodiscard]] double bfs_seconds() const {
+    double s = 0.0;
+    for (const auto& st : stages) s += st.bfs_seconds;
+    return s;
+  }
+  [[nodiscard]] double compute_seconds() const {
+    double s = 0.0;
+    for (const auto& st : stages) s += st.compute_seconds;
+    return s;
+  }
+  [[nodiscard]] double transfer_seconds() const {
+    double s = 0.0;
+    for (const auto& st : stages) s += st.transfer_seconds;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t edge_ops() const {
+    std::uint64_t s = 0;
+    for (const auto& st : stages) s += st.edge_ops;
+    return s;
+  }
+  [[nodiscard]] std::size_t total_balls() const {
+    std::size_t s = 0;
+    for (const auto& st : stages) s += st.balls;
+    return s;
+  }
+  /// Fraction of the query spent in CPU-side BFS — the light-blue bars of
+  /// Fig. 7.
+  [[nodiscard]] double bfs_fraction() const {
+    return total_seconds > 0.0 ? bfs_seconds() / total_seconds : 0.0;
+  }
+};
+
+}  // namespace meloppr::core

@@ -1,0 +1,106 @@
+#include "core/selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace meloppr::core {
+
+void Selection::validate() const {
+  switch (mode) {
+    case Mode::kRatio:
+      if (ratio <= 0.0 || ratio > 1.0) {
+        throw std::invalid_argument("Selection: ratio must be in (0,1]");
+      }
+      break;
+    case Mode::kCount:
+      if (count == 0) {
+        throw std::invalid_argument("Selection: count must be positive");
+      }
+      break;
+    case Mode::kThreshold:
+      if (threshold < 0.0) {
+        throw std::invalid_argument("Selection: threshold must be >= 0");
+      }
+      break;
+    case Mode::kAll:
+      break;
+  }
+}
+
+std::string Selection::describe() const {
+  std::ostringstream os;
+  switch (mode) {
+    case Mode::kRatio:
+      os << "ratio=" << ratio * 100.0 << "%";
+      break;
+    case Mode::kCount:
+      os << "count=" << count;
+      break;
+    case Mode::kThreshold:
+      os << "threshold=" << threshold;
+      break;
+    case Mode::kAll:
+      os << "all";
+      break;
+  }
+  return os.str();
+}
+
+std::vector<SelectedNode> select_next_stage(std::span<const double> residual,
+                                            const Selection& policy) {
+  policy.validate();
+
+  std::vector<SelectedNode> nonzero;
+  nonzero.reserve(residual.size() / 4);
+  for (std::size_t v = 0; v < residual.size(); ++v) {
+    MELO_CHECK_MSG(residual[v] >= 0.0, "negative residual at local " << v);
+    if (residual[v] > 0.0) {
+      nonzero.push_back({static_cast<NodeId>(v), residual[v]});
+    }
+  }
+  const auto better = [](const SelectedNode& a, const SelectedNode& b) {
+    if (a.residual != b.residual) return a.residual > b.residual;
+    return a.local < b.local;
+  };
+
+  std::size_t keep = nonzero.size();
+  switch (policy.mode) {
+    case Selection::Mode::kAll:
+      break;
+    case Selection::Mode::kRatio:
+      // The paper's x-axis is "percentage of next-stage nodes" relative to
+      // the stage-1 ball size, so the quota is computed over the whole
+      // residual vector, not just its non-zero support.
+      keep = std::min<std::size_t>(
+          nonzero.size(),
+          static_cast<std::size_t>(std::ceil(
+              policy.ratio * static_cast<double>(residual.size()))));
+      break;
+    case Selection::Mode::kCount:
+      keep = std::min(nonzero.size(), policy.count);
+      break;
+    case Selection::Mode::kThreshold: {
+      std::size_t above = 0;
+      for (const auto& sn : nonzero) {
+        if (sn.residual > policy.threshold) ++above;
+      }
+      keep = above;
+      break;
+    }
+  }
+
+  if (keep < nonzero.size()) {
+    std::nth_element(nonzero.begin(),
+                     nonzero.begin() + static_cast<std::ptrdiff_t>(keep),
+                     nonzero.end(), better);
+    nonzero.resize(keep);
+  }
+  std::sort(nonzero.begin(), nonzero.end(), better);
+  return nonzero;
+}
+
+}  // namespace meloppr::core

@@ -1,0 +1,60 @@
+// Next-stage node selection (Sec. IV-D).
+//
+// After a stage's diffusion, the residual vector π_r says how much mass is
+// still "in flight" at each ball node. The PPR vector is extremely sparse
+// (Fig. 6: >90% of nodes carry near-zero score), so only the nodes with the
+// largest residuals are worth a stage-2 diffusion. The selection policy is
+// the latency↔precision knob of the whole system.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace meloppr::core {
+
+using graph::NodeId;
+
+/// Declarative selection policy; build with the factory functions.
+struct Selection {
+  enum class Mode {
+    kRatio,      ///< top ⌈ratio·n⌉ nodes by residual (Fig. 6/7 x-axis)
+    kCount,      ///< top `count` nodes by residual
+    kThreshold,  ///< every node with residual > threshold
+    kAll,        ///< every node with non-zero residual (exact mode, Eq. 8)
+  };
+
+  Mode mode = Mode::kRatio;
+  double ratio = 0.05;
+  std::size_t count = 0;
+  double threshold = 0.0;
+
+  static Selection all() { return {Mode::kAll, 0.0, 0, 0.0}; }
+  static Selection top_ratio(double r) { return {Mode::kRatio, r, 0, 0.0}; }
+  static Selection top_count(std::size_t c) {
+    return {Mode::kCount, 0.0, c, 0.0};
+  }
+  static Selection above(double t) { return {Mode::kThreshold, 0.0, 0, t}; }
+
+  void validate() const;
+
+  /// Human-readable tag for bench output, e.g. "ratio=5%".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A selected next-stage node: local ball id plus its residual mass.
+struct SelectedNode {
+  NodeId local = graph::kInvalidNode;
+  double residual = 0.0;
+};
+
+/// Applies the policy to a residual vector (local indexing). Returns nodes
+/// in descending residual order (ties by ascending local id); zero-residual
+/// nodes are never selected regardless of policy.
+std::vector<SelectedNode> select_next_stage(std::span<const double> residual,
+                                            const Selection& policy);
+
+}  // namespace meloppr::core

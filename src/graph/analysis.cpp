@@ -1,0 +1,94 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/paper_graphs.hpp"
+#include "util/assert.hpp"
+
+namespace meloppr::graph {
+
+DegreeStats degree_stats(const Graph& g) {
+  MELO_CHECK(g.num_nodes() > 0);
+  std::vector<std::size_t> degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.degree(v);
+  std::sort(degrees.begin(), degrees.end());
+
+  auto pct = [&](double p) {
+    const double rank = p * static_cast<double>(degrees.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, degrees.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return static_cast<double>(degrees[lo]) * (1.0 - frac) +
+           static_cast<double>(degrees[hi]) * frac;
+  };
+
+  DegreeStats stats;
+  stats.min = degrees.front();
+  stats.max = degrees.back();
+  stats.mean = g.average_degree();
+  stats.p50 = pct(0.50);
+  stats.p90 = pct(0.90);
+  stats.p99 = pct(0.99);
+  return stats;
+}
+
+double sampled_clustering_coefficient(const Graph& g, std::size_t samples,
+                                      Rng& rng) {
+  MELO_CHECK(samples > 0);
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < samples * 4 && counted < samples; ++i) {
+    const auto v = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const auto adj = g.neighbors(v);
+    if (adj.size() < 2) continue;
+    std::size_t triangles = 0;
+    for (std::size_t a = 0; a < adj.size(); ++a) {
+      for (std::size_t b = a + 1; b < adj.size(); ++b) {
+        if (g.has_edge(adj[a], adj[b])) ++triangles;
+      }
+    }
+    const double pairs =
+        static_cast<double>(adj.size()) *
+        static_cast<double>(adj.size() - 1) / 2.0;
+    total += static_cast<double>(triangles) / pairs;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double mean_ball_size(const Graph& g, unsigned radius, std::size_t samples,
+                      Rng& rng) {
+  MELO_CHECK(samples > 0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const NodeId seed = random_seed_node(g, rng);
+    total += static_cast<double>(bfs_nodes(g, seed, radius).size());
+  }
+  return total / static_cast<double>(samples);
+}
+
+double ball_growth_factor(const Graph& g, unsigned radius,
+                          std::size_t samples, Rng& rng) {
+  MELO_CHECK(radius > 0);
+  const double small = mean_ball_size(g, radius, samples, rng);
+  const double big = mean_ball_size(g, 2 * radius, samples, rng);
+  return small > 0.0 ? big / small : 0.0;
+}
+
+std::string structural_summary(const Graph& g, Rng& rng) {
+  const DegreeStats deg = degree_stats(g);
+  const ComponentInfo comps = connected_components(g);
+  std::ostringstream os;
+  os << g.summary() << " components=" << comps.count
+     << " lcc=" << comps.largest()
+     << " deg[p50=" << deg.p50 << " p99=" << deg.p99 << " skew="
+     << deg.skew() << "]"
+     << " clustering=" << sampled_clustering_coefficient(g, 200, rng)
+     << " ball3->6 growth=" << ball_growth_factor(g, 3, 10, rng);
+  return os.str();
+}
+
+}  // namespace meloppr::graph

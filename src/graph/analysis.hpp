@@ -1,0 +1,50 @@
+// Structural graph statistics used to validate that the synthetic
+// stand-ins actually have the family properties the substitution argument
+// (DESIGN.md §2) relies on: degree skew for preferential-attachment graphs,
+// clustering for community graphs, ball-growth rates for all of them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::graph {
+
+/// Degree-distribution summary.
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  /// max/mean — a quick heavy-tail indicator (≫1 for BA/social graphs).
+  [[nodiscard]] double skew() const {
+    return mean > 0.0 ? static_cast<double>(max) / mean : 0.0;
+  }
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Average local clustering coefficient over `samples` random nodes with
+/// degree ≥ 2 (exact triangle counting per sampled node). Community graphs
+/// score high; BA/ER score near zero.
+double sampled_clustering_coefficient(const Graph& g, std::size_t samples,
+                                      Rng& rng);
+
+/// Mean BFS-ball node count at the given radius over `samples` random
+/// seeds — the quantity that decides MeLoPPR's memory footprint.
+double mean_ball_size(const Graph& g, unsigned radius, std::size_t samples,
+                      Rng& rng);
+
+/// Exponential ball-growth factor: mean |ball(2r)| / |ball(r)|.
+double ball_growth_factor(const Graph& g, unsigned radius,
+                          std::size_t samples, Rng& rng);
+
+/// One-line structural fingerprint for logs/docs.
+std::string structural_summary(const Graph& g, Rng& rng);
+
+}  // namespace meloppr::graph

@@ -1,0 +1,70 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace meloppr::graph {
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes) : num_nodes_(num_nodes) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("GraphBuilder: num_nodes must be positive");
+  }
+  if (num_nodes > static_cast<std::size_t>(kInvalidNode)) {
+    throw std::invalid_argument("GraphBuilder: num_nodes exceeds NodeId range");
+  }
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw std::invalid_argument("GraphBuilder::add_edge: node id " +
+                                std::to_string(std::max(u, v)) +
+                                " out of range (n=" +
+                                std::to_string(num_nodes_) + ")");
+  }
+  if (u == v) return;  // simple graph: ignore self-loops
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+void GraphBuilder::add_edges(
+    const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (auto [u, v] : edges) add_edge(u, v);
+}
+
+void GraphBuilder::reserve(std::size_t n) { edges_.reserve(n); }
+
+Graph GraphBuilder::build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<std::uint64_t> offsets(num_nodes_ + 1, 0);
+  for (auto [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (std::size_t i = 1; i <= num_nodes_; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> targets(offsets[num_nodes_]);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (auto [u, v] : edges_) {
+    targets[cursor[u]++] = v;
+    targets[cursor[v]++] = u;
+  }
+  // Adjacency lists are filled in sorted order already, because edges_ is
+  // sorted by (min, max): for a fixed u, neighbors v > u arrive sorted, but
+  // neighbors v < u arrive via the (v, u) entries sorted by v. The two runs
+  // interleave, so a per-node sort is still required.
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace meloppr::graph

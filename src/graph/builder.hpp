@@ -1,0 +1,46 @@
+// Mutable edge accumulator that produces a validated CSR Graph.
+//
+// Generators and file loaders feed edges in arbitrary order with possible
+// duplicates; the builder normalizes (dedup, drop self-loops, sort adjacency)
+// so that Graph's invariants hold by construction.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace meloppr::graph {
+
+class GraphBuilder {
+ public:
+  /// `num_nodes` fixes the node-id universe [0, num_nodes).
+  explicit GraphBuilder(std::size_t num_nodes);
+
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+
+  /// Queues an undirected edge {u, v}. Self-loops are silently dropped
+  /// (simple graph); duplicates are removed at build() time. Ids must be in
+  /// range — out-of-range ids throw std::invalid_argument.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Bulk variant of add_edge.
+  void add_edges(const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  /// Edges queued so far (pre-dedup, self-loops already dropped).
+  [[nodiscard]] std::size_t pending_edges() const { return edges_.size(); }
+
+  /// Reserves space for `n` pending edges.
+  void reserve(std::size_t n);
+
+  /// Produces the CSR graph and leaves the builder empty. Complexity
+  /// O(E log E) for the dedup sort.
+  [[nodiscard]] Graph build();
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;  ///< canonical (min,max)
+};
+
+}  // namespace meloppr::graph

@@ -1,0 +1,62 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace meloppr::graph {
+
+std::size_t ComponentInfo::largest() const {
+  std::size_t best = 0;
+  for (std::size_t s : size) best = std::max(best, s);
+  return best;
+}
+
+NodeId ComponentInfo::largest_id() const {
+  MELO_CHECK(!size.empty());
+  NodeId best = 0;
+  for (NodeId c = 1; c < size.size(); ++c) {
+    if (size[c] > size[best]) best = c;
+  }
+  return best;
+}
+
+ComponentInfo connected_components(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  ComponentInfo info;
+  info.label.assign(n, kInvalidNode);
+
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < n; ++start) {
+    if (info.label[start] != kInvalidNode) continue;
+    const auto component = static_cast<NodeId>(info.count++);
+    info.size.push_back(0);
+    queue.clear();
+    queue.push_back(start);
+    info.label[start] = component;
+    for (std::size_t cursor = 0; cursor < queue.size(); ++cursor) {
+      const NodeId u = queue[cursor];
+      ++info.size[component];
+      for (NodeId w : g.neighbors(u)) {
+        if (info.label[w] == kInvalidNode) {
+          info.label[w] = component;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+std::vector<NodeId> largest_component_nodes(const Graph& g) {
+  const ComponentInfo info = connected_components(g);
+  const NodeId target = info.largest_id();
+  std::vector<NodeId> nodes;
+  nodes.reserve(info.size[target]);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (info.label[v] == target) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+}  // namespace meloppr::graph

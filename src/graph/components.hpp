@@ -1,0 +1,36 @@
+// Connected components — the global graph algorithm the paper's related
+// work contrasts PPR against (Sec. III), and a practical necessity here:
+// real SNAP citation graphs are fragmented, PPR queries only make sense
+// within a component, and generator validation wants component statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace meloppr::graph {
+
+struct ComponentInfo {
+  /// Component id per node, in [0, count); ids are assigned in order of
+  /// first appearance by node id, so component 0 contains node 0.
+  std::vector<NodeId> label;
+  std::size_t count = 0;
+  /// Node count per component id.
+  std::vector<std::size_t> size;
+
+  [[nodiscard]] std::size_t largest() const;
+  /// Id of the largest component (ties: smallest id).
+  [[nodiscard]] NodeId largest_id() const;
+  [[nodiscard]] bool same_component(NodeId u, NodeId v) const {
+    return label[u] == label[v];
+  }
+};
+
+/// Label propagation over an explicit BFS; O(|V| + |E|).
+ComponentInfo connected_components(const Graph& g);
+
+/// All nodes of the largest component, ascending.
+std::vector<NodeId> largest_component_nodes(const Graph& g);
+
+}  // namespace meloppr::graph

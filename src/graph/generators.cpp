@@ -1,0 +1,387 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace meloppr::graph {
+
+namespace {
+
+/// Packs an undirected edge into one 64-bit key for dedup sets.
+std::uint64_t edge_key(NodeId u, NodeId v) {
+  const NodeId lo = std::min(u, v);
+  const NodeId hi = std::max(u, v);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+Graph erdos_renyi(std::size_t n, std::size_t m, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: need n >= 2");
+  const std::size_t max_edges = n * (n - 1) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("erdos_renyi: m exceeds simple-graph max");
+  }
+  GraphBuilder builder(n);
+  builder.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m_min, std::size_t m_max,
+                      Rng& rng) {
+  if (n < 2) throw std::invalid_argument("barabasi_albert: need n >= 2");
+  if (m_min == 0 || m_min > m_max) {
+    throw std::invalid_argument("barabasi_albert: need 1 <= m_min <= m_max");
+  }
+  GraphBuilder builder(n);
+  // `endpoints` holds one entry per arc endpoint; sampling uniformly from it
+  // is sampling nodes proportionally to degree (the classic BA trick).
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * n * ((m_min + m_max) / 2 + 1));
+
+  // Seed clique over the first m_max+1 nodes so early attachments have
+  // enough distinct candidates.
+  const std::size_t seed_n = std::min(n, m_max + 1);
+  for (NodeId u = 0; u < seed_n; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < seed_n; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::unordered_set<NodeId> picked;
+  for (std::size_t u = seed_n; u < n; ++u) {
+    const std::size_t m =
+        m_min + static_cast<std::size_t>(rng.below(m_max - m_min + 1));
+    picked.clear();
+    std::size_t attempts = 0;
+    while (picked.size() < std::min(m, u) && attempts < 16 * m + 64) {
+      ++attempts;
+      const NodeId target = endpoints[rng.below(endpoints.size())];
+      if (target != u) picked.insert(target);
+    }
+    for (NodeId target : picked) {
+      builder.add_edge(static_cast<NodeId>(u), target);
+      endpoints.push_back(static_cast<NodeId>(u));
+      endpoints.push_back(target);
+    }
+  }
+  return builder.build();
+}
+
+Graph barabasi_albert(std::size_t n, double m_avg, Rng& rng) {
+  if (m_avg < 1.0) {
+    throw std::invalid_argument("barabasi_albert: need m_avg >= 1");
+  }
+  const auto m_floor = static_cast<std::size_t>(std::floor(m_avg));
+  const double frac = m_avg - static_cast<double>(m_floor);
+  const std::size_t m_ceil = frac > 0.0 ? m_floor + 1 : m_floor;
+  if (n < 2) throw std::invalid_argument("barabasi_albert: need n >= 2");
+
+  GraphBuilder builder(n);
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(
+      2.0 * m_avg * static_cast<double>(n) + 16.0));
+  const std::size_t seed_n = std::min(n, m_ceil + 1);
+  for (NodeId u = 0; u < seed_n; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < seed_n; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::unordered_set<NodeId> picked;
+  for (std::size_t u = seed_n; u < n; ++u) {
+    const std::size_t m = m_floor + (rng.chance(frac) ? 1 : 0);
+    picked.clear();
+    std::size_t attempts = 0;
+    while (picked.size() < std::min(m, u) && attempts < 16 * m + 64) {
+      ++attempts;
+      const NodeId target = endpoints[rng.below(endpoints.size())];
+      if (target != u) picked.insert(target);
+    }
+    for (NodeId target : picked) {
+      builder.add_edge(static_cast<NodeId>(u), target);
+      endpoints.push_back(static_cast<NodeId>(u));
+      endpoints.push_back(target);
+    }
+  }
+  return builder.build();
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
+  if (n < 3) throw std::invalid_argument("watts_strogatz: need n >= 3");
+  if (k % 2 != 0 || k == 0 || k >= n) {
+    throw std::invalid_argument("watts_strogatz: need even 0 < k < n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("watts_strogatz: beta in [0,1]");
+  }
+  std::unordered_set<std::uint64_t> edges;
+  edges.reserve(n * k);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      const auto v = static_cast<NodeId>((u + j) % n);
+      edges.insert(edge_key(static_cast<NodeId>(u), v));
+    }
+  }
+  // Rewire: each original ring edge moves its far endpoint with prob beta.
+  std::vector<std::uint64_t> ring(edges.begin(), edges.end());
+  for (std::uint64_t key : ring) {
+    if (!rng.chance(beta)) continue;
+    const auto u = static_cast<NodeId>(key >> 32);
+    edges.erase(key);
+    NodeId w;
+    std::size_t guard = 0;
+    do {
+      w = static_cast<NodeId>(rng.below(n));
+      if (++guard > 64) break;  // dense corner case: give up rewiring
+    } while (w == u || edges.count(edge_key(u, w)) != 0);
+    if (w != u && edges.count(edge_key(u, w)) == 0) {
+      edges.insert(edge_key(u, w));
+    } else {
+      edges.insert(key);  // keep the original edge
+    }
+  }
+  GraphBuilder builder(n);
+  builder.reserve(edges.size());
+  for (std::uint64_t key : edges) {
+    builder.add_edge(static_cast<NodeId>(key >> 32),
+                     static_cast<NodeId>(key & 0xffffffffULL));
+  }
+  return builder.build();
+}
+
+Graph rmat(unsigned scale, std::size_t num_edges, double a, double b,
+           double c, Rng& rng) {
+  if (scale == 0 || scale > 30) {
+    throw std::invalid_argument("rmat: scale must be in [1,30]");
+  }
+  const double d = 1.0 - a - b - c;
+  if (a < 0 || b < 0 || c < 0 || d < 0) {
+    throw std::invalid_argument("rmat: probabilities must be a+b+c <= 1");
+  }
+  const std::size_t n = std::size_t{1} << scale;
+  GraphBuilder builder(n);
+  builder.reserve(num_edges);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::size_t produced = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = num_edges * 8 + 1024;
+  while (produced < num_edges && attempts < max_attempts) {
+    ++attempts;
+    std::size_t row = 0;
+    std::size_t col = 0;
+    for (unsigned level = 0; level < scale; ++level) {
+      // Add ±10% noise per level so the degree sequence is not lattice-like.
+      const double noise = 0.9 + 0.2 * rng.uniform();
+      const double r = rng.uniform();
+      const double an = a * noise;
+      const double bn = b * noise;
+      const double cn = c * noise;
+      const double total = an + bn + cn + d * noise;
+      const double x = r * total;
+      row <<= 1;
+      col <<= 1;
+      if (x < an) {
+        // top-left quadrant: nothing to add
+      } else if (x < an + bn) {
+        col |= 1;
+      } else if (x < an + bn + cn) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row == col) continue;
+    const auto u = static_cast<NodeId>(row);
+    const auto v = static_cast<NodeId>(col);
+    if (seen.insert(edge_key(u, v)).second) {
+      builder.add_edge(u, v);
+      ++produced;
+    }
+  }
+  return builder.build();
+}
+
+Graph community_graph(std::size_t n, std::size_t communities,
+                      double intra_avg_degree, double inter_avg_degree,
+                      Rng& rng) {
+  if (n < 4 || communities == 0 || communities > n) {
+    throw std::invalid_argument("community_graph: bad n/communities");
+  }
+  // Power-law-ish community sizes: size_i ∝ (i+1)^-0.8, normalized to n.
+  std::vector<double> weight(communities);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < communities; ++i) {
+    weight[i] = std::pow(static_cast<double>(i + 1), -0.8);
+    weight_sum += weight[i];
+  }
+  std::vector<std::size_t> size(communities);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < communities; ++i) {
+    size[i] = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::floor(
+               weight[i] / weight_sum * static_cast<double>(n))));
+    assigned += size[i];
+  }
+  // Distribute the rounding remainder (or trim overshoot) over communities.
+  std::size_t i = 0;
+  while (assigned < n) {
+    ++size[i % communities];
+    ++assigned;
+    ++i;
+  }
+  while (assigned > n) {
+    if (size[i % communities] > 2) {
+      --size[i % communities];
+      --assigned;
+    }
+    ++i;
+  }
+
+  std::vector<NodeId> community_start(communities + 1, 0);
+  for (std::size_t ci = 0; ci < communities; ++ci) {
+    community_start[ci + 1] =
+        community_start[ci] + static_cast<NodeId>(size[ci]);
+  }
+  MELO_CHECK(community_start.back() == n);
+
+  GraphBuilder builder(n);
+  std::unordered_set<std::uint64_t> seen;
+
+  // Intra-community edges: random within the block, plus a Hamiltonian
+  // path through the block so every community is connected.
+  for (std::size_t ci = 0; ci < communities; ++ci) {
+    const NodeId lo = community_start[ci];
+    const NodeId hi = community_start[ci + 1];
+    const std::size_t block = hi - lo;
+    for (NodeId v = lo; v + 1 < hi; ++v) {
+      if (seen.insert(edge_key(v, v + 1)).second) builder.add_edge(v, v + 1);
+    }
+    const auto want = static_cast<std::size_t>(
+        intra_avg_degree / 2.0 * static_cast<double>(block));
+    const std::size_t cap = block * (block - 1) / 2;
+    std::size_t made = block > 0 ? block - 1 : 0;
+    std::size_t guard = 0;
+    while (made < std::min(want, cap) && guard < want * 8 + 64) {
+      ++guard;
+      const auto u = static_cast<NodeId>(lo + rng.below(block));
+      const auto v = static_cast<NodeId>(lo + rng.below(block));
+      if (u == v) continue;
+      if (seen.insert(edge_key(u, v)).second) {
+        builder.add_edge(u, v);
+        ++made;
+      }
+    }
+  }
+
+  // Inter-community edges: endpoints drawn by preferential attachment over
+  // a growing endpoint pool (heavy-tailed hub structure across communities).
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(n);
+  for (NodeId v = 0; v < n; ++v) endpoints.push_back(v);
+  const auto want_inter = static_cast<std::size_t>(
+      inter_avg_degree / 2.0 * static_cast<double>(n));
+  std::size_t made = 0;
+  std::size_t guard = 0;
+  while (made < want_inter && guard < want_inter * 8 + 64) {
+    ++guard;
+    const NodeId u = endpoints[rng.below(endpoints.size())];
+    const NodeId v = endpoints[rng.below(endpoints.size())];
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+      ++made;
+    }
+  }
+  return builder.build();
+}
+
+namespace fixtures {
+
+Graph fig1_graph() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+Graph path(std::size_t n) {
+  MELO_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph cycle(std::size_t n) {
+  MELO_CHECK(n >= 3);
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    b.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return b.build();
+}
+
+Graph star(std::size_t n) {
+  MELO_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph complete(std::size_t n) {
+  MELO_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph binary_tree(std::size_t n) {
+  MELO_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    b.add_edge(static_cast<NodeId>(v), static_cast<NodeId>((v - 1) / 2));
+  }
+  return b.build();
+}
+
+Graph barbell(std::size_t half) {
+  MELO_CHECK(half >= 2);
+  GraphBuilder b(2 * half);
+  for (NodeId u = 0; u < half; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < half; ++v) {
+      b.add_edge(u, v);
+      b.add_edge(static_cast<NodeId>(half + u), static_cast<NodeId>(half + v));
+    }
+  }
+  b.add_edge(static_cast<NodeId>(half - 1), static_cast<NodeId>(half));
+  return b.build();
+}
+
+}  // namespace fixtures
+
+}  // namespace meloppr::graph

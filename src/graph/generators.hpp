@@ -1,0 +1,88 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on six SNAP datasets that are not redistributable in
+// this offline environment (see DESIGN.md §2). These generators produce
+// graphs of matching |V|, ≈|E| and family: preferential attachment for the
+// citation graphs (heavy-tailed degrees, tree-like periphery), a planted
+// community model for the co-purchase/co-author graphs (high clustering,
+// dense balls), and R-MAT for the heavy-tailed social graph. MeLoPPR's
+// reported behaviour depends on exactly these structural properties — ball
+// growth rate, degree skew, locality — not on node identities.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::graph {
+
+/// G(n, m): n nodes, m uniformly random distinct edges.
+/// Throws std::invalid_argument if m exceeds the simple-graph maximum.
+Graph erdos_renyi(std::size_t n, std::size_t m, Rng& rng);
+
+/// Barabási–Albert preferential attachment. Each arriving node attaches to
+/// `m` existing nodes chosen proportionally to degree; `m` is drawn per node
+/// uniformly from [m_min, m_max] so fractional average degrees (e.g.
+/// citeseer's |E|/|V| ≈ 1.4) are reachable. Produces one connected
+/// component.
+Graph barabasi_albert(std::size_t n, std::size_t m_min, std::size_t m_max,
+                      Rng& rng);
+
+/// Fractional-m Barabási–Albert: each node attaches to ⌊m_avg⌋ or ⌈m_avg⌉
+/// targets (Bernoulli on the fractional part) so that E[|E|] ≈ m_avg·n.
+/// This is how the paper-graph factory hits a dataset's exact |E|/|V|.
+Graph barabasi_albert(std::size_t n, double m_avg, Rng& rng);
+
+/// Watts–Strogatz small world: ring of n nodes, each wired to k nearest
+/// neighbors (k even), every edge rewired with probability beta.
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng);
+
+/// R-MAT / Kronecker-style generator (Chakrabarti et al.). Samples
+/// `num_edges` arcs by recursively descending a 2^scale × 2^scale adjacency
+/// matrix with quadrant probabilities (a, b, c, d); duplicates and
+/// self-loops are dropped, so the final edge count is slightly below the
+/// request. Node count is 2^scale (isolated tail nodes possible, as in real
+/// social crawls).
+Graph rmat(unsigned scale, std::size_t num_edges, double a, double b,
+           double c, Rng& rng);
+
+/// Planted-community graph: `communities` groups with power-law-ish sizes;
+/// `intra_avg_degree` expected within-community edges per node (clique-ish
+/// locality) and `inter_avg_degree` expected cross-community edges per node
+/// wired by preferential attachment. Models com-amazon / com-dblp locality.
+Graph community_graph(std::size_t n, std::size_t communities,
+                      double intra_avg_degree, double inter_avg_degree,
+                      Rng& rng);
+
+/// Deterministic tiny fixtures used across tests.
+namespace fixtures {
+
+/// The 4-node example of Fig. 1: v1–v2, v1–v3, v1–v4, v2–v3, v2–v4, v3–v4
+/// minus edges so that v1 has degree 3 and the square v2-v3-v4 closes —
+/// concretely: edges {0,1},{0,2},{0,3},{1,3},{2,3}. Node 0 is the seed of
+/// the worked example.
+Graph fig1_graph();
+
+/// Path 0-1-2-...-(n-1).
+Graph path(std::size_t n);
+
+/// Cycle of length n.
+Graph cycle(std::size_t n);
+
+/// Star: center 0 connected to 1..n-1.
+Graph star(std::size_t n);
+
+/// Complete graph K_n.
+Graph complete(std::size_t n);
+
+/// Balanced binary tree with n nodes (node i has children 2i+1, 2i+2).
+Graph binary_tree(std::size_t n);
+
+/// Two K_{n/2} cliques joined by a single bridge edge — the classic
+/// locality stress case for PPR.
+Graph barbell(std::size_t half);
+
+}  // namespace fixtures
+
+}  // namespace meloppr::graph

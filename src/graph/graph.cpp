@@ -1,0 +1,80 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace meloppr::graph {
+
+Graph::Graph(std::vector<std::uint64_t> offsets, std::vector<NodeId> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+  MELO_CHECK(!offsets_.empty());
+  MELO_CHECK(offsets_.front() == 0);
+  MELO_CHECK(offsets_.back() == targets_.size());
+  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    MELO_CHECK_MSG(offsets_[v] <= offsets_[v + 1],
+                   "non-monotone CSR offsets at node " << v);
+    max_degree_ = std::max(
+        max_degree_, static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]));
+  }
+#ifndef NDEBUG
+  validate();
+#endif
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  MELO_CHECK(u < num_nodes() && v < num_nodes());
+  const auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+double Graph::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return static_cast<double>(num_arcs()) / static_cast<double>(num_nodes());
+}
+
+std::size_t Graph::bytes() const {
+  return offsets_.capacity() * sizeof(std::uint64_t) +
+         targets_.capacity() * sizeof(NodeId);
+}
+
+void Graph::validate() const {
+  const std::size_t n = num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    const auto adj = neighbors(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      MELO_CHECK_MSG(adj[i] < n, "edge target out of range at node " << v);
+      MELO_CHECK_MSG(adj[i] != v, "self-loop at node " << v);
+      if (i > 0) {
+        MELO_CHECK_MSG(adj[i - 1] < adj[i],
+                       "adjacency of node " << v
+                                            << " not strictly sorted");
+      }
+    }
+  }
+  // Symmetry: u in adj(v) implies v in adj(u).
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : neighbors(v)) {
+      MELO_CHECK_MSG(has_edge(u, v),
+                     "asymmetric edge " << v << "→" << u);
+    }
+  }
+}
+
+std::size_t Graph::isolated_count() const {
+  std::size_t count = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (degree(v) == 0) ++count;
+  }
+  return count;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "|V|=" << num_nodes() << " |E|=" << num_edges()
+     << " davg=" << average_degree() << " dmax=" << max_degree();
+  return os.str();
+}
+
+}  // namespace meloppr::graph

@@ -1,0 +1,97 @@
+// Compressed-sparse-row (CSR) undirected graph — the storage format the
+// paper uses for matrix storage and matrix-vector products (Sec. VI: "The
+// matrix storage and matrix-vector multiplications are in compressed sparse
+// row (CSR) format").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace meloppr::graph {
+
+/// Node identifier. 32 bits covers the paper's largest graph (com-youtube,
+/// 1.13 M nodes) with room to spare.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Immutable simple undirected graph in CSR form. Each undirected edge
+/// {u, v} is stored twice (u→v and v→u); num_edges() reports the number of
+/// *undirected* edges, matching how the paper reports |E|.
+///
+/// Construction goes through GraphBuilder (builder.hpp), which deduplicates,
+/// rejects self-loops, and sorts adjacency lists; Graph itself only holds
+/// validated data.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of validated CSR arrays. offsets.size() must equal
+  /// n + 1, offsets.front() == 0, offsets.back() == targets.size(), and each
+  /// adjacency range must be sorted and self-loop-free. Verified with
+  /// MELO_CHECK (cheap fields) plus a full validate() pass in debug.
+  Graph(std::vector<std::uint64_t> offsets, std::vector<NodeId> targets);
+
+  [[nodiscard]] std::size_t num_nodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Number of undirected edges (each stored twice internally).
+  [[nodiscard]] std::size_t num_edges() const { return targets_.size() / 2; }
+
+  /// Number of directed arcs, i.e. 2·num_edges().
+  [[nodiscard]] std::size_t num_arcs() const { return targets_.size(); }
+
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted adjacency list of v.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff {u, v} is an edge (binary search over v's adjacency list).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] std::size_t max_degree() const { return max_degree_; }
+  [[nodiscard]] double average_degree() const;
+
+  /// |V| + |E| — the paper's definition of graph size (Sec. II).
+  [[nodiscard]] std::size_t size() const { return num_nodes() + num_edges(); }
+
+  /// CSR payload bytes (offsets + targets arrays). This is what the memory
+  /// meter charges for holding a graph in memory.
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// Full structural validation: monotone offsets, sorted adjacency, no
+  /// self-loops, no duplicate edges, symmetric (u∈adj(v) ⇔ v∈adj(u)).
+  /// Throws InvariantViolation on the first failure.
+  void validate() const;
+
+  /// Count of nodes with degree zero (generators can leave a few; PPR seeds
+  /// must avoid them).
+  [[nodiscard]] std::size_t isolated_count() const;
+
+  /// One-line summary, e.g. "|V|=3327 |E|=4676 davg=2.81 dmax=99".
+  [[nodiscard]] std::string summary() const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& offsets() const {
+    return offsets_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& targets() const {
+    return targets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  ///< size n+1, offsets_[n] == arcs
+  std::vector<NodeId> targets_;         ///< concatenated adjacency lists
+  std::size_t max_degree_ = 0;
+};
+
+}  // namespace meloppr::graph

@@ -1,0 +1,154 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace meloppr::graph {
+
+Graph load_edge_list(std::istream& in) {
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  auto intern = [&](std::uint64_t raw) {
+    const auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("load_edge_list: parse error at line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    // Two statements: argument evaluation order is unspecified, and the
+    // first-appearance id assignment must see u before v.
+    const NodeId iu = intern(u);
+    const NodeId iv = intern(v);
+    edges.emplace_back(iu, iv);
+  }
+  if (remap.empty()) {
+    throw std::runtime_error("load_edge_list: no edges in input");
+  }
+  GraphBuilder builder(remap.size());
+  builder.add_edges(edges);
+  return builder.build();
+}
+
+Graph load_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_edge_list_file: cannot open " + path);
+  }
+  return load_edge_list(in);
+}
+
+void save_edge_list(const Graph& g, std::ostream& out) {
+  out << "# meloppr edge list: |V|=" << g.num_nodes()
+      << " |E|=" << g.num_edges() << '\n';
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) out << u << '\t' << v << '\n';
+    }
+  }
+}
+
+void save_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_edge_list_file: cannot open " + path);
+  }
+  save_edge_list(g, out);
+  if (!out) {
+    throw std::runtime_error("save_edge_list_file: write failed for " + path);
+  }
+}
+
+namespace {
+constexpr char kMagic[4] = {'M', 'E', 'L', 'O'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_binary: truncated input");
+  return value;
+}
+}  // namespace
+
+void save_binary(const Graph& g, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kBinaryVersion);
+  write_pod(out, static_cast<std::uint64_t>(g.num_nodes()));
+  write_pod(out, static_cast<std::uint64_t>(g.num_arcs()));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() *
+                                         sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(g.targets().data()),
+            static_cast<std::streamsize>(g.targets().size() *
+                                         sizeof(NodeId)));
+  if (!out) throw std::runtime_error("save_binary: write failed");
+}
+
+Graph load_binary(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_binary: not a MELO binary graph");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kBinaryVersion) {
+    throw std::runtime_error("load_binary: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto nodes = read_pod<std::uint64_t>(in);
+  const auto arcs = read_pod<std::uint64_t>(in);
+  std::vector<std::uint64_t> offsets(nodes + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() *
+                                       sizeof(std::uint64_t)));
+  std::vector<NodeId> targets(arcs);
+  in.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(targets.size() * sizeof(NodeId)));
+  if (!in) throw std::runtime_error("load_binary: truncated arrays");
+  // Graph's constructor re-validates the CSR invariants, so a corrupted
+  // file fails loudly instead of producing a bad graph.
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+void save_binary_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_binary_file: cannot open " + path);
+  }
+  save_binary(g, out);
+}
+
+Graph load_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_binary_file: cannot open " + path);
+  }
+  return load_binary(in);
+}
+
+}  // namespace meloppr::graph

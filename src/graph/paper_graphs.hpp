@@ -1,0 +1,73 @@
+// Factory for the six evaluation graphs of Table II.
+//
+// The paper uses SNAP datasets; this repository substitutes calibrated
+// synthetic graphs (DESIGN.md §2). Each spec records the dataset's published
+// |V| and |E| and the generator family chosen to match its structure:
+//
+//   G1 citeseer     |V|=3,327     |E|=4,676     citation   → BA, m̄=1.406
+//   G2 cora         |V|=2,708     |E|=5,278     citation   → BA, m̄=1.949
+//   G3 pubmed       |V|=19,717    |E|=44,327    citation   → BA, m̄=2.248
+//   G4 com-amazon   |V|=334,863   |E|=925,872   co-purchase→ communities
+//   G5 com-dblp     |V|=317,080   |E|=1,049,866 co-author  → communities
+//   G6 com-youtube  |V|=1,134,890 |E|=2,987,624 social     → BA (heavy tail)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::graph {
+
+enum class PaperGraphId {
+  kG1Citeseer,
+  kG2Cora,
+  kG3Pubmed,
+  kG4Amazon,
+  kG5Dblp,
+  kG6Youtube,
+};
+
+enum class GraphFamily {
+  kCitation,    ///< preferential attachment, sparse, tree-like periphery
+  kCommunity,   ///< planted communities, high clustering
+  kSocial,      ///< heavy-tailed preferential attachment
+};
+
+struct PaperGraphSpec {
+  PaperGraphId id;
+  std::string label;          ///< "G1" … "G6"
+  std::string name;           ///< dataset name, e.g. "citeseer"
+  std::size_t vertices;       ///< paper-reported |V|
+  std::size_t edges;          ///< paper-reported |E|
+  GraphFamily family;
+
+  [[nodiscard]] double edge_density() const {
+    return static_cast<double>(edges) / static_cast<double>(vertices);
+  }
+};
+
+/// All six specs in paper order.
+const std::vector<PaperGraphSpec>& paper_graph_specs();
+
+/// Spec lookup by id.
+const PaperGraphSpec& spec_for(PaperGraphId id);
+
+/// The three small graphs (G1–G3) used by Fig. 6 and the ablations.
+std::vector<PaperGraphId> small_paper_graphs();
+
+/// All six ids in paper order.
+std::vector<PaperGraphId> all_paper_graphs();
+
+/// Generates the calibrated stand-in. `scale` ∈ (0, 1] shrinks |V| (and |E|
+/// proportionally) for quick runs: scale=1 reproduces the dataset's size,
+/// scale=0.01 gives a sanity-check miniature. |V| is floored at 64.
+Graph make_paper_graph(PaperGraphId id, Rng& rng, double scale = 1.0);
+
+/// Samples a random seed node that has at least one neighbor (PPR from an
+/// isolated seed is undefined).
+NodeId random_seed_node(const Graph& g, Rng& rng);
+
+}  // namespace meloppr::graph

@@ -1,0 +1,121 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace meloppr::graph {
+
+Subgraph::Subgraph(std::vector<std::uint64_t> offsets,
+                   std::vector<NodeId> targets,
+                   std::vector<NodeId> local_to_global,
+                   std::vector<std::uint32_t> global_degree,
+                   std::vector<std::uint16_t> depth, unsigned radius)
+    : offsets_(std::move(offsets)),
+      targets_(std::move(targets)),
+      local_to_global_(std::move(local_to_global)),
+      global_degree_(std::move(global_degree)),
+      depth_(std::move(depth)),
+      radius_(radius) {
+  const std::size_t n = local_to_global_.size();
+  MELO_CHECK(offsets_.size() == n + 1);
+  MELO_CHECK(global_degree_.size() == n);
+  MELO_CHECK(depth_.size() == n);
+  MELO_CHECK(offsets_.front() == 0);
+  MELO_CHECK(offsets_.back() == targets_.size());
+  MELO_CHECK(n > 0);
+  MELO_CHECK(depth_[0] == 0);
+
+  // Build the sorted membership index.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return local_to_global_[a] < local_to_global_[b];
+  });
+  sorted_globals_.resize(n);
+  sorted_locals_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted_globals_[i] = local_to_global_[order[i]];
+    sorted_locals_[i] = order[i];
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    MELO_CHECK_MSG(sorted_globals_[i - 1] < sorted_globals_[i],
+                   "duplicate global id in sub-graph");
+  }
+}
+
+NodeId Subgraph::to_local(NodeId global) const {
+  const auto it = std::lower_bound(sorted_globals_.begin(),
+                                   sorted_globals_.end(), global);
+  if (it == sorted_globals_.end() || *it != global) return kInvalidNode;
+  return sorted_locals_[static_cast<std::size_t>(
+      it - sorted_globals_.begin())];
+}
+
+std::size_t Subgraph::frontier_count() const {
+  std::size_t count = 0;
+  for (auto d : depth_) {
+    if (d == radius_) ++count;
+  }
+  return count;
+}
+
+std::size_t Subgraph::bytes() const {
+  return offsets_.capacity() * sizeof(std::uint64_t) +
+         targets_.capacity() * sizeof(NodeId) +
+         local_to_global_.capacity() * sizeof(NodeId) +
+         global_degree_.capacity() * sizeof(std::uint32_t) +
+         depth_.capacity() * sizeof(std::uint16_t) +
+         sorted_globals_.capacity() * sizeof(NodeId) +
+         sorted_locals_.capacity() * sizeof(NodeId);
+}
+
+void Subgraph::validate() const {
+  const std::size_t n = num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    const auto adj = neighbors(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      MELO_CHECK(adj[i] < n);
+      MELO_CHECK(adj[i] != v);
+      if (i > 0) MELO_CHECK(adj[i - 1] < adj[i]);
+    }
+    MELO_CHECK_MSG(local_degree(v) <= global_degree(v),
+                   "in-ball degree exceeds global degree at local " << v);
+    // Interior nodes must keep their complete adjacency (exactness).
+    if (depth_[v] < radius_) {
+      MELO_CHECK_MSG(local_degree(v) == global_degree(v),
+                     "interior node " << v << " (depth " << depth_[v]
+                                      << ") lost neighbors");
+    }
+    // Depth consistency: neighbors differ by at most one BFS level.
+    for (NodeId w : adj) {
+      const int dv = depth_[v];
+      const int dw = depth_[w];
+      MELO_CHECK_MSG(std::abs(dv - dw) <= 1,
+                     "BFS depth jump between locals " << v << " and " << w);
+    }
+  }
+  // Symmetry of arcs.
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : neighbors(v)) {
+      const auto adj = neighbors(w);
+      MELO_CHECK(std::binary_search(adj.begin(), adj.end(), v));
+    }
+  }
+  // Membership index round-trips.
+  for (NodeId v = 0; v < n; ++v) {
+    MELO_CHECK(to_local(to_global(v)) == v);
+  }
+}
+
+std::string Subgraph::summary() const {
+  std::ostringstream os;
+  os << "ball(root=" << root_global() << ", r=" << radius_
+     << "): |V|=" << num_nodes() << " |E|=" << num_edges()
+     << " frontier=" << frontier_count();
+  return os.str();
+}
+
+}  // namespace meloppr::graph

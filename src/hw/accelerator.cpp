@@ -1,0 +1,208 @@
+#include "hw/accelerator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace meloppr::hw {
+
+namespace {
+
+/// Drains P FIFO write queues through a P-bank crossbar, one grant per bank
+/// per cycle and one issue per PE per cycle, with rotating grant priority —
+/// the classic input-queued switch. Head-of-line blocking (a PE's head op
+/// waiting on a busy bank stalls the ops behind it) is what limits real
+/// arbiter throughput to well below 100% under skewed traffic; this is the
+/// physical source of the paper's "scheduling overhead" in Fig. 5.
+/// Returns the number of cycles needed to drain everything.
+std::uint64_t drain_write_queues(
+    std::vector<std::vector<std::uint8_t>>& queues, unsigned num_banks) {
+  const std::size_t P = queues.size();
+  std::vector<std::size_t> head(P, 0);
+  std::size_t remaining = 0;
+  for (const auto& q : queues) remaining += q.size();
+
+  std::uint64_t cycles = 0;
+  std::vector<int> grant(num_banks, -1);  // PE granted per bank this cycle
+  unsigned rr = 0;                        // rotating priority offset
+  while (remaining > 0) {
+    ++cycles;
+    std::fill(grant.begin(), grant.end(), -1);
+    // Each PE requests the bank of its head-of-line op; each bank grants
+    // one requester, rotating priority breaking ties fairly.
+    for (std::size_t i = 0; i < P; ++i) {
+      const std::size_t pe = (i + rr) % P;
+      if (head[pe] >= queues[pe].size()) continue;
+      const std::uint8_t bank = queues[pe][head[pe]];
+      if (grant[bank] < 0) grant[bank] = static_cast<int>(pe);
+    }
+    for (unsigned bank = 0; bank < num_banks; ++bank) {
+      if (grant[bank] >= 0) {
+        ++head[static_cast<std::size_t>(grant[bank])];
+        --remaining;
+      }
+    }
+    ++rr;
+  }
+  for (auto& q : queues) q.clear();
+  return cycles;
+}
+
+}  // namespace
+
+Accelerator::Accelerator(AcceleratorConfig config, Quantizer quantizer)
+    : config_(config), quantizer_(quantizer) {
+  if (config_.parallelism == 0 || config_.parallelism > 64) {
+    throw std::invalid_argument("Accelerator: parallelism must be in [1,64]");
+  }
+  if (config_.clock_hz <= 0.0) {
+    throw std::invalid_argument("Accelerator: clock must be positive");
+  }
+  if (config_.stream_bytes_per_cycle == 0) {
+    throw std::invalid_argument("Accelerator: stream width must be positive");
+  }
+}
+
+AcceleratorRun Accelerator::diffuse(const graph::Subgraph& ball,
+                                    std::uint32_t seed_mass,
+                                    unsigned length) const {
+  const std::size_t n = ball.num_nodes();
+  MELO_CHECK(n > 0);
+  MELO_CHECK_MSG(length <= ball.radius(),
+                 "diffusion length exceeds ball radius");
+  const unsigned P = config_.parallelism;
+
+  AcceleratorRun run;
+
+  // --- Data movement: stream the sub-graph table over AXI (Sec. V-B). ---
+  // Bg = 4·(2·|V| + 2·|E|) bytes: two address words per node plus one word
+  // per directed arc (Sec. VI-B formula).
+  const std::uint64_t bg_bytes = 4ull * (2ull * n + ball.num_arcs());
+  run.cycles.data_movement =
+      (bg_bytes + config_.stream_bytes_per_cycle - 1) /
+      config_.stream_bytes_per_cycle;
+
+  // --- Integer diffusion with cycle accounting. ---
+  // u ≡ α^k·W^k·S0 in the integer domain (α applied per step).
+  std::vector<std::uint64_t> u(n, 0);
+  std::vector<std::uint64_t> next(n, 0);
+  std::vector<std::uint64_t> acc(n, 0);
+  u[0] = seed_mass;
+
+  std::vector<graph::NodeId> active;
+  std::vector<char> in_active(n, 0);
+  active.push_back(0);
+  in_active[0] = 1;
+
+  // Per-iteration scratch for the scheduler model. Edges are interleaved
+  // across PEs (edge index mod P) so compute is balanced; score tables are
+  // banked by destination id (bank = id mod P), and the write back goes
+  // through the crossbar simulated by drain_write_queues().
+  std::vector<std::vector<std::uint8_t>> write_queues(P);
+  std::vector<std::uint64_t> touch_mask(n, 0);   // P ≤ 64 → one word
+  std::vector<std::uint32_t> touch_count(n, 0);  // for non-localized mode
+  std::vector<graph::NodeId> touched;
+
+  for (unsigned k = 0; k < length; ++k) {
+    // Accumulate (1−α)·u_k — pipelined into the accumulator, no extra
+    // cycles beyond the read pass.
+    for (graph::NodeId v : active) {
+      acc[v] += quantizer_.mul_one_minus_alpha(u[v]);
+    }
+
+    touched.clear();
+    std::uint64_t iteration_edges = 0;
+
+    const std::size_t active_before = active.size();
+    for (std::size_t i = 0; i < active_before; ++i) {
+      const graph::NodeId v = active[i];
+      if (u[v] == 0) continue;
+      const auto adj = ball.neighbors(v);
+
+      // Datapath: contribution = (α·u[v]) / deg_global(v), truncating.
+      const std::uint64_t contrib = Quantizer::div_degree(
+          quantizer_.mul_alpha(u[v]), ball.global_degree(v));
+      for (graph::NodeId w : adj) {
+        // Edge-interleaved dispatch: this contribution is computed by the
+        // PE owning the current edge slot.
+        const auto pe = static_cast<unsigned>(iteration_edges % P);
+        ++iteration_edges;
+        if (contrib != 0) {
+          if (touch_mask[w] == 0 && touch_count[w] == 0) touched.push_back(w);
+          next[w] += contrib;
+          touch_mask[w] |= (std::uint64_t{1} << pe);
+          ++touch_count[w];
+          if (!config_.localized_aggregation) {
+            // Every raw contribution is a separate crossbar write, in the
+            // order the PE produced it.
+            write_queues[pe].push_back(static_cast<std::uint8_t>(w % P));
+          }
+        }
+        if (!in_active[w]) {
+          in_active[w] = 1;
+          active.push_back(w);
+        }
+      }
+    }
+    run.edge_ops += iteration_edges;
+
+    // With localized aggregation (the paper's optimization), each PE merges
+    // its contributions per destination node locally and writes once per
+    // (destination, PE) pair.
+    if (config_.localized_aggregation) {
+      for (graph::NodeId w : touched) {
+        std::uint64_t mask = touch_mask[w];
+        const auto bank = static_cast<std::uint8_t>(w % P);
+        while (mask != 0) {
+          const int pe = std::countr_zero(mask);
+          mask &= mask - 1;
+          write_queues[static_cast<std::size_t>(pe)].push_back(bank);
+        }
+      }
+    }
+    for (graph::NodeId w : touched) {
+      touch_mask[w] = 0;
+      touch_count[w] = 0;
+    }
+
+    // Cycle accounting: the read/compute pass streams ⌈edges/P⌉ cycles; the
+    // write-back drains through the arbitrated crossbar concurrently, so
+    // the iteration finishes at the later of the two. Everything above the
+    // balanced-compute ideal is scheduling overhead.
+    const std::uint64_t ideal = (iteration_edges + P - 1) / P;
+    const std::uint64_t write_cycles = drain_write_queues(write_queues, P);
+    const std::uint64_t span = std::max(ideal, write_cycles);
+    run.cycles.diffusion += ideal + config_.sync_cycles_per_iteration;
+    run.cycles.scheduling += span - ideal;
+
+    for (graph::NodeId v : active) {
+      u[v] = next[v];
+      next[v] = 0;
+    }
+  }
+
+  // Final α^l·W^l·S0 term folds into the accumulated score (Eq. 1).
+  for (graph::NodeId v : active) acc[v] += u[v];
+
+  // Clamp to the 32-bit BRAM word, flagging saturation.
+  run.accumulated.assign(n, 0);
+  run.residual.assign(n, 0);
+  constexpr std::uint64_t kCeiling = 0xffffffffULL;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (acc[v] > kCeiling) {
+      run.saturated = true;
+      acc[v] = kCeiling;
+    }
+    if (u[v] > kCeiling) {
+      run.saturated = true;
+      u[v] = kCeiling;
+    }
+    run.accumulated[v] = static_cast<std::uint32_t>(acc[v]);
+    run.residual[v] = static_cast<std::uint32_t>(u[v]);
+  }
+  return run;
+}
+
+}  // namespace meloppr::hw

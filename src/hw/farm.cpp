@@ -1,0 +1,72 @@
+#include "hw/farm.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace meloppr::hw {
+
+FpgaFarm::FpgaFarm(std::size_t devices, const AcceleratorConfig& config,
+                   const Quantizer& quantizer) {
+  if (devices == 0) {
+    throw std::invalid_argument("FpgaFarm: need at least one device");
+  }
+  devices_.reserve(devices);
+  for (std::size_t d = 0; d < devices; ++d) {
+    devices_.emplace_back(Accelerator(config, quantizer));
+  }
+  busy_seconds_.assign(devices, 0.0);
+}
+
+core::BackendResult FpgaFarm::run(const graph::Subgraph& ball, double mass,
+                                  unsigned length) {
+  // Greedy list scheduling: the next independent diffusion goes to the
+  // device that frees up first.
+  const std::size_t device = static_cast<std::size_t>(
+      std::min_element(busy_seconds_.begin(), busy_seconds_.end()) -
+      busy_seconds_.begin());
+  core::BackendResult result = devices_[device].run(ball, mass, length);
+  busy_seconds_[device] += result.compute_seconds + result.transfer_seconds;
+  ++runs_;
+  return result;
+}
+
+std::size_t FpgaFarm::working_bytes(std::size_t ball_nodes,
+                                    std::size_t ball_edges) const {
+  // Each device holds its own tables; the farm's footprint scales with D.
+  return devices_.size() *
+         devices_.front().working_bytes(ball_nodes, ball_edges);
+}
+
+std::string FpgaFarm::name() const {
+  std::ostringstream os;
+  os << "farm(" << devices_.size() << "x "
+     << devices_.front().name() << ")";
+  return os.str();
+}
+
+double FpgaFarm::makespan_seconds() const {
+  return *std::max_element(busy_seconds_.begin(), busy_seconds_.end());
+}
+
+double FpgaFarm::serial_seconds() const {
+  double total = 0.0;
+  for (double b : busy_seconds_) total += b;
+  return total;
+}
+
+double FpgaFarm::imbalance() const {
+  const double ideal =
+      serial_seconds() / static_cast<double>(devices_.size());
+  return ideal > 0.0 ? makespan_seconds() / ideal : 1.0;
+}
+
+void FpgaFarm::reset() {
+  for (auto& device : devices_) device.reset_counters();
+  std::fill(busy_seconds_.begin(), busy_seconds_.end(), 0.0);
+  runs_ = 0;
+}
+
+}  // namespace meloppr::hw

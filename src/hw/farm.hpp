@@ -1,0 +1,64 @@
+// Multi-accelerator farm — the paper's stated future work (Sec. VI-C):
+// "Through linear decomposition, MeLoPPR allows multiple next-stage nodes
+// to be computed in parallel, which can further reduce the overall latency.
+// We leave this for future experiments."
+//
+// The linear decomposition makes every stage-2 diffusion independent, so a
+// farm of D accelerator instances can process them concurrently. FpgaFarm
+// plugs into the engine as a DiffusionBackend: each run is dispatched to
+// the least-loaded device (greedy online list scheduling, within 2× of the
+// optimal makespan), per-device busy time accumulates, and the query's
+// parallel diffusion latency is the farm makespan rather than the serial
+// sum. The CPU-side BFS stays serial — exactly the bottleneck the paper
+// predicts would cap this optimization, which bench_future_parallel
+// quantifies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "hw/host.hpp"
+
+namespace meloppr::hw {
+
+class FpgaFarm final : public core::DiffusionBackend {
+ public:
+  /// `devices` identical accelerator instances.
+  FpgaFarm(std::size_t devices, const AcceleratorConfig& config,
+           const Quantizer& quantizer);
+
+  /// Dispatches to the least-loaded device and returns its result. The
+  /// BackendResult's compute/transfer seconds are the device's own time
+  /// (the engine sums them — that is the *serial* view; use makespan() for
+  /// the parallel completion time).
+  core::BackendResult run(const graph::Subgraph& ball, double mass,
+                          unsigned length) override;
+
+  [[nodiscard]] std::size_t working_bytes(
+      std::size_t ball_nodes, std::size_t ball_edges) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+
+  /// Parallel completion time of all diffusions dispatched since the last
+  /// reset: max over devices of accumulated busy seconds.
+  [[nodiscard]] double makespan_seconds() const;
+
+  /// Serial equivalent (Σ busy time) — the 1-device latency of this load.
+  [[nodiscard]] double serial_seconds() const;
+
+  /// Busy-time imbalance: makespan / (serial / D); 1.0 = perfect balance.
+  [[nodiscard]] double imbalance() const;
+
+  [[nodiscard]] std::size_t runs() const { return runs_; }
+
+  void reset();
+
+ private:
+  std::vector<FpgaBackend> devices_;
+  std::vector<double> busy_seconds_;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace meloppr::hw

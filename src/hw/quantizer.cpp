@@ -1,0 +1,81 @@
+#include "hw/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace meloppr::hw {
+
+std::string to_string(DChoice choice) {
+  switch (choice) {
+    case DChoice::kAverageDegree:
+      return "d=avg_degree";
+    case DChoice::kHalfMaxDegree:
+      return "d=max_degree/2";
+    case DChoice::kMaxDegree:
+      return "d=max_degree";
+  }
+  return "d=?";
+}
+
+Quantizer::Quantizer(double alpha, unsigned q, std::uint64_t max_value)
+    : q_(q) {
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    throw std::invalid_argument("Quantizer: alpha must be in (0,1)");
+  }
+  if (q == 0 || q > 16) {
+    throw std::invalid_argument("Quantizer: q must be in [1,16]");
+  }
+  if (max_value == 0) {
+    throw std::invalid_argument("Quantizer: max_value must be positive");
+  }
+  const double scaled = std::round(alpha * std::pow(2.0, q));
+  alpha_p_ = static_cast<std::uint32_t>(scaled);
+  MELO_CHECK(alpha_p_ > 0);
+  MELO_CHECK(alpha_p_ < (1u << q));  // α < 1 must survive rounding
+  // 32-bit score words: clamp, mirroring the hardware's representable range.
+  max_value_ = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(max_value, 0x7fffffffULL));
+}
+
+Quantizer Quantizer::from_graph_stats(double alpha, unsigned q,
+                                      DChoice choice, double avg_degree,
+                                      std::size_t max_degree,
+                                      std::size_t reference_nodes) {
+  double d = 0.0;
+  switch (choice) {
+    case DChoice::kAverageDegree:
+      d = avg_degree;
+      break;
+    case DChoice::kHalfMaxDegree:
+      d = static_cast<double>(max_degree) / 2.0;
+      break;
+    case DChoice::kMaxDegree:
+      d = static_cast<double>(max_degree);
+      break;
+  }
+  d = std::max(d, 1.0);
+  const double max_val = d * static_cast<double>(reference_nodes);
+  return Quantizer(alpha, q,
+                   static_cast<std::uint64_t>(std::llround(max_val)));
+}
+
+std::uint32_t Quantizer::to_fixed(double mass) const {
+  MELO_CHECK_MSG(mass >= 0.0 && mass <= 1.0 + 1e-9,
+                 "mass " << mass << " outside [0,1]");
+  const double clamped = std::clamp(mass, 0.0, 1.0);
+  return static_cast<std::uint32_t>(
+      std::llround(clamped * static_cast<double>(max_value_)));
+}
+
+double Quantizer::to_real(std::uint64_t fixed) const {
+  return static_cast<double>(fixed) / static_cast<double>(max_value_);
+}
+
+double Quantizer::effective_alpha() const {
+  return static_cast<double>(alpha_p_) / std::pow(2.0, q_);
+}
+
+}  // namespace meloppr::hw

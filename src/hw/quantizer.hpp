@@ -1,0 +1,81 @@
+// Integer score representation of the FPGA datapath (Sec. V-A).
+//
+// Floating point is expensive on the Kintex-7, so the accelerator represents
+// PPR scores as 32-bit integers:
+//
+//   * the unit seed mass becomes Max = d · |G_L(s)|, where d is a designer
+//     knob (the paper studies d = average degree → <4% precision loss,
+//     d = max degree → <0.001% loss, and ships d = max_degree/2);
+//   * the multiplication by α is approximated as α ≈ α_p / 2^q with a
+//     16-bit integer α_p and a q-bit right shift (no DSPs; paper uses q=10);
+//   * division by a node degree is plain integer division (implemented in
+//     LUT logic on the device — hence the near-zero DSP usage of Table I).
+//
+// Precision loss comes from the truncating divisions/shifts; a larger Max
+// leaves more bits below the truncation point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace meloppr::hw {
+
+/// How to choose the d in Max = d·|G_L(s)| (Sec. V-A experiments).
+enum class DChoice {
+  kAverageDegree,   ///< d = avg degree  (paper: <4% precision loss)
+  kHalfMaxDegree,   ///< d = max degree/2 (paper's shipping choice)
+  kMaxDegree,       ///< d = max degree  (paper: <0.001% loss)
+};
+
+std::string to_string(DChoice choice);
+
+/// Fixed-point parameters shared by every PE of an accelerator instance.
+class Quantizer {
+ public:
+  /// `alpha` ∈ (0,1); `q` is the shift amount (α_p = round(α·2^q) must fit
+  /// 16 bits, so q ≤ 16); `max_value` is the integer assigned to unit mass.
+  /// max_value is clamped to 2^31−1 so scores stay representable in the
+  /// 32-bit BRAM words of the score tables.
+  Quantizer(double alpha, unsigned q, std::uint64_t max_value);
+
+  /// Convenience: Max = d·reference_nodes with d from the policy.
+  static Quantizer from_graph_stats(double alpha, unsigned q, DChoice choice,
+                                    double avg_degree, std::size_t max_degree,
+                                    std::size_t reference_nodes);
+
+  /// Quantizes a mass in [0,1] to the integer domain.
+  [[nodiscard]] std::uint32_t to_fixed(double mass) const;
+
+  /// Dequantizes an integer score back to [0,1] mass.
+  [[nodiscard]] double to_real(std::uint64_t fixed) const;
+
+  /// x·α via the α_p multiply + q-bit shift (what the PE datapath does).
+  [[nodiscard]] std::uint64_t mul_alpha(std::uint64_t x) const {
+    return (x * alpha_p_) >> q_;
+  }
+
+  /// x·(1−α) via the complementary coefficient (2^q − α_p).
+  [[nodiscard]] std::uint64_t mul_one_minus_alpha(std::uint64_t x) const {
+    return (x * ((std::uint64_t{1} << q_) - alpha_p_)) >> q_;
+  }
+
+  /// x / degree — truncating integer division, as on the device.
+  [[nodiscard]] static std::uint64_t div_degree(std::uint64_t x,
+                                                std::uint32_t degree) {
+    return x / degree;
+  }
+
+  [[nodiscard]] std::uint32_t max_value() const { return max_value_; }
+  [[nodiscard]] std::uint32_t alpha_p() const { return alpha_p_; }
+  [[nodiscard]] unsigned q() const { return q_; }
+
+  /// Effective α after quantization, α_p/2^q (for error-bound reasoning).
+  [[nodiscard]] double effective_alpha() const;
+
+ private:
+  std::uint32_t max_value_;
+  std::uint32_t alpha_p_;
+  unsigned q_;
+};
+
+}  // namespace meloppr::hw

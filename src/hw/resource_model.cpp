@@ -1,0 +1,55 @@
+#include "hw/resource_model.hpp"
+
+#include <cmath>
+
+#include "core/memory_model.hpp"
+#include "util/assert.hpp"
+
+namespace meloppr::hw {
+
+ResourceModel::ResourceModel(DeviceSpec device, ResourceCoefficients coeff)
+    : device_(std::move(device)), coeff_(coeff) {
+  MELO_CHECK(device_.luts > 0);
+  MELO_CHECK(device_.bram36_blocks > 0);
+}
+
+std::size_t ResourceModel::pe_bram_blocks() const {
+  const std::size_t bytes =
+      core::fpga_bram_bytes(coeff_.pe_ball_nodes, coeff_.pe_ball_edges);
+  const std::size_t block_bytes = 36 * 1024 / 8;  // one 36-Kb block
+  return (bytes + block_bytes - 1) / block_bytes;
+}
+
+ResourceUsage ResourceModel::estimate(unsigned parallelism) const {
+  MELO_CHECK(parallelism > 0);
+  const double p = static_cast<double>(parallelism);
+
+  ResourceUsage usage;
+  usage.luts = coeff_.control_luts + parallelism * coeff_.per_pe_luts +
+               static_cast<std::size_t>(
+                   std::llround(coeff_.crossbar_luts_per_pair * p * p));
+  usage.bram36_blocks =
+      coeff_.base_bram + parallelism * pe_bram_blocks();
+  usage.dsp_slices = parallelism * coeff_.dsp_per_pe;
+
+  usage.lut_fraction =
+      static_cast<double>(usage.luts) / static_cast<double>(device_.luts);
+  usage.bram_fraction = static_cast<double>(usage.bram36_blocks) /
+                        static_cast<double>(device_.bram36_blocks);
+  usage.dsp_fraction = static_cast<double>(usage.dsp_slices) /
+                       static_cast<double>(device_.dsp_slices);
+  usage.fits = usage.luts <= device_.luts &&
+               usage.bram36_blocks <= device_.bram36_blocks &&
+               usage.dsp_slices <= device_.dsp_slices;
+  return usage;
+}
+
+unsigned ResourceModel::max_parallelism() const {
+  unsigned best = 0;
+  for (unsigned p = 1; p <= 64; ++p) {
+    if (estimate(p).fits) best = p;
+  }
+  return best;
+}
+
+}  // namespace meloppr::hw

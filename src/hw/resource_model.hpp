@@ -1,0 +1,82 @@
+// FPGA resource model for the Xilinx Kintex-7 KC705 (Table I).
+//
+// The KC705's XC7K325T device provides 203,800 LUTs, 445 36-Kb BRAM blocks
+// and 840 DSP slices. Utilization is estimated structurally:
+//
+//   LUTs  = control plane (stream decode, host interface)
+//         + P × per-PE datapath (diffuser with LUT-based divider +
+//           accumulator + table addressing)
+//         + P² × crossbar/arbiter slice (each diffuser can write every score
+//           table, so the scheduler grows quadratically — this is why the
+//           paper's LUT column grows superlinearly while BRAM stays linear)
+//
+//   BRAM  = base (global top-c·k score table + stream FIFOs)
+//         + P × blocks for one PE's sub-graph/accumulated/residual tables,
+//           sized from the paper's byte formula for the ball capacity the
+//           PE is provisioned for.
+//
+//   DSPs  ≈ 0: the division is implemented in logic (Table I note).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace meloppr::hw {
+
+/// Device capacity constants.
+struct DeviceSpec {
+  std::string name = "Xilinx Kintex-7 KC705 (XC7K325T)";
+  std::size_t luts = 203'800;
+  std::size_t bram36_blocks = 445;
+  std::size_t dsp_slices = 840;
+};
+
+/// Structural cost coefficients; defaults calibrated to a P=1 footprint of
+/// ≈0.9% LUTs / ≈4.8% BRAM, the paper's measured baseline.
+struct ResourceCoefficients {
+  std::size_t control_luts = 0;        ///< fixed control plane
+  std::size_t per_pe_luts = 1357;      ///< diffuser + divider + accumulator
+  double crossbar_luts_per_pair = 477.0;  ///< × P²
+  std::size_t base_bram = 2;           ///< global table + FIFOs
+  /// Ball capacity one PE's tables are provisioned for.
+  std::size_t pe_ball_nodes = 2500;
+  std::size_t pe_ball_edges = 5000;
+  std::size_t dsp_per_pe = 0;          ///< divider is LUT logic
+};
+
+struct ResourceUsage {
+  std::size_t luts = 0;
+  std::size_t bram36_blocks = 0;
+  std::size_t dsp_slices = 0;
+  double lut_fraction = 0.0;
+  double bram_fraction = 0.0;
+  double dsp_fraction = 0.0;
+  bool fits = false;  ///< all three within device capacity
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(DeviceSpec device = {},
+                         ResourceCoefficients coeff = {});
+
+  /// Utilization estimate for a P-PE accelerator instance.
+  [[nodiscard]] ResourceUsage estimate(unsigned parallelism) const;
+
+  /// BRAM36 blocks needed to hold the three per-PE tables for one ball of
+  /// the configured capacity (paper byte formula / 36 Kb, ceil).
+  [[nodiscard]] std::size_t pe_bram_blocks() const;
+
+  /// Largest P that fits the device (LUTs and BRAM both).
+  [[nodiscard]] unsigned max_parallelism() const;
+
+  [[nodiscard]] const DeviceSpec& device() const { return device_; }
+  [[nodiscard]] const ResourceCoefficients& coefficients() const {
+    return coeff_;
+  }
+
+ private:
+  DeviceSpec device_;
+  ResourceCoefficients coeff_;
+};
+
+}  // namespace meloppr::hw

@@ -1,0 +1,126 @@
+#include "ppr/diffusion.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace meloppr::ppr {
+
+DiffusionResult diffuse(const Subgraph& ball, std::span<const double> s0,
+                        const DiffusionParams& params) {
+  const std::size_t n = ball.num_nodes();
+  MELO_CHECK(s0.size() == n);
+  MELO_CHECK(params.alpha > 0.0 && params.alpha < 1.0);
+  MELO_CHECK_MSG(params.length <= ball.radius(),
+                 "diffusion length " << params.length
+                                     << " exceeds ball radius "
+                                     << ball.radius()
+                                     << " — result would be inexact");
+
+  DiffusionResult out;
+  out.accumulated.assign(n, 0.0);
+  out.residual.assign(s0.begin(), s0.end());
+  out.iterations = params.length;
+
+  // Active set: local ids with non-zero current mass. Grows monotonically
+  // (mass never leaves a node entirely once it has been reached — the
+  // accumulated term keeps it — but for the *propagating* vector t_k it can;
+  // we still keep ids active to avoid per-iteration compaction).
+  std::vector<NodeId> active;
+  std::vector<char> in_active(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (s0[v] != 0.0) {
+      active.push_back(v);
+      in_active[v] = 1;
+    }
+  }
+
+  // acc += (1-α)·α^k · t_k  for k = 0..l-1, then acc += α^l · t_l.
+  const double alpha = params.alpha;
+  double alpha_pow = 1.0;  // α^k
+  std::vector<double>& t = out.residual;  // t_k, updated in place
+  std::vector<double> next(n, 0.0);
+
+  for (unsigned k = 0; k < params.length; ++k) {
+    for (NodeId v : active) {
+      out.accumulated[v] += (1.0 - alpha) * alpha_pow * t[v];
+    }
+    // next = W · t  (push along in-ball edges, divide by *global* degree).
+    std::size_t old_active = active.size();
+    for (std::size_t i = 0; i < old_active; ++i) {
+      const NodeId v = active[i];
+      if (t[v] == 0.0) continue;
+      const double share =
+          t[v] / static_cast<double>(ball.global_degree(v));
+      const auto adj = ball.neighbors(v);
+      out.edge_ops += adj.size();
+      for (NodeId w : adj) {
+        if (!in_active[w]) {
+          in_active[w] = 1;
+          active.push_back(w);
+        }
+        next[w] += share;
+      }
+    }
+    for (NodeId v : active) {
+      t[v] = next[v];
+      next[v] = 0.0;
+    }
+    alpha_pow *= alpha;
+  }
+  // Final term: acc += α^l · t_l; residual is t_l itself.
+  for (NodeId v : active) {
+    out.accumulated[v] += alpha_pow * t[v];
+  }
+  return out;
+}
+
+DiffusionResult diffuse_from(const Subgraph& ball, NodeId local_seed,
+                             double mass, const DiffusionParams& params) {
+  MELO_CHECK(local_seed < ball.num_nodes());
+  std::vector<double> s0(ball.num_nodes(), 0.0);
+  s0[local_seed] = mass;
+  return diffuse(ball, s0, params);
+}
+
+DiffusionResult diffuse_dense_reference(const Subgraph& ball,
+                                        std::span<const double> s0,
+                                        const DiffusionParams& params) {
+  const std::size_t n = ball.num_nodes();
+  MELO_CHECK(s0.size() == n);
+
+  // W[w][v] = 1/deg_global(v) if {v,w} in ball. Column-stochastic up to
+  // frontier truncation (which exact usage never exercises).
+  std::vector<std::vector<double>> w_mat(n, std::vector<double>(n, 0.0));
+  for (NodeId v = 0; v < n; ++v) {
+    const double share = 1.0 / static_cast<double>(ball.global_degree(v));
+    for (NodeId w : ball.neighbors(v)) w_mat[w][v] = share;
+  }
+  auto matvec = [&](const std::vector<double>& x) {
+    std::vector<double> y(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) y[r] += w_mat[r][c] * x[c];
+    }
+    return y;
+  };
+
+  std::vector<double> t(s0.begin(), s0.end());
+  std::vector<double> acc(n, 0.0);
+  double alpha_pow = 1.0;
+  for (unsigned k = 0; k < params.length; ++k) {
+    for (std::size_t v = 0; v < n; ++v) {
+      acc[v] += (1.0 - params.alpha) * alpha_pow * t[v];
+    }
+    t = matvec(t);
+    alpha_pow *= params.alpha;
+  }
+  for (std::size_t v = 0; v < n; ++v) acc[v] += alpha_pow * t[v];
+
+  DiffusionResult out;
+  out.accumulated = std::move(acc);
+  out.residual = std::move(t);
+  out.iterations = params.length;
+  return out;
+}
+
+}  // namespace meloppr::ppr

@@ -1,0 +1,64 @@
+// The graph-diffusion kernel GD_l (Eq. 1) — the computational heart of both
+// the baseline and MeLoPPR.
+//
+//   S_l = (1−α) Σ_{k=0}^{l−1} α^k W^k S_0  +  α^l W^l S_0,   W = A·D⁻¹
+//
+// One call produces both outputs of Fig. 3(b):
+//   accumulated π_a  — the PPR contribution S_l, aggregated into the global
+//                      score table;
+//   residual    π_r  — W^l S_0, the mass still "in flight", which seeds the
+//                      next stage's per-node diffusions (Eq. 6–8).
+//
+// The kernel runs on a Subgraph (depth-l BFS ball) and divides by *global*
+// degrees, which makes it bit-identical to running on the whole graph as
+// long as l ≤ ball radius (DESIGN.md invariant 2). The iteration maintains
+// the active frontier sparsely, so early iterations cost O(frontier edges),
+// not O(ball).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/subgraph.hpp"
+
+namespace meloppr::ppr {
+
+using graph::NodeId;
+using graph::Subgraph;
+
+struct DiffusionResult {
+  /// π_a over local ids: the l-step PPR scores S_l (Eq. 1).
+  std::vector<double> accumulated;
+  /// π_r over local ids: the residual W^l S_0.
+  std::vector<double> residual;
+  /// Edge traversals performed (Σ over iterations of active in-ball
+  /// degrees). The CPU-latency and FPGA-cycle models both consume this.
+  std::uint64_t edge_ops = 0;
+  unsigned iterations = 0;
+};
+
+struct DiffusionParams {
+  double alpha = 0.85;  ///< α-RW continuation probability
+  unsigned length = 3;  ///< l, number of diffusion iterations
+};
+
+/// Runs GD_length on the ball with an arbitrary initial vector s0 (local
+/// indexing, s0.size() == ball nodes). Requires length ≤ ball radius; this
+/// is what guarantees exactness and is enforced with MELO_CHECK.
+DiffusionResult diffuse(const Subgraph& ball, std::span<const double> s0,
+                        const DiffusionParams& params);
+
+/// Convenience: initial vector = `mass` at `local_seed`, zero elsewhere —
+/// the form every MeLoPPR stage uses (stage 1: mass=1 at the query seed;
+/// stage 2: mass=residual at each next-stage node).
+DiffusionResult diffuse_from(const Subgraph& ball, NodeId local_seed,
+                             double mass, const DiffusionParams& params);
+
+/// Reference implementation: materializes W as a dense matrix and evaluates
+/// Eq. 1 literally with matrix-vector products. O(n²) — tests only.
+DiffusionResult diffuse_dense_reference(const Subgraph& ball,
+                                        std::span<const double> s0,
+                                        const DiffusionParams& params);
+
+}  // namespace meloppr::ppr

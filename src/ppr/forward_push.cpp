@@ -1,0 +1,69 @@
+#include "ppr/forward_push.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace meloppr::ppr {
+
+ForwardPushResult forward_push_ppr(const graph::Graph& g, graph::NodeId seed,
+                                   const ForwardPushParams& params) {
+  if (seed >= g.num_nodes() || g.degree(seed) == 0) {
+    throw std::invalid_argument("forward_push_ppr: bad seed");
+  }
+  MELO_CHECK(params.alpha > 0.0 && params.alpha < 1.0);
+  MELO_CHECK(params.epsilon > 0.0);
+
+  std::unordered_map<graph::NodeId, double> p;
+  std::unordered_map<graph::NodeId, double> r;
+  std::vector<graph::NodeId> queue;  // nodes possibly above threshold
+  std::unordered_map<graph::NodeId, char> queued;
+
+  r[seed] = 1.0;
+  queue.push_back(seed);
+  queued[seed] = 1;
+
+  ForwardPushResult out;
+  std::size_t head = 0;
+  while (head < queue.size() && out.pushes < params.max_pushes) {
+    const graph::NodeId v = queue[head++];
+    queued[v] = 0;
+    const double rv = r[v];
+    const auto deg = static_cast<double>(g.degree(v));
+    if (rv <= params.epsilon * deg) continue;
+
+    p[v] += (1.0 - params.alpha) * rv;
+    r[v] = 0.0;
+    ++out.pushes;
+    const double share = params.alpha * rv / deg;
+    const auto adj = g.neighbors(v);
+    out.edge_ops += adj.size();
+    for (graph::NodeId w : adj) {
+      r[w] += share;
+      if (r[w] > params.epsilon * static_cast<double>(g.degree(w)) &&
+          queued[w] == 0) {
+        queued[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+
+  for (const auto& [node, residual] : r) out.residual_mass += residual;
+  out.scores.reserve(p.size());
+  for (const auto& [node, estimate] : p) {
+    if (estimate > 0.0) out.scores.push_back({node, estimate});
+  }
+  out.top = top_k(out.scores, params.k);
+
+  // Support: anything with estimate or residual mass.
+  std::size_t touched = p.size();
+  for (const auto& [node, residual] : r) {
+    if (residual > 0.0 && p.count(node) == 0) ++touched;
+  }
+  out.touched_nodes = touched;
+  return out;
+}
+
+}  // namespace meloppr::ppr

@@ -1,0 +1,40 @@
+// Forward push (local-update) PPR — the algorithmic core of FORA and the
+// classic Andersen–Chung–Lang scheme, included as the software-side
+// comparison family the paper cites (Sec. III).
+//
+// Maintains estimates p(v) and residuals r(v) with the invariant
+//   π(s) = p + Σ_v r(v)·π_v   (π_v = PPR vector of v)
+// and repeatedly "pushes" any node whose residual exceeds eps·deg(v):
+//   p(v) += (1−α)·r(v);   r(w) += α·r(v)/deg(v) for each neighbor w.
+// Unlike GD_L this approximates the *untruncated* PPR; with eps→0 it
+// converges to the L=∞ fixed point.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "ppr/topk.hpp"
+
+namespace meloppr::ppr {
+
+struct ForwardPushParams {
+  double alpha = 0.85;
+  double epsilon = 1e-6;  ///< push threshold: push while r(v) > ε·deg(v)
+  std::size_t k = 200;
+  std::uint64_t max_pushes = 100'000'000;  ///< safety cap
+};
+
+struct ForwardPushResult {
+  std::vector<ScoredNode> top;
+  std::vector<ScoredNode> scores;      ///< estimates p(v), non-zero only
+  std::uint64_t pushes = 0;            ///< push operations performed
+  std::uint64_t edge_ops = 0;          ///< edges traversed
+  double residual_mass = 0.0;          ///< Σ r(v) at termination (error bound)
+  std::size_t touched_nodes = 0;       ///< support of p ∪ r
+};
+
+ForwardPushResult forward_push_ppr(const graph::Graph& g, graph::NodeId seed,
+                                   const ForwardPushParams& params);
+
+}  // namespace meloppr::ppr

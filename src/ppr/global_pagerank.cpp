@@ -1,0 +1,62 @@
+#include "ppr/global_pagerank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace meloppr::ppr {
+
+GlobalPageRankResult global_pagerank(const graph::Graph& g,
+                                     const GlobalPageRankParams& params) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument("global_pagerank: empty graph");
+  MELO_CHECK(params.alpha > 0.0 && params.alpha < 1.0);
+  MELO_CHECK(params.tolerance > 0.0);
+
+  GlobalPageRankResult out;
+  const double uniform = 1.0 / static_cast<double>(n);
+  out.scores.assign(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+    // Dangling mass teleports uniformly so the vector stays stochastic.
+    double dangling = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (g.degree(v) == 0) dangling += out.scores[v];
+    }
+    const double base =
+        (1.0 - params.alpha) * uniform +
+        params.alpha * dangling * uniform;
+    std::fill(next.begin(), next.end(), base);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const std::size_t deg = g.degree(v);
+      if (deg == 0 || out.scores[v] == 0.0) continue;
+      const double share =
+          params.alpha * out.scores[v] / static_cast<double>(deg);
+      for (graph::NodeId w : g.neighbors(v)) next[w] += share;
+    }
+
+    double delta = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      delta += std::abs(next[v] - out.scores[v]);
+    }
+    out.scores.swap(next);
+    out.iterations = iter + 1;
+    out.final_delta = delta;
+    if (delta < params.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  std::vector<ScoredNode> all;
+  all.reserve(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    all.push_back({v, out.scores[v]});
+  }
+  out.top = top_k(std::move(all), params.k);
+  return out;
+}
+
+}  // namespace meloppr::ppr

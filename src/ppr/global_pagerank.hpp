@@ -1,0 +1,37 @@
+// Global PageRank by power iteration — the workload the hardware systems
+// the paper contrasts against (GraphH, Blogel, Giraph++) are built for
+// (Sec. III). Included both as that contrast and as a library feature: the
+// global ranking is the natural prior when no personalization seed exists.
+//
+// Solves π = (1−α)/n · 1 + α·W·π on the whole graph, treating dangling
+// (degree-0) nodes as teleporting uniformly, iterating until the L1 change
+// drops below `tolerance` or `max_iterations` is hit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ppr/topk.hpp"
+
+namespace meloppr::ppr {
+
+struct GlobalPageRankParams {
+  double alpha = 0.85;
+  double tolerance = 1e-10;       ///< L1 convergence threshold
+  std::size_t max_iterations = 200;
+  std::size_t k = 100;            ///< top-k returned
+};
+
+struct GlobalPageRankResult {
+  std::vector<double> scores;     ///< dense over all nodes, sums to 1
+  std::vector<ScoredNode> top;
+  std::size_t iterations = 0;
+  double final_delta = 0.0;       ///< L1 change of the last iteration
+  bool converged = false;
+};
+
+GlobalPageRankResult global_pagerank(const graph::Graph& g,
+                                     const GlobalPageRankParams& params);
+
+}  // namespace meloppr::ppr

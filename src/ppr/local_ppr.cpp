@@ -1,0 +1,51 @@
+#include "ppr/local_ppr.hpp"
+
+#include "graph/bfs.hpp"
+#include "util/timer.hpp"
+
+namespace meloppr::ppr {
+
+LocalPprResult local_ppr(const graph::Graph& g, graph::NodeId seed,
+                         const LocalPprParams& params, MemoryMeter* meter) {
+  LocalPprResult out;
+
+  Timer bfs_timer;
+  const graph::Subgraph ball = graph::extract_ball(g, seed, params.length);
+  out.bfs_seconds = bfs_timer.elapsed_seconds();
+  out.ball_nodes = ball.num_nodes();
+  out.ball_edges = ball.num_edges();
+
+  // Memory story: the ball CSR plus the two diffusion vectors (t_k and the
+  // accumulator) live simultaneously — that is the O(G_L) the paper charges
+  // the baseline for.
+  const std::size_t ball_bytes = ball.bytes();
+  const std::size_t score_bytes = 3 * ball.num_nodes() * sizeof(double);
+  out.peak_bytes = ball_bytes + score_bytes;
+  if (meter != nullptr) {
+    meter->allocate("baseline/ball", ball_bytes);
+    meter->allocate("baseline/scores", score_bytes);
+  }
+
+  Timer diff_timer;
+  const DiffusionResult diff =
+      diffuse_from(ball, /*local_seed=*/0, /*mass=*/1.0,
+                   DiffusionParams{params.alpha, params.length});
+  out.diffusion_seconds = diff_timer.elapsed_seconds();
+  out.edge_ops = diff.edge_ops;
+
+  out.scores.reserve(ball.num_nodes());
+  for (graph::NodeId local = 0; local < ball.num_nodes(); ++local) {
+    if (diff.accumulated[local] > 0.0) {
+      out.scores.push_back({ball.to_global(local), diff.accumulated[local]});
+    }
+  }
+  out.top = top_k(out.scores, params.k);
+
+  if (meter != nullptr) {
+    meter->release("baseline/ball", ball_bytes);
+    meter->release("baseline/scores", score_bytes);
+  }
+  return out;
+}
+
+}  // namespace meloppr::ppr

@@ -1,0 +1,47 @@
+// Single-stage local PPR — the paper's CPU baseline (Fig. 2(b)) and the
+// ground-truth oracle for precision measurements.
+//
+// The method is exact for the L-step-truncated PPR: extract the depth-L BFS
+// ball G_L(s), run GD_L on it, rank. Its cost is the problem MeLoPPR solves:
+// memory grows with O(G_L(s)), which for L=6 on real graphs approaches the
+// whole graph.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ppr/diffusion.hpp"
+#include "ppr/topk.hpp"
+#include "util/memory_meter.hpp"
+
+namespace meloppr::ppr {
+
+struct LocalPprParams {
+  double alpha = 0.85;
+  unsigned length = 6;   ///< L, diffusion depth (paper: L=6)
+  std::size_t k = 200;   ///< top-k size (paper: k=200)
+};
+
+struct LocalPprResult {
+  std::vector<ScoredNode> top;      ///< top-k (global ids), ranked
+  std::vector<ScoredNode> scores;   ///< all non-zero PPR scores (global ids)
+
+  // Workload accounting, consumed by Table II / Fig. 7 harnesses.
+  std::size_t ball_nodes = 0;
+  std::size_t ball_edges = 0;
+  std::size_t peak_bytes = 0;       ///< ball CSR + score vectors
+  double bfs_seconds = 0.0;
+  double diffusion_seconds = 0.0;
+  std::uint64_t edge_ops = 0;
+};
+
+/// Runs the baseline. If `meter` is non-null the ball and score-vector
+/// footprints are also charged to it (categories "baseline/ball" and
+/// "baseline/scores") so callers can track peaks across phases.
+LocalPprResult local_ppr(const graph::Graph& g, graph::NodeId seed,
+                         const LocalPprParams& params,
+                         MemoryMeter* meter = nullptr);
+
+}  // namespace meloppr::ppr

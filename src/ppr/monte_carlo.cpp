@@ -1,0 +1,42 @@
+#include "ppr/monte_carlo.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace meloppr::ppr {
+
+MonteCarloResult monte_carlo_ppr(const graph::Graph& g, graph::NodeId seed,
+                                 const MonteCarloParams& params, Rng& rng) {
+  if (seed >= g.num_nodes() || g.degree(seed) == 0) {
+    throw std::invalid_argument("monte_carlo_ppr: bad seed");
+  }
+  MELO_CHECK(params.alpha > 0.0 && params.alpha < 1.0);
+  MELO_CHECK(params.num_walks > 0);
+
+  MonteCarloResult out;
+  std::unordered_map<graph::NodeId, std::size_t> hits;
+  for (std::size_t w = 0; w < params.num_walks; ++w) {
+    graph::NodeId cur = seed;
+    for (unsigned step = 0; step < params.max_length; ++step) {
+      if (!rng.chance(params.alpha)) break;  // terminate with prob 1-α
+      const auto adj = g.neighbors(cur);
+      if (adj.empty()) break;  // dangling: nowhere to go
+      cur = adj[rng.below(adj.size())];
+      ++out.steps_taken;
+    }
+    ++hits[cur];
+  }
+
+  out.support_size = hits.size();
+  out.scores.reserve(hits.size());
+  const double inv = 1.0 / static_cast<double>(params.num_walks);
+  for (const auto& [node, count] : hits) {
+    out.scores.push_back({node, static_cast<double>(count) * inv});
+  }
+  out.top = top_k(out.scores, params.k);
+  return out;
+}
+
+}  // namespace meloppr::ppr

@@ -1,0 +1,43 @@
+// Monte-Carlo α-decay random walk PPR — the "low space, high accesses"
+// strawman of Fig. 2(a).
+//
+// Each walk starts at the seed and, per step, terminates with probability
+// 1−α or moves to a uniformly random neighbor. The termination-node
+// frequencies estimate π(v). On-chip state is O(walks' support); the cost is
+// one off-chip neighbor-list access per step — which the result records so
+// benches can contrast the access pattern with MeLoPPR, exactly the
+// trade-off Fig. 2 illustrates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ppr/topk.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::ppr {
+
+struct MonteCarloParams {
+  double alpha = 0.85;
+  unsigned max_length = 6;        ///< walk length cap L (matches GD_L horizon)
+  std::size_t num_walks = 10000;  ///< number of independent walks
+  std::size_t k = 200;
+};
+
+struct MonteCarloResult {
+  std::vector<ScoredNode> top;     ///< estimated top-k
+  std::vector<ScoredNode> scores;  ///< all visited terminal frequencies
+  std::uint64_t steps_taken = 0;   ///< Σ walk lengths = off-chip accesses
+  std::size_t support_size = 0;    ///< distinct terminal nodes
+};
+
+/// Runs `num_walks` α-RWs of at most `max_length` steps from `seed`.
+/// A walk that survives all L steps terminates at its current node, matching
+/// the α^L·W^L·S0 tail term of Eq. 1, so the estimator is unbiased for the
+/// L-truncated PPR that GD_L computes.
+MonteCarloResult monte_carlo_ppr(const graph::Graph& g, graph::NodeId seed,
+                                 const MonteCarloParams& params, Rng& rng);
+
+}  // namespace meloppr::ppr

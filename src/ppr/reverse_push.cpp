@@ -1,0 +1,66 @@
+#include "ppr/reverse_push.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace meloppr::ppr {
+
+ReversePushResult reverse_push_ppr(const graph::Graph& g,
+                                   graph::NodeId target,
+                                   const ReversePushParams& params) {
+  if (target >= g.num_nodes() || g.degree(target) == 0) {
+    throw std::invalid_argument("reverse_push_ppr: bad target");
+  }
+  MELO_CHECK(params.alpha > 0.0 && params.alpha < 1.0);
+  MELO_CHECK(params.epsilon > 0.0);
+
+  std::unordered_map<graph::NodeId, double> p;
+  std::unordered_map<graph::NodeId, double> r;
+  std::vector<graph::NodeId> queue;
+  std::unordered_map<graph::NodeId, char> queued;
+
+  r[target] = 1.0;
+  queue.push_back(target);
+  queued[target] = 1;
+
+  ReversePushResult out;
+  std::size_t head = 0;
+  while (head < queue.size() && out.pushes < params.max_pushes) {
+    const graph::NodeId v = queue[head++];
+    queued[v] = 0;
+    const double rv = r[v];
+    if (rv <= params.epsilon) continue;
+
+    p[v] += (1.0 - params.alpha) * rv;
+    r[v] = 0.0;
+    ++out.pushes;
+    const auto adj = g.neighbors(v);
+    out.edge_ops += adj.size();
+    for (graph::NodeId u : adj) {
+      // Reverse update: the walk leaves u with probability α/deg(u) toward
+      // v, so v's residual flows back scaled by deg(u).
+      r[u] += params.alpha * rv / static_cast<double>(g.degree(u));
+      if (r[u] > params.epsilon && queued[u] == 0) {
+        queued[u] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+
+  for (const auto& [node, residual] : r) out.residual_mass += residual;
+  out.contributions.reserve(p.size());
+  for (const auto& [node, estimate] : p) {
+    if (estimate > 0.0) out.contributions.push_back({node, estimate});
+  }
+  std::size_t touched = p.size();
+  for (const auto& [node, residual] : r) {
+    if (residual > 0.0 && p.count(node) == 0) ++touched;
+  }
+  out.touched_nodes = touched;
+  return out;
+}
+
+}  // namespace meloppr::ppr

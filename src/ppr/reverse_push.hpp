@@ -1,0 +1,44 @@
+// Reverse (backward) push — the single-target dual of forward push
+// (Andersen et al. 2007; the backward phase of FAST-PPR, which the paper
+// cites in Sec. III). Estimates π_s(t) for *all* sources s at once, for one
+// fixed target t:
+//
+//   invariant:  π_s(t) = p(s) + Σ_v r(v)·π_s(v)  for every s
+//   push rule:  while r(v) > ε:  p(v) += (1−α)·r(v);
+//               r(u) += α·r(v)/deg(u)  for each in-neighbor u;  r(v) = 0.
+//
+// On undirected graphs in-neighbors are just neighbors; note the division
+// is by deg(u) (the pushing *source's* out-degree in the walk), which is
+// what distinguishes the reverse update from the forward one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "ppr/topk.hpp"
+
+namespace meloppr::ppr {
+
+struct ReversePushParams {
+  double alpha = 0.85;
+  double epsilon = 1e-6;   ///< push threshold on the raw residual
+  std::uint64_t max_pushes = 100'000'000;
+};
+
+struct ReversePushResult {
+  /// Estimated contribution p(s) ≈ π_s(t) for every touched source s.
+  std::vector<ScoredNode> contributions;
+  std::uint64_t pushes = 0;
+  std::uint64_t edge_ops = 0;
+  double residual_mass = 0.0;
+  std::size_t touched_nodes = 0;
+};
+
+/// Runs reverse push toward `target`. The result answers "who considers
+/// `target` important?" — the dual query of forward PPR.
+ReversePushResult reverse_push_ppr(const graph::Graph& g,
+                                   graph::NodeId target,
+                                   const ReversePushParams& params);
+
+}  // namespace meloppr::ppr

@@ -1,0 +1,62 @@
+// Checked assertions for MeLoPPR.
+//
+// MELO_CHECK is active in all build types: graph algorithms fail in ways that
+// silently corrupt rankings, so internal invariants stay loud in release
+// builds too. MELO_DCHECK compiles out in NDEBUG builds and is reserved for
+// hot inner loops where the check itself is measurable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace meloppr {
+
+/// Thrown when an internal invariant fails. Distinct from
+/// std::invalid_argument (caller error) so tests can tell the two apart.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MELO_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace meloppr
+
+/// Always-on invariant check. Throws meloppr::InvariantViolation on failure.
+#define MELO_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::meloppr::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+    }                                                                      \
+  } while (false)
+
+/// Always-on invariant check with a streamed message:
+///   MELO_CHECK_MSG(a == b, "a=" << a << " b=" << b);
+#define MELO_CHECK_MSG(expr, msg_stream)                                   \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream melo_check_os_;                                   \
+      melo_check_os_ << msg_stream;                                        \
+      ::meloppr::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                      melo_check_os_.str());               \
+    }                                                                      \
+  } while (false)
+
+/// Debug-only check for hot loops; compiles to nothing under NDEBUG.
+#ifdef NDEBUG
+#define MELO_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define MELO_DCHECK(expr) MELO_CHECK(expr)
+#endif

@@ -1,0 +1,54 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace meloppr {
+
+namespace {
+const char* get_env(const std::string& name) {
+  return std::getenv(name.c_str());
+}
+}  // namespace
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = get_env(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = get_env(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  return v;
+}
+
+bool env_flag(const std::string& name, bool fallback) {
+  const char* raw = get_env(name);
+  if (raw == nullptr) return fallback;
+  std::string v = raw;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v.empty() || v == "0" || v == "false" || v == "off" || v == "no") {
+    return false;
+  }
+  return true;
+}
+
+std::size_t bench_seed_count(std::size_t dflt) {
+  const std::int64_t v =
+      env_int("MELOPPR_SEEDS", static_cast<std::int64_t>(dflt));
+  return v <= 0 ? dflt : static_cast<std::size_t>(v);
+}
+
+std::uint64_t bench_rng_seed() {
+  return static_cast<std::uint64_t>(env_int("MELOPPR_RNG_SEED", 42));
+}
+
+}  // namespace meloppr

@@ -1,0 +1,30 @@
+// Environment-variable knobs for the benchmark harnesses.
+//
+// The paper averages over 500–1000 random seeds per graph; on a small
+// container that is hours of work, so the benches default to fewer seeds and
+// honor MELOPPR_SEEDS / MELOPPR_SCALE overrides for full-fidelity runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace meloppr {
+
+/// Reads an integer environment variable, returning `fallback` when unset or
+/// unparseable. Never throws: benches must run in any environment.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Reads a double environment variable with the same fallback contract.
+double env_double(const std::string& name, double fallback);
+
+/// Reads a flag-style variable: unset/"0"/"false"/"off" → false, else true.
+bool env_flag(const std::string& name, bool fallback = false);
+
+/// Number of random PPR queries a bench should average over. Honors
+/// MELOPPR_SEEDS; `dflt` is the scaled-down default for this container.
+std::size_t bench_seed_count(std::size_t dflt);
+
+/// Global RNG seed for benches (MELOPPR_RNG_SEED, default 42).
+std::uint64_t bench_rng_seed();
+
+}  // namespace meloppr

@@ -1,0 +1,94 @@
+#include "util/memory_meter.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace meloppr {
+
+void MemoryMeter::allocate(const std::string& category, std::size_t bytes) {
+  Entry& e = entries_[category];
+  e.current += bytes;
+  e.peak = std::max(e.peak, e.current);
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+}
+
+void MemoryMeter::release(const std::string& category, std::size_t bytes) {
+  auto it = entries_.find(category);
+  MELO_CHECK_MSG(it != entries_.end(),
+                 "release of unknown category '" << category << "'");
+  MELO_CHECK_MSG(it->second.current >= bytes,
+                 "release of " << bytes << "B exceeds live "
+                               << it->second.current << "B in '" << category
+                               << "'");
+  it->second.current -= bytes;
+  current_ -= bytes;
+}
+
+void MemoryMeter::set(const std::string& category, std::size_t bytes) {
+  const std::size_t live = entries_[category].current;
+  if (bytes >= live) {
+    allocate(category, bytes - live);
+  } else {
+    release(category, live - bytes);
+  }
+}
+
+std::size_t MemoryMeter::current_bytes(const std::string& category) const {
+  auto it = entries_.find(category);
+  return it == entries_.end() ? 0 : it->second.current;
+}
+
+std::size_t MemoryMeter::peak_bytes(const std::string& category) const {
+  auto it = entries_.find(category);
+  return it == entries_.end() ? 0 : it->second.peak;
+}
+
+std::vector<std::string> MemoryMeter::categories() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+void MemoryMeter::reset() {
+  entries_.clear();
+  current_ = 0;
+  peak_ = 0;
+}
+
+std::string MemoryMeter::report() const {
+  std::ostringstream os;
+  os << "memory meter: total current=" << format_mb(current_)
+     << " peak=" << format_mb(peak_) << '\n';
+  for (const auto& [name, entry] : entries_) {
+    os << "  " << name << ": current=" << format_mb(entry.current)
+       << " peak=" << format_mb(entry.peak) << '\n';
+  }
+  return os.str();
+}
+
+ScopedAllocation::ScopedAllocation(MemoryMeter& meter, std::string category,
+                                   std::size_t bytes)
+    : meter_(meter), category_(std::move(category)), bytes_(bytes) {
+  meter_.allocate(category_, bytes_);
+}
+
+ScopedAllocation::~ScopedAllocation() { meter_.release(category_, bytes_); }
+
+void ScopedAllocation::grow(std::size_t extra_bytes) {
+  meter_.allocate(category_, extra_bytes);
+  bytes_ += extra_bytes;
+}
+
+std::string format_mb(std::size_t bytes) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3)
+     << static_cast<double>(bytes) / (1024.0 * 1024.0) << " MB";
+  return os.str();
+}
+
+}  // namespace meloppr

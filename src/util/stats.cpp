@@ -1,0 +1,171 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace meloppr {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  MELO_CHECK(count_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  MELO_CHECK(count_ > 0);
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  MELO_CHECK(count_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  MELO_CHECK(count_ > 0);
+  return max_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Samples::mean() const {
+  MELO_CHECK(!values_.empty());
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Samples::sum() const {
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+double Samples::stddev() const {
+  MELO_CHECK(!values_.empty());
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  MELO_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  MELO_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::geomean() const {
+  MELO_CHECK(!values_.empty());
+  double log_sum = 0.0;
+  for (double v : values_) {
+    MELO_CHECK_MSG(v > 0.0, "geomean requires positive samples, got " << v);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values_.size()));
+}
+
+double Samples::percentile(double p) const {
+  MELO_CHECK(!values_.empty());
+  MELO_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bin_count)
+    : log10_lo(lo), log10_hi(hi), bins(bin_count, 0) {
+  MELO_CHECK(bin_count > 0);
+  MELO_CHECK(lo < hi);
+}
+
+void LogHistogram::add(double x) {
+  double lg = (x <= 0.0) ? log10_lo : std::log10(x);
+  lg = std::clamp(lg, log10_lo, log10_hi);
+  const double t = (lg - log10_lo) / (log10_hi - log10_lo);
+  auto idx = static_cast<std::size_t>(t * static_cast<double>(bins.size()));
+  if (idx >= bins.size()) idx = bins.size() - 1;
+  ++bins[idx];
+}
+
+std::size_t LogHistogram::total() const {
+  std::size_t n = 0;
+  for (auto b : bins) n += b;
+  return n;
+}
+
+double LogHistogram::fraction_below(double log10_threshold) const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  std::size_t acc = 0;
+  const double bin_width =
+      (log10_hi - log10_lo) / static_cast<double>(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const double upper = log10_lo + bin_width * static_cast<double>(i + 1);
+    if (upper <= log10_threshold) acc += bins[i];
+  }
+  return static_cast<double>(acc) / static_cast<double>(n);
+}
+
+std::string LogHistogram::ascii(std::size_t width) const {
+  std::size_t peak = 0;
+  for (auto b : bins) peak = std::max(peak, b);
+  std::ostringstream os;
+  const double bin_width =
+      (log10_hi - log10_lo) / static_cast<double>(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const double lo = log10_lo + bin_width * static_cast<double>(i);
+    const std::size_t bar =
+        peak == 0 ? 0 : bins[i] * width / peak;
+    os << "  1e" << lo << "\t|";
+    for (std::size_t j = 0; j < bar; ++j) os << '#';
+    os << ' ' << bins[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace meloppr

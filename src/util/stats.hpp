@@ -1,0 +1,84 @@
+// Descriptive statistics used throughout the benchmark harnesses: the paper
+// reports min~max ranges, averages of reduction factors, and precision
+// averaged over many random seeds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace meloppr {
+
+/// Online accumulator (Welford) for mean/variance plus min/max. Suitable for
+/// streaming one value per PPR query without storing all samples.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< Sample variance (n-1 divisor).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch statistics over a stored sample vector; supports percentiles and
+/// the geometric mean (used for averaging speedup/reduction factors, which
+/// is the correct mean for ratios).
+class Samples {
+ public:
+  Samples() = default;
+  explicit Samples(std::vector<double> values) : values_(std::move(values)) {}
+
+  void add(double x) { values_.push_back(x); }
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const;
+
+  /// Geometric mean; requires all samples > 0.
+  [[nodiscard]] double geomean() const;
+
+  /// Linear-interpolation percentile, p in [0,100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Builds a fixed-width histogram over log10(x) — used to reproduce the
+/// bottom panel of Fig. 6 (normalized PPR score distribution in log scale).
+struct LogHistogram {
+  double log10_lo = -10.0;  ///< Scores below 10^lo land in the first bin.
+  double log10_hi = 0.0;    ///< Scores above 10^hi land in the last bin.
+  std::vector<std::size_t> bins;
+
+  LogHistogram(double lo, double hi, std::size_t bin_count);
+  void add(double x);
+  [[nodiscard]] std::size_t total() const;
+  /// Fraction of mass in bins at or below the given log10 threshold.
+  [[nodiscard]] double fraction_below(double log10_threshold) const;
+  /// Render as an ASCII bar chart (one line per bin).
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+};
+
+}  // namespace meloppr

@@ -1,0 +1,57 @@
+// Console table rendering for the benchmark harnesses. Every bench binary
+// prints the same rows the paper's tables/figures report, and this class
+// keeps the columns aligned and additionally emits machine-readable CSV.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace meloppr {
+
+/// Column-aligned ASCII table with an optional title and CSV export.
+///
+///   TablePrinter t({"Graph", "Memory (MB)", "Reduction"});
+///   t.add_row({"G1", "0.005~1.262", "13.06x"});
+///   std::cout << t.ascii();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line at this position.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const;
+
+  /// Renders the aligned ASCII table (always ends with '\n').
+  [[nodiscard]] std::string ascii() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt_fixed(double v, int precision);
+
+/// Formats a ratio like the paper: "13.06x".
+std::string fmt_ratio(double v, int precision = 2);
+
+/// Formats a fraction as a percentage: "73.8%".
+std::string fmt_percent(double fraction, int precision = 1);
+
+/// Formats "lo ~ hi" ranges as used in Table II.
+std::string fmt_range(double lo, double hi, int precision = 3);
+
+}  // namespace meloppr

@@ -1,0 +1,67 @@
+// Wall-clock timing helpers used by the benchmark harnesses and the hybrid
+// host runner (CPU-side BFS time in Fig. 7 is measured with these).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace meloppr {
+
+/// Monotonic stopwatch. Construction starts it; elapsed_*() reads it without
+/// stopping, restart() re-arms it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+  [[nodiscard]] double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple measured regions, e.g. "total BFS time
+/// over all stage-2 sub-graphs in one query".
+class AccumulatingTimer {
+ public:
+  /// RAII scope: adds the scope's lifetime to the accumulator.
+  class Scope {
+   public:
+    explicit Scope(AccumulatingTimer& owner) : owner_(owner) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { owner_.total_seconds_ += timer_.elapsed_seconds(); }
+
+   private:
+    AccumulatingTimer& owner_;
+    Timer timer_;
+  };
+
+  [[nodiscard]] Scope measure() { return Scope(*this); }
+
+  void add_seconds(double s) { total_seconds_ += s; }
+  void reset() { total_seconds_ = 0.0; }
+
+  [[nodiscard]] double total_seconds() const { return total_seconds_; }
+  [[nodiscard]] double total_ms() const { return total_seconds_ * 1e3; }
+
+ private:
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace meloppr

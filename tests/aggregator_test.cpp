@@ -1,0 +1,157 @@
+#include "core/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace meloppr::core {
+namespace {
+
+TEST(ExactAggregator, SumsContributions) {
+  ExactAggregator agg;
+  agg.add(1, 0.5);
+  agg.add(1, 0.25);
+  agg.add(2, 0.1);
+  auto top = agg.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 1u);
+  EXPECT_DOUBLE_EQ(top[0].score, 0.75);
+  EXPECT_EQ(agg.entries(), 2u);
+}
+
+TEST(ExactAggregator, NegativeCorrections) {
+  // Eq. 8 subtracts α^l·residual before re-diffusing.
+  ExactAggregator agg;
+  agg.add(7, 0.4);
+  agg.add(7, -0.4);
+  agg.add(8, 0.1);
+  auto top = agg.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].node, 8u);
+}
+
+TEST(ExactAggregator, ClearResets) {
+  ExactAggregator agg;
+  agg.add(1, 1.0);
+  agg.clear();
+  EXPECT_EQ(agg.entries(), 0u);
+  EXPECT_TRUE(agg.top(5).empty());
+}
+
+TEST(ExactAggregator, BytesGrowWithEntries) {
+  ExactAggregator agg;
+  const std::size_t before = agg.bytes();
+  for (graph::NodeId v = 0; v < 1000; ++v) agg.add(v, 0.001);
+  EXPECT_GT(agg.bytes(), before + 1000 * 12);
+}
+
+TEST(TopCK, RejectsZeroCapacity) {
+  EXPECT_THROW(TopCKAggregator(0), std::invalid_argument);
+}
+
+TEST(TopCK, LosslessUnderCapacity) {
+  TopCKAggregator table(10);
+  ExactAggregator exact;
+  for (graph::NodeId v = 0; v < 8; ++v) {
+    table.add(v, 0.1 * static_cast<double>(v + 1));
+    exact.add(v, 0.1 * static_cast<double>(v + 1));
+  }
+  auto a = table.top(8);
+  auto b = exact.top(8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+  EXPECT_EQ(table.evictions(), 0u);
+}
+
+TEST(TopCK, EvictsMinimumWhenFull) {
+  TopCKAggregator table(3);
+  table.add(1, 0.1);
+  table.add(2, 0.2);
+  table.add(3, 0.3);
+  table.add(4, 0.4);  // evicts node 1
+  EXPECT_EQ(table.entries(), 3u);
+  EXPECT_EQ(table.evictions(), 1u);
+  auto top = table.top(3);
+  for (const auto& sn : top) EXPECT_NE(sn.node, 1u);
+}
+
+TEST(TopCK, SmallContributionsAreDroppedWhenFull) {
+  TopCKAggregator table(2);
+  table.add(1, 0.5);
+  table.add(2, 0.6);
+  table.add(3, 0.1);  // below min — dropped, no eviction
+  EXPECT_EQ(table.entries(), 2u);
+  EXPECT_EQ(table.evictions(), 0u);
+  auto top = table.top(2);
+  EXPECT_EQ(top[0].node, 2u);
+  EXPECT_EQ(top[1].node, 1u);
+}
+
+TEST(TopCK, InPlaceUpdateNeverEvicts) {
+  TopCKAggregator table(2);
+  table.add(1, 0.5);
+  table.add(2, 0.6);
+  table.add(1, 0.3);  // update in place → 0.8
+  EXPECT_EQ(table.entries(), 2u);
+  EXPECT_EQ(table.evictions(), 0u);
+  auto top = table.top(1);
+  EXPECT_EQ(top[0].node, 1u);
+  EXPECT_DOUBLE_EQ(top[0].score, 0.8);
+}
+
+TEST(TopCK, EvictionLosesHistoryByDesign) {
+  // The precision cost of small c: once evicted, earlier contributions are
+  // forgotten even if the node comes back.
+  TopCKAggregator table(2);
+  table.add(1, 0.10);
+  table.add(2, 0.20);
+  table.add(3, 0.30);  // evicts 1
+  table.add(1, 0.25);  // re-inserted with only the new mass → evicts 2
+  auto top = table.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 3u);
+  EXPECT_EQ(top[1].node, 1u);
+  EXPECT_DOUBLE_EQ(top[1].score, 0.25);  // 0.10 history lost
+}
+
+TEST(TopCK, MatchesExactWhenCapacityIsAmple) {
+  Rng rng(55);
+  TopCKAggregator table(1000);
+  ExactAggregator exact;
+  for (int i = 0; i < 5000; ++i) {
+    const auto node = static_cast<graph::NodeId>(rng.below(500));
+    const double delta = rng.uniform(0.0, 0.01);
+    table.add(node, delta);
+    exact.add(node, delta);
+  }
+  auto a = table.top(20);
+  auto b = exact.top(20);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node) << "rank " << i;
+    EXPECT_NEAR(a[i].score, b[i].score, 1e-12);
+  }
+}
+
+TEST(TopCK, BytesAreCapacityBased) {
+  TopCKAggregator table(2000);
+  EXPECT_EQ(table.bytes(), 2000u * 8u);
+  table.add(1, 0.5);
+  EXPECT_EQ(table.bytes(), 2000u * 8u);  // fixed BRAM footprint
+}
+
+TEST(TopCK, ClearResetsEvictions) {
+  TopCKAggregator table(1);
+  table.add(1, 0.1);
+  table.add(2, 0.2);
+  EXPECT_EQ(table.evictions(), 1u);
+  table.clear();
+  EXPECT_EQ(table.evictions(), 0u);
+  EXPECT_EQ(table.entries(), 0u);
+}
+
+}  // namespace
+}  // namespace meloppr::core

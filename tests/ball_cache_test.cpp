@@ -1,0 +1,157 @@
+// BallCache + engine integration tests.
+#include "core/ball_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::core {
+namespace {
+
+using graph::Graph;
+
+TEST(BallCache, HitsOnRepeatedKeys) {
+  Graph g = graph::fixtures::cycle(50);
+  BallCache cache(g, 1 << 20);
+  const auto& first = cache.get(5, 3);
+  EXPECT_EQ(cache.misses(), 1u);
+  const auto& second = cache.get(5, 3);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(&first, &second);  // same cached object
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(BallCache, DifferentRadiusIsDifferentEntry) {
+  Graph g = graph::fixtures::cycle(50);
+  BallCache cache(g, 1 << 20);
+  cache.get(5, 2);
+  cache.get(5, 3);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+std::size_t one_ball_bytes(const Graph& g) {
+  BallCache probe(g, 1 << 20);
+  probe.get(0, 2);
+  return probe.bytes();  // every radius-2 cycle ball is the same size
+}
+
+TEST(BallCache, EvictsLruUnderPressure) {
+  Graph g = graph::fixtures::cycle(200);
+  const std::size_t one_ball = one_ball_bytes(g);
+  ASSERT_GT(one_ball, 0u);
+  BallCache cache(g, 3 * one_ball + one_ball / 2);  // room for exactly 3
+  cache.get(0, 2);
+  cache.get(10, 2);
+  cache.get(20, 2);
+  EXPECT_EQ(cache.entries(), 3u);
+  cache.get(30, 2);  // evicts node 0's ball (the LRU)
+  cache.get(0, 2);   // and this is a miss again
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 5u);
+  EXPECT_LE(cache.bytes(), cache.byte_budget());
+}
+
+TEST(BallCache, RecentUseProtectsFromEviction) {
+  Graph g = graph::fixtures::cycle(200);
+  const std::size_t one_ball = one_ball_bytes(g);
+  BallCache cache(g, 3 * one_ball + one_ball / 2);
+  cache.get(0, 2);
+  cache.get(10, 2);
+  cache.get(20, 2);
+  cache.get(0, 2);   // refresh node 0 to MRU
+  cache.get(30, 2);  // evicts node 10's ball, not node 0's
+  cache.get(0, 2);   // still cached
+  EXPECT_EQ(cache.hits(), 2u);
+  cache.get(10, 2);  // the true victim misses
+  EXPECT_EQ(cache.misses(), 5u);
+}
+
+TEST(BallCache, OversizedBallServedButNotRetained) {
+  Graph g = graph::fixtures::complete(64);
+  BallCache cache(g, 128);  // far below any ball's footprint
+  const auto& ball = cache.get(0, 1);
+  EXPECT_EQ(ball.num_nodes(), 64u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(BallCache, TracksExtractionSeconds) {
+  Graph g = graph::fixtures::cycle(100);
+  BallCache cache(g, 1 << 20);
+  cache.get(3, 3);
+  const double after_miss = cache.extraction_seconds();
+  EXPECT_GT(after_miss, 0.0);
+  cache.get(3, 3);
+  EXPECT_DOUBLE_EQ(cache.extraction_seconds(), after_miss);  // hit is free
+}
+
+TEST(BallCache, ZeroBudgetRejected) {
+  Graph g = graph::fixtures::path(4);
+  EXPECT_THROW(BallCache(g, 0), std::invalid_argument);
+}
+
+TEST(BallCache, ClearResetsEverything) {
+  Graph g = graph::fixtures::cycle(50);
+  BallCache cache(g, 1 << 20);
+  cache.get(1, 2);
+  cache.get(1, 2);
+  cache.clear();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(BallCacheEngine, CachedQueriesMatchUncached) {
+  Rng rng(61);
+  Graph g = graph::barabasi_albert(800, 2, 2, rng);
+  MelopprConfig cfg;
+  cfg.stage_lengths = {3, 3};
+  cfg.k = 20;
+  cfg.selection = Selection::top_count(10);
+  Engine engine(g, cfg);
+
+  QueryResult plain = engine.query(9);
+
+  BallCache cache(g, 64u << 20);
+  engine.set_ball_cache(&cache);
+  QueryResult cached_cold = engine.query(9);
+  QueryResult cached_warm = engine.query(9);
+  engine.set_ball_cache(nullptr);
+
+  ASSERT_EQ(plain.top.size(), cached_warm.top.size());
+  for (std::size_t i = 0; i < plain.top.size(); ++i) {
+    EXPECT_EQ(plain.top[i].node, cached_warm.top[i].node);
+    EXPECT_NEAR(plain.top[i].score, cached_warm.top[i].score, 1e-12);
+  }
+  EXPECT_GT(cache.hit_rate(), 0.4);  // the repeat query hits everywhere
+  // Warm query spends (almost) nothing on BFS.
+  EXPECT_LT(cached_warm.stats.bfs_seconds(),
+            cached_cold.stats.bfs_seconds() + 1e-9);
+}
+
+TEST(BallCacheEngine, CrossSeedSharingOfStage2Balls) {
+  // Different seeds select overlapping next-stage nodes; the cache should
+  // see real hits across a query stream.
+  Rng rng(62);
+  Graph g = graph::barabasi_albert(1500, 2, 2, rng);
+  MelopprConfig cfg;
+  cfg.stage_lengths = {3, 3};
+  cfg.k = 20;
+  cfg.selection = Selection::top_count(20);
+  Engine engine(g, cfg);
+  BallCache cache(g, 256u << 20);
+  engine.set_ball_cache(&cache);
+  for (graph::NodeId seed : {3u, 17u, 99u, 250u, 777u, 1200u}) {
+    (void)engine.query(seed);
+  }
+  engine.set_ball_cache(nullptr);
+  // Hubs are selected by many seeds — hits must occur.
+  EXPECT_GT(cache.hits(), 10u);
+}
+
+}  // namespace
+}  // namespace meloppr::core

@@ -1,0 +1,162 @@
+// Baseline algorithms: single-stage local PPR (the paper's comparison
+// baseline / ground truth), Monte-Carlo α-RW, and forward push.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "ppr/forward_push.hpp"
+#include "ppr/local_ppr.hpp"
+#include "ppr/monte_carlo.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::ppr {
+namespace {
+
+using graph::Graph;
+
+TEST(LocalPpr, SeedRanksFirst) {
+  Rng rng(31);
+  Graph g = graph::barabasi_albert(300, 2, 2, rng);
+  LocalPprResult r = local_ppr(g, 5, {0.85, 6, 10});
+  ASSERT_FALSE(r.top.empty());
+  // With (1−α) restart mass parked at the seed every iteration, the seed
+  // dominates its neighborhood.
+  EXPECT_EQ(r.top[0].node, 5u);
+}
+
+TEST(LocalPpr, ScoresSumToOne) {
+  Rng rng(32);
+  Graph g = graph::erdos_renyi(200, 500, rng);
+  graph::NodeId seed = 0;
+  while (g.degree(seed) == 0) ++seed;
+  LocalPprResult r = local_ppr(g, seed, {0.85, 4, 20});
+  double total = 0.0;
+  for (const auto& sn : r.scores) total += sn.score;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LocalPpr, RecordsWorkloadAccounting) {
+  Graph g = graph::fixtures::complete(12);
+  LocalPprResult r = local_ppr(g, 0, {0.85, 2, 5});
+  EXPECT_EQ(r.ball_nodes, 12u);
+  EXPECT_EQ(r.ball_edges, 66u);
+  EXPECT_GT(r.peak_bytes, 0u);
+  EXPECT_GT(r.edge_ops, 0u);
+  EXPECT_GE(r.bfs_seconds, 0.0);
+  EXPECT_GE(r.diffusion_seconds, 0.0);
+}
+
+TEST(LocalPpr, MeterBalancesToZero) {
+  Graph g = graph::fixtures::cycle(30);
+  MemoryMeter meter;
+  local_ppr(g, 3, {0.85, 3, 5}, &meter);
+  EXPECT_EQ(meter.current_bytes(), 0u);
+  EXPECT_GT(meter.peak_bytes(), 0u);
+  EXPECT_GT(meter.peak_bytes("baseline/ball"), 0u);
+}
+
+TEST(LocalPpr, TopKRespectsK) {
+  Graph g = graph::fixtures::complete(20);
+  LocalPprResult r = local_ppr(g, 0, {0.85, 2, 7});
+  EXPECT_EQ(r.top.size(), 7u);
+}
+
+TEST(MonteCarlo, ApproachesExactScoresWithManyWalks) {
+  Rng rng(33);
+  Graph g = graph::barabasi_albert(150, 2, 2, rng);
+  const graph::NodeId seed = 4;
+  LocalPprResult exact = local_ppr(g, seed, {0.85, 6, 150});
+  Rng walk_rng(7);
+  MonteCarloResult mc =
+      monte_carlo_ppr(g, seed, {0.85, 6, 200000, 150}, walk_rng);
+  // Compare the seed's own score (largest, lowest relative error).
+  double exact_seed = 0.0;
+  for (const auto& sn : exact.scores) {
+    if (sn.node == seed) exact_seed = sn.score;
+  }
+  double mc_seed = 0.0;
+  for (const auto& sn : mc.scores) {
+    if (sn.node == seed) mc_seed = sn.score;
+  }
+  EXPECT_NEAR(mc_seed, exact_seed, 0.01);
+}
+
+TEST(MonteCarlo, FrequenciesSumToOne) {
+  Rng rng(34);
+  Graph g = graph::fixtures::complete(8);
+  MonteCarloResult mc = monte_carlo_ppr(g, 0, {0.85, 6, 5000, 8}, rng);
+  double total = 0.0;
+  for (const auto& sn : mc.scores) total += sn.score;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MonteCarlo, StepsBoundedByLengthTimesWalks) {
+  Rng rng(35);
+  Graph g = graph::fixtures::cycle(20);
+  MonteCarloParams params{0.85, 6, 1000, 5};
+  MonteCarloResult mc = monte_carlo_ppr(g, 0, params, rng);
+  EXPECT_LE(mc.steps_taken, params.max_length * params.num_walks);
+  EXPECT_GT(mc.steps_taken, 0u);
+}
+
+TEST(MonteCarlo, BadSeedThrows) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  Rng rng(1);
+  EXPECT_THROW(monte_carlo_ppr(g, 2, {}, rng), std::invalid_argument);
+  EXPECT_THROW(monte_carlo_ppr(g, 9, {}, rng), std::invalid_argument);
+}
+
+TEST(ForwardPush, InvariantMassIsConserved) {
+  // p-mass + residual mass = 1 at every point of the computation; at
+  // termination the residual bound is ε·Σdeg at most.
+  Rng rng(36);
+  Graph g = graph::barabasi_albert(200, 2, 2, rng);
+  ForwardPushResult r = forward_push_ppr(g, 3, {0.85, 1e-7, 20, 1u << 30});
+  double p_mass = 0.0;
+  for (const auto& sn : r.scores) p_mass += sn.score;
+  EXPECT_NEAR(p_mass + r.residual_mass, 1.0, 1e-9);
+  EXPECT_LT(r.residual_mass, 0.05);
+}
+
+TEST(ForwardPush, AgreesWithExactOnTopNodes) {
+  Rng rng(37);
+  Graph g = graph::barabasi_albert(150, 2, 2, rng);
+  const graph::NodeId seed = 9;
+  LocalPprResult exact = local_ppr(g, seed, {0.85, 6, 10});
+  ForwardPushResult push = forward_push_ppr(g, seed, {0.85, 1e-9, 10});
+  // Forward push approximates untruncated PPR vs our L=6 truncation, so
+  // expect strong but not perfect top-k agreement.
+  const double prec = precision_at_k(exact.top, push.top, 10);
+  EXPECT_GE(prec, 0.7);
+}
+
+TEST(ForwardPush, EpsilonControlsWork) {
+  Rng rng(38);
+  Graph g = graph::barabasi_albert(300, 2, 2, rng);
+  ForwardPushResult coarse = forward_push_ppr(g, 3, {0.85, 1e-3, 10});
+  ForwardPushResult fine = forward_push_ppr(g, 3, {0.85, 1e-8, 10});
+  EXPECT_LT(coarse.pushes, fine.pushes);
+  EXPECT_GT(fine.residual_mass, 0.0);
+  EXPECT_LT(fine.residual_mass, coarse.residual_mass);
+}
+
+TEST(ForwardPush, MaxPushesCapIsHonored) {
+  Rng rng(39);
+  Graph g = graph::barabasi_albert(300, 2, 2, rng);
+  ForwardPushResult r = forward_push_ppr(g, 3, {0.85, 1e-12, 10, 5});
+  EXPECT_LE(r.pushes, 5u);
+}
+
+TEST(ForwardPush, BadSeedThrows) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  EXPECT_THROW(forward_push_ppr(g, 2, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace meloppr::ppr

@@ -1,0 +1,124 @@
+// Connected components + structural analysis tests.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::graph {
+namespace {
+
+Graph two_triangles_and_isolated() {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  // node 6 isolated
+  return b.build();
+}
+
+TEST(Components, CountsAndLabels) {
+  Graph g = two_triangles_and_isolated();
+  ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.count, 3u);
+  EXPECT_EQ(info.label[0], info.label[1]);
+  EXPECT_EQ(info.label[1], info.label[2]);
+  EXPECT_EQ(info.label[3], info.label[5]);
+  EXPECT_NE(info.label[0], info.label[3]);
+  EXPECT_NE(info.label[6], info.label[0]);
+  EXPECT_TRUE(info.same_component(0, 2));
+  EXPECT_FALSE(info.same_component(2, 3));
+}
+
+TEST(Components, SizesSumToNodeCount) {
+  Graph g = two_triangles_and_isolated();
+  ComponentInfo info = connected_components(g);
+  std::size_t total = 0;
+  for (std::size_t s : info.size) total += s;
+  EXPECT_EQ(total, g.num_nodes());
+  EXPECT_EQ(info.largest(), 3u);
+}
+
+TEST(Components, LabelsAssignedInFirstAppearanceOrder) {
+  Graph g = two_triangles_and_isolated();
+  ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.label[0], 0u);
+  EXPECT_EQ(info.label[3], 1u);
+  EXPECT_EQ(info.label[6], 2u);
+}
+
+TEST(Components, ConnectedGraphIsOneComponent) {
+  Graph g = fixtures::cycle(50);
+  ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.count, 1u);
+  EXPECT_EQ(info.largest(), 50u);
+  EXPECT_EQ(info.largest_id(), 0u);
+}
+
+TEST(Components, LargestComponentNodes) {
+  GraphBuilder b(10);
+  b.add_edge(0, 1);          // pair
+  for (NodeId v = 2; v < 9; ++v) b.add_edge(v, v + 1);  // 8-node path
+  Graph g = b.build();
+  const auto nodes = largest_component_nodes(g);
+  ASSERT_EQ(nodes.size(), 8u);
+  EXPECT_EQ(nodes.front(), 2u);
+  EXPECT_EQ(nodes.back(), 9u);
+}
+
+TEST(Analysis, DegreeStatsOnStar) {
+  Graph g = fixtures::star(11);  // center degree 10, leaves degree 1
+  DegreeStats stats = degree_stats(g);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 10u);
+  EXPECT_NEAR(stats.mean, 20.0 / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.p50, 1.0);
+  EXPECT_GT(stats.skew(), 5.0);
+}
+
+TEST(Analysis, ClusteringExtremes) {
+  Rng rng(3);
+  // Complete graph: clustering 1. Star: clustering 0 (leaves deg 1 skipped,
+  // center has no connected neighbor pairs).
+  EXPECT_DOUBLE_EQ(
+      sampled_clustering_coefficient(fixtures::complete(8), 50, rng), 1.0);
+  EXPECT_DOUBLE_EQ(
+      sampled_clustering_coefficient(fixtures::star(8), 50, rng), 0.0);
+}
+
+TEST(Analysis, CommunityGraphClustersMoreThanBa) {
+  Rng rng(4);
+  Graph community = community_graph(2000, 100, 5.0, 1.0, rng);
+  Graph ba = barabasi_albert(2000, 3, 3, rng);
+  Rng eval_rng(5);
+  const double c_comm =
+      sampled_clustering_coefficient(community, 300, eval_rng);
+  const double c_ba = sampled_clustering_coefficient(ba, 300, eval_rng);
+  EXPECT_GT(c_comm, 2.0 * c_ba);
+}
+
+TEST(Analysis, BallSizeGrowsWithRadius) {
+  Rng rng(6);
+  Graph g = barabasi_albert(3000, 2, 2, rng);
+  Rng eval_rng(7);
+  const double b2 = mean_ball_size(g, 2, 10, eval_rng);
+  const double b4 = mean_ball_size(g, 4, 10, eval_rng);
+  EXPECT_GT(b4, b2);
+  EXPECT_GT(ball_growth_factor(g, 2, 10, eval_rng), 1.5);
+}
+
+TEST(Analysis, SummaryMentionsKeyFields) {
+  Rng rng(8);
+  Graph g = fixtures::complete(10);
+  const std::string s = structural_summary(g, rng);
+  EXPECT_NE(s.find("components=1"), std::string::npos);
+  EXPECT_NE(s.find("clustering="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace meloppr::graph

@@ -1,0 +1,203 @@
+// Graph-diffusion kernel tests: Eq. 1 closed forms, mass conservation,
+// linearity, ball sufficiency, and agreement with the dense reference.
+#include "ppr/diffusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::ppr {
+namespace {
+
+using graph::extract_ball;
+using graph::Graph;
+using graph::Subgraph;
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(Diffusion, LengthZeroIsIdentity) {
+  Graph g = graph::fixtures::path(5);
+  Subgraph ball = extract_ball(g, 2, 2);
+  DiffusionResult r = diffuse_from(ball, 0, 1.0, {0.85, 0});
+  EXPECT_DOUBLE_EQ(r.accumulated[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.residual[0], 1.0);
+  EXPECT_DOUBLE_EQ(sum(r.accumulated), 1.0);
+  EXPECT_EQ(r.edge_ops, 0u);
+}
+
+TEST(Diffusion, OneStepClosedFormOnPath) {
+  // Path 0-1-2, seed the middle. W·S0 = [1/2, 0, 1/2];
+  // S1 = (1−α)·S0 + α·W·S0.
+  Graph g = graph::fixtures::path(3);
+  Subgraph ball = extract_ball(g, 1, 1);
+  const double alpha = 0.85;
+  DiffusionResult r = diffuse_from(ball, 0, 1.0, {alpha, 1});
+  // Local 0 is the seed (global 1).
+  EXPECT_NEAR(r.accumulated[0], 1.0 - alpha, 1e-12);
+  EXPECT_NEAR(r.residual[0], 0.0, 1e-12);
+  const graph::NodeId l0 = ball.to_local(0);
+  const graph::NodeId l2 = ball.to_local(2);
+  EXPECT_NEAR(r.accumulated[l0], alpha / 2.0, 1e-12);
+  EXPECT_NEAR(r.accumulated[l2], alpha / 2.0, 1e-12);
+  EXPECT_NEAR(r.residual[l0], 0.5, 1e-12);
+  EXPECT_NEAR(r.residual[l2], 0.5, 1e-12);
+}
+
+TEST(Diffusion, Fig1FirstPropagation) {
+  // Fig. 1: seed v1 with degree 3; W·S0 = [0, 1/3, 1/3, 1/3].
+  Graph g = graph::fixtures::fig1_graph();
+  Subgraph ball = extract_ball(g, 0, 1);
+  DiffusionResult r = diffuse_from(ball, 0, 1.0, {0.85, 1});
+  for (graph::NodeId global = 1; global <= 3; ++global) {
+    EXPECT_NEAR(r.residual[ball.to_local(global)], 1.0 / 3.0, 1e-12);
+  }
+  EXPECT_NEAR(r.residual[0], 0.0, 1e-12);
+}
+
+TEST(Diffusion, MassIsConserved) {
+  // Σ S_l = (1−α)·Σ_{k<l} α^k + α^l = 1 and Σ residual = 1 whenever the
+  // ball radius covers the diffusion length (no frontier leakage).
+  Rng rng(21);
+  Graph g = graph::barabasi_albert(300, 2, 3, rng);
+  Subgraph ball = extract_ball(g, 7, 4);
+  for (unsigned l : {1u, 2u, 3u, 4u}) {
+    DiffusionResult r = diffuse_from(ball, 0, 1.0, {0.85, l});
+    EXPECT_NEAR(sum(r.accumulated), 1.0, 1e-9) << "l=" << l;
+    EXPECT_NEAR(sum(r.residual), 1.0, 1e-9) << "l=" << l;
+  }
+}
+
+TEST(Diffusion, LinearInInputMass) {
+  Rng rng(22);
+  Graph g = graph::erdos_renyi(100, 300, rng);
+  if (g.degree(3) == 0) GTEST_SKIP();
+  Subgraph ball = extract_ball(g, 3, 3);
+  DiffusionResult unit = diffuse_from(ball, 0, 1.0, {0.85, 3});
+  DiffusionResult scaled = diffuse_from(ball, 0, 0.25, {0.85, 3});
+  for (std::size_t v = 0; v < ball.num_nodes(); ++v) {
+    EXPECT_NEAR(scaled.accumulated[v], 0.25 * unit.accumulated[v], 1e-12);
+    EXPECT_NEAR(scaled.residual[v], 0.25 * unit.residual[v], 1e-12);
+  }
+}
+
+TEST(Diffusion, AdditiveInInputVector) {
+  // GD(S0 + S0') = GD(S0) + GD(S0') — the linearity that Eq. 7 exploits.
+  Graph g = graph::fixtures::complete(6);
+  Subgraph ball = extract_ball(g, 0, 2);
+  std::vector<double> a(ball.num_nodes(), 0.0);
+  std::vector<double> b(ball.num_nodes(), 0.0);
+  a[0] = 0.7;
+  b[2] = 0.3;
+  std::vector<double> both(ball.num_nodes(), 0.0);
+  both[0] = 0.7;
+  both[2] = 0.3;
+  DiffusionResult ra = diffuse(ball, a, {0.85, 2});
+  DiffusionResult rb = diffuse(ball, b, {0.85, 2});
+  DiffusionResult rboth = diffuse(ball, both, {0.85, 2});
+  for (std::size_t v = 0; v < ball.num_nodes(); ++v) {
+    EXPECT_NEAR(rboth.accumulated[v], ra.accumulated[v] + rb.accumulated[v],
+                1e-12);
+    EXPECT_NEAR(rboth.residual[v], ra.residual[v] + rb.residual[v], 1e-12);
+  }
+}
+
+TEST(Diffusion, MatchesDenseReference) {
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = graph::erdos_renyi(60, 150, rng);
+    graph::NodeId seed = 0;
+    while (g.degree(seed) == 0) ++seed;
+    Subgraph ball = extract_ball(g, seed, 3);
+    std::vector<double> s0(ball.num_nodes(), 0.0);
+    s0[0] = 1.0;
+    DiffusionResult fast = diffuse(ball, s0, {0.8, 3});
+    DiffusionResult ref = diffuse_dense_reference(ball, s0, {0.8, 3});
+    for (std::size_t v = 0; v < ball.num_nodes(); ++v) {
+      EXPECT_NEAR(fast.accumulated[v], ref.accumulated[v], 1e-10);
+      EXPECT_NEAR(fast.residual[v], ref.residual[v], 1e-10);
+    }
+  }
+}
+
+TEST(Diffusion, BallSufficiency) {
+  // GD_l on the radius-l ball equals GD_l on a much larger ball, node for
+  // node (DESIGN.md invariant 2). This is what justifies MeLoPPR computing
+  // on small balls at all.
+  Rng rng(24);
+  Graph g = graph::barabasi_albert(500, 2, 2, rng);
+  const graph::NodeId seed = 13;
+  const unsigned l = 3;
+  Subgraph tight = extract_ball(g, seed, l);
+  Subgraph loose = extract_ball(g, seed, l + 2);
+  DiffusionResult rt = diffuse_from(tight, 0, 1.0, {0.85, l});
+  DiffusionResult rl = diffuse_from(loose, 0, 1.0, {0.85, l});
+  for (graph::NodeId local = 0; local < tight.num_nodes(); ++local) {
+    const graph::NodeId global = tight.to_global(local);
+    const graph::NodeId loose_local = loose.to_local(global);
+    ASSERT_NE(loose_local, graph::kInvalidNode);
+    EXPECT_NEAR(rt.accumulated[local], rl.accumulated[loose_local], 1e-12);
+    EXPECT_NEAR(rt.residual[local], rl.residual[loose_local], 1e-12);
+  }
+  // Nodes beyond the tight ball must have received nothing in the loose run.
+  for (graph::NodeId local = 0; local < loose.num_nodes(); ++local) {
+    if (!tight.contains(loose.to_global(local))) {
+      EXPECT_DOUBLE_EQ(rl.accumulated[local], 0.0);
+    }
+  }
+}
+
+TEST(Diffusion, LengthBeyondRadiusIsRejected) {
+  Graph g = graph::fixtures::path(9);
+  Subgraph ball = extract_ball(g, 4, 2);
+  EXPECT_THROW(diffuse_from(ball, 0, 1.0, {0.85, 3}), InvariantViolation);
+}
+
+TEST(Diffusion, RejectsBadAlphaAndShape) {
+  Graph g = graph::fixtures::path(5);
+  Subgraph ball = extract_ball(g, 2, 1);
+  EXPECT_THROW(diffuse_from(ball, 0, 1.0, {0.0, 1}), InvariantViolation);
+  EXPECT_THROW(diffuse_from(ball, 0, 1.0, {1.0, 1}), InvariantViolation);
+  std::vector<double> wrong_size(ball.num_nodes() + 1, 0.0);
+  EXPECT_THROW(diffuse(ball, wrong_size, {0.85, 1}), InvariantViolation);
+}
+
+TEST(Diffusion, EdgeOpsCountPropagationWork) {
+  Graph g = graph::fixtures::star(5);  // center 0, leaves 1-4
+  Subgraph ball = extract_ball(g, 0, 2);
+  // Iter 1: center pushes along 4 edges. Iter 2: leaves each push along 1.
+  DiffusionResult r = diffuse_from(ball, 0, 1.0, {0.85, 2});
+  EXPECT_EQ(r.edge_ops, 4u + 4u);
+  EXPECT_EQ(r.iterations, 2u);
+}
+
+TEST(Diffusion, ScoresDecayWithDistanceOnPathPerParity) {
+  // On a bipartite graph (a path), mass returns to a node only every other
+  // step, so scores are NOT monotone in distance across parities (a
+  // neighbor can outscore the seed thanks to the α^L in-flight tail). They
+  // are monotone within each parity class.
+  Graph g = graph::fixtures::path(13);
+  Subgraph ball = extract_ball(g, 6, 5);
+  DiffusionResult r = diffuse_from(ball, 0, 1.0, {0.85, 5});
+  for (graph::NodeId start : {6u, 7u}) {  // even / odd distance classes
+    double prev = r.accumulated[ball.to_local(start)];
+    for (graph::NodeId global = start + 2; global <= 11;
+         global = global + 2) {
+      const double cur = r.accumulated[ball.to_local(global)];
+      EXPECT_LT(cur, prev) << "at global " << global;
+      prev = cur;
+    }
+  }
+  // And symmetric around the seed.
+  EXPECT_NEAR(r.accumulated[ball.to_local(4)],
+              r.accumulated[ball.to_local(8)], 1e-12);
+}
+
+}  // namespace
+}  // namespace meloppr::ppr

@@ -1,0 +1,129 @@
+// FpgaFarm (parallel next-stage computation — the paper's future work).
+#include "hw/farm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::hw {
+namespace {
+
+using graph::Graph;
+
+FpgaFarm make_farm(std::size_t devices, unsigned p = 4) {
+  AcceleratorConfig cfg;
+  cfg.parallelism = p;
+  return FpgaFarm(devices, cfg, Quantizer(0.85, 10, 50'000'000));
+}
+
+TEST(FpgaFarm, RejectsZeroDevices) {
+  AcceleratorConfig cfg;
+  EXPECT_THROW(FpgaFarm(0, cfg, Quantizer(0.85, 10, 1000)),
+               std::invalid_argument);
+}
+
+TEST(FpgaFarm, NameAndCounts) {
+  FpgaFarm farm = make_farm(4, 8);
+  EXPECT_EQ(farm.device_count(), 4u);
+  EXPECT_EQ(farm.name(), "farm(4x fpga(P=8))");
+}
+
+TEST(FpgaFarm, NumericsMatchSingleBackend) {
+  Rng rng(71);
+  Graph g = graph::barabasi_albert(400, 2, 2, rng);
+  graph::Subgraph ball = graph::extract_ball(g, 7, 3);
+
+  FpgaFarm farm = make_farm(3);
+  AcceleratorConfig cfg;
+  cfg.parallelism = 4;
+  FpgaBackend single{Accelerator(cfg, Quantizer(0.85, 10, 50'000'000))};
+
+  core::BackendResult a = farm.run(ball, 1.0, 3);
+  core::BackendResult b = single.run(ball, 1.0, 3);
+  ASSERT_EQ(a.accumulated.size(), b.accumulated.size());
+  for (std::size_t v = 0; v < a.accumulated.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.accumulated[v], b.accumulated[v]);
+    EXPECT_DOUBLE_EQ(a.inflight[v], b.inflight[v]);
+  }
+}
+
+TEST(FpgaFarm, MakespanShrinksWithDevices) {
+  Rng rng(72);
+  Graph g = graph::barabasi_albert(1000, 2, 2, rng);
+  std::vector<graph::Subgraph> balls;
+  for (graph::NodeId seed : {3u, 17u, 44u, 99u, 250u, 500u, 750u, 999u}) {
+    balls.push_back(graph::extract_ball(g, seed, 3));
+  }
+  double prev_makespan = 1e9;
+  for (std::size_t devices : {1u, 2u, 4u}) {
+    FpgaFarm farm = make_farm(devices);
+    for (const auto& ball : balls) farm.run(ball, 1.0, 3);
+    EXPECT_LT(farm.makespan_seconds(), prev_makespan)
+        << devices << " devices";
+    EXPECT_GE(farm.imbalance(), 1.0 - 1e-9);
+    prev_makespan = farm.makespan_seconds();
+  }
+}
+
+TEST(FpgaFarm, SerialTimeIsDeviceIndependent) {
+  Rng rng(73);
+  Graph g = graph::barabasi_albert(500, 2, 2, rng);
+  graph::Subgraph ball = graph::extract_ball(g, 5, 3);
+  FpgaFarm one = make_farm(1);
+  FpgaFarm four = make_farm(4);
+  for (int i = 0; i < 8; ++i) {
+    one.run(ball, 1.0, 3);
+    four.run(ball, 1.0, 3);
+  }
+  // Note: per-device DMA double-buffering means a device's 2nd+ run hides
+  // its transfer; with 4 devices each runs fewer times, so serial sums can
+  // differ slightly by the extra cold transfers. Compare loosely.
+  EXPECT_NEAR(four.serial_seconds(), one.serial_seconds(),
+              0.25 * one.serial_seconds());
+}
+
+TEST(FpgaFarm, SingleDeviceMakespanEqualsSerial) {
+  Rng rng(74);
+  Graph g = graph::barabasi_albert(300, 2, 2, rng);
+  graph::Subgraph ball = graph::extract_ball(g, 5, 3);
+  FpgaFarm farm = make_farm(1);
+  farm.run(ball, 1.0, 3);
+  farm.run(ball, 1.0, 3);
+  EXPECT_DOUBLE_EQ(farm.makespan_seconds(), farm.serial_seconds());
+  EXPECT_DOUBLE_EQ(farm.imbalance(), 1.0);
+}
+
+TEST(FpgaFarm, ResetClearsLoad) {
+  Rng rng(75);
+  Graph g = graph::barabasi_albert(300, 2, 2, rng);
+  graph::Subgraph ball = graph::extract_ball(g, 5, 3);
+  FpgaFarm farm = make_farm(2);
+  farm.run(ball, 1.0, 3);
+  farm.reset();
+  EXPECT_DOUBLE_EQ(farm.makespan_seconds(), 0.0);
+  EXPECT_EQ(farm.runs(), 0u);
+}
+
+TEST(FpgaFarm, WorksAsEngineBackend) {
+  Rng rng(76);
+  Graph g = graph::barabasi_albert(600, 2, 2, rng);
+  core::MelopprConfig cfg;
+  cfg.stage_lengths = {3, 3};
+  cfg.k = 20;
+  cfg.selection = core::Selection::top_count(12);
+  core::Engine engine(g, cfg);
+
+  FpgaFarm farm = make_farm(4);
+  core::TopCKAggregator table(200);
+  core::QueryResult r = engine.query(9, farm, table);
+  EXPECT_FALSE(r.top.empty());
+  EXPECT_EQ(farm.runs(), r.stats.total_balls());
+  // Parallel completion beats the serial sum once there are many children.
+  EXPECT_LT(farm.makespan_seconds(), farm.serial_seconds());
+}
+
+}  // namespace
+}  // namespace meloppr::hw

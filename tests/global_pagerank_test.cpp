@@ -1,0 +1,82 @@
+#include "ppr/global_pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::ppr {
+namespace {
+
+using graph::Graph;
+
+TEST(GlobalPageRank, ScoresSumToOne) {
+  Rng rng(41);
+  Graph g = graph::barabasi_albert(500, 2, 2, rng);
+  GlobalPageRankResult r = global_pagerank(g, {});
+  const double total =
+      std::accumulate(r.scores.begin(), r.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.final_delta, 1e-9);
+}
+
+TEST(GlobalPageRank, UniformOnRegularGraph) {
+  // On a vertex-transitive graph (cycle), PageRank is exactly uniform.
+  Graph g = graph::fixtures::cycle(20);
+  GlobalPageRankResult r = global_pagerank(g, {});
+  for (double s : r.scores) EXPECT_NEAR(s, 1.0 / 20.0, 1e-9);
+}
+
+TEST(GlobalPageRank, HubOutranksLeaves) {
+  Graph g = graph::fixtures::star(30);
+  GlobalPageRankResult r = global_pagerank(g, {});
+  ASSERT_FALSE(r.top.empty());
+  EXPECT_EQ(r.top[0].node, 0u);
+  EXPECT_GT(r.scores[0], 5.0 * r.scores[1]);
+}
+
+TEST(GlobalPageRank, DanglingMassIsRedistributed) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);  // nodes 2, 3 isolated (dangling)
+  Graph g = b.build();
+  GlobalPageRankResult r = global_pagerank(g, {});
+  const double total =
+      std::accumulate(r.scores.begin(), r.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(r.scores[2], 0.0);
+}
+
+TEST(GlobalPageRank, IterationCapIsHonored) {
+  Rng rng(43);
+  Graph g = graph::barabasi_albert(300, 2, 2, rng);
+  GlobalPageRankParams params;
+  params.tolerance = 1e-300;  // unreachable
+  params.max_iterations = 7;
+  GlobalPageRankResult r = global_pagerank(g, params);
+  EXPECT_EQ(r.iterations, 7u);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(GlobalPageRank, ParameterValidation) {
+  Graph g = graph::fixtures::path(3);
+  GlobalPageRankParams bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(global_pagerank(g, bad), InvariantViolation);
+}
+
+TEST(GlobalPageRank, AgreesWithDegreeHeuristicOnLargeBa) {
+  // On undirected graphs PageRank correlates strongly with degree; the
+  // top-1 node should be (near) the max-degree hub.
+  Rng rng(44);
+  Graph g = graph::barabasi_albert(2000, 2, 2, rng);
+  GlobalPageRankResult r = global_pagerank(g, {});
+  ASSERT_FALSE(r.top.empty());
+  EXPECT_GE(g.degree(r.top[0].node), g.max_degree() / 2);
+}
+
+}  // namespace
+}  // namespace meloppr::ppr

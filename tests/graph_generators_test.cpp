@@ -1,0 +1,174 @@
+// Generator and paper-graph factory tests, including parameterized sweeps
+// over all six calibrated specs.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/paper_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::graph {
+namespace {
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  Rng rng(1);
+  Graph g = erdos_renyi(100, 250, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 250u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(ErdosRenyi, RejectsTooManyEdges) {
+  Rng rng(1);
+  EXPECT_THROW(erdos_renyi(4, 7, rng), std::invalid_argument);
+  EXPECT_NO_THROW(erdos_renyi(4, 6, rng));
+}
+
+TEST(BarabasiAlbert, ConnectedAndHeavyTailed) {
+  Rng rng(2);
+  Graph g = barabasi_albert(2000, 2, 2, rng);
+  EXPECT_EQ(g.num_nodes(), 2000u);
+  EXPECT_EQ(g.isolated_count(), 0u);
+  // One connected component: BFS from 0 reaches everyone.
+  EXPECT_EQ(bfs_nodes(g, 0, 1u << 20).size(), 2000u);
+  // Preferential attachment produces hubs far above the average degree.
+  EXPECT_GT(g.max_degree(), 10 * static_cast<std::size_t>(
+                                     g.average_degree()));
+}
+
+TEST(BarabasiAlbert, FractionalMeanDegreeIsRespected) {
+  Rng rng(3);
+  const double m_avg = 1.4;
+  Graph g = barabasi_albert(5000, m_avg, rng);
+  const double achieved =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  EXPECT_NEAR(achieved, m_avg, 0.15);
+}
+
+TEST(BarabasiAlbert, ParameterValidation) {
+  Rng rng(1);
+  EXPECT_THROW(barabasi_albert(10, 0, 2, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(10, 3, 2, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(10, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(1, 1, 1, rng), std::invalid_argument);
+}
+
+TEST(WattsStrogatz, RingDegreeAndRewiring) {
+  Rng rng(4);
+  Graph ring = watts_strogatz(100, 4, 0.0, rng);
+  // beta = 0: everyone keeps exactly the ring degree.
+  for (NodeId v = 0; v < 100; ++v) EXPECT_EQ(ring.degree(v), 4u);
+
+  Graph rewired = watts_strogatz(100, 4, 0.5, rng);
+  EXPECT_EQ(rewired.num_nodes(), 100u);
+  // Edge count is preserved up to collisions that give up rewiring.
+  EXPECT_NEAR(static_cast<double>(rewired.num_edges()), 200.0, 10.0);
+}
+
+TEST(WattsStrogatz, ParameterValidation) {
+  Rng rng(1);
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(10, 0, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(10, 4, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Rmat, ProducesRequestedScaleAndSkew) {
+  Rng rng(5);
+  Graph g = rmat(10, 4000, 0.57, 0.19, 0.19, rng);
+  EXPECT_EQ(g.num_nodes(), 1024u);
+  EXPECT_GT(g.num_edges(), 3000u);
+  EXPECT_LE(g.num_edges(), 4000u);
+  // R-MAT with skewed quadrants produces hubs.
+  EXPECT_GT(g.max_degree(), 30u);
+}
+
+TEST(Rmat, ParameterValidation) {
+  Rng rng(1);
+  EXPECT_THROW(rmat(0, 10, 0.5, 0.2, 0.2, rng), std::invalid_argument);
+  EXPECT_THROW(rmat(4, 10, 0.6, 0.3, 0.3, rng), std::invalid_argument);
+}
+
+TEST(CommunityGraph, SizesAndLocality) {
+  Rng rng(6);
+  Graph g = community_graph(1000, 50, 4.0, 1.0, rng);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  EXPECT_EQ(g.isolated_count(), 0u);  // intra path keeps blocks connected
+  const double avg_deg = g.average_degree();
+  EXPECT_GT(avg_deg, 2.5);
+  EXPECT_LT(avg_deg, 7.0);
+}
+
+TEST(CommunityGraph, ParameterValidation) {
+  Rng rng(1);
+  EXPECT_THROW(community_graph(3, 1, 2.0, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(community_graph(100, 0, 2.0, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(community_graph(100, 200, 2.0, 1.0, rng),
+               std::invalid_argument);
+}
+
+TEST(PaperGraphs, SpecTableMatchesPaper) {
+  const auto& specs = paper_graph_specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "citeseer");
+  EXPECT_EQ(specs[0].vertices, 3327u);
+  EXPECT_EQ(specs[0].edges, 4676u);
+  EXPECT_EQ(specs[5].name, "com-youtube");
+  EXPECT_EQ(specs[5].vertices, 1134890u);
+  EXPECT_EQ(specs[5].edges, 2987624u);
+  EXPECT_EQ(spec_for(PaperGraphId::kG3Pubmed).label, "G3");
+  EXPECT_EQ(small_paper_graphs().size(), 3u);
+  EXPECT_EQ(all_paper_graphs().size(), 6u);
+}
+
+TEST(PaperGraphs, ScaleValidation) {
+  Rng rng(1);
+  EXPECT_THROW(make_paper_graph(PaperGraphId::kG1Citeseer, rng, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_paper_graph(PaperGraphId::kG1Citeseer, rng, 1.5),
+               std::invalid_argument);
+}
+
+TEST(PaperGraphs, RandomSeedNodeSkipsIsolated) {
+  GraphBuilder b(10);
+  b.add_edge(3, 7);
+  Graph g = b.build();
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const NodeId s = random_seed_node(g, rng);
+    EXPECT_TRUE(s == 3 || s == 7);
+  }
+}
+
+/// Full-size G1–G3 plus miniature G4–G6 calibration checks.
+class PaperGraphCalibration
+    : public ::testing::TestWithParam<PaperGraphId> {};
+
+TEST_P(PaperGraphCalibration, MatchesSpecAtScale) {
+  const PaperGraphSpec& spec = spec_for(GetParam());
+  // Small citation graphs run at full scale; the SNAP-size ones at 2%.
+  const bool small = spec.vertices < 100'000;
+  const double scale = small ? 1.0 : 0.02;
+  Rng rng(42);
+  Graph g = make_paper_graph(GetParam(), rng, scale);
+
+  const auto expected_nodes = static_cast<double>(spec.vertices) * scale;
+  EXPECT_NEAR(static_cast<double>(g.num_nodes()), expected_nodes,
+              expected_nodes * 0.01 + 1.0);
+  const double expected_density = spec.edge_density();
+  const double achieved_density =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  EXPECT_NEAR(achieved_density, expected_density, expected_density * 0.25);
+  EXPECT_LT(g.isolated_count(), g.num_nodes() / 100 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSix, PaperGraphCalibration,
+    ::testing::ValuesIn(all_paper_graphs()),
+    [](const ::testing::TestParamInfo<PaperGraphId>& info) {
+      return spec_for(info.param).label;
+    });
+
+}  // namespace
+}  // namespace meloppr::graph

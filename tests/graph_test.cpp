@@ -1,0 +1,135 @@
+// Graph + GraphBuilder structural tests.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace meloppr::graph {
+namespace {
+
+TEST(GraphBuilder, BuildsSortedSymmetricCsr) {
+  GraphBuilder b(4);
+  b.add_edge(2, 0);
+  b.add_edge(0, 1);
+  b.add_edge(3, 1);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  ASSERT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(0)[1], 2u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphBuilder, DropsSelfLoopsSilently) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeIds) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(5, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsZeroNodes) {
+  EXPECT_THROW(GraphBuilder(0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, AddEdgesBulk) {
+  GraphBuilder b(4);
+  b.add_edges({{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(b.pending_edges(), 3u);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Graph, HasEdgeBothDirections) {
+  Graph g = fixtures::path(3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, DegreeStatistics) {
+  Graph g = fixtures::star(5);  // center 0 + 4 leaves
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 8.0 / 5.0);
+  EXPECT_EQ(g.size(), 5u + 4u);
+}
+
+TEST(Graph, IsolatedCount) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  EXPECT_EQ(g.isolated_count(), 3u);
+}
+
+TEST(Graph, BytesCoverBothArrays) {
+  Graph g = fixtures::complete(10);  // 45 edges, 90 arcs
+  EXPECT_GE(g.bytes(), (10 + 1) * sizeof(std::uint64_t) +
+                           90 * sizeof(NodeId));
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  Graph g = fixtures::cycle(6);
+  const std::string s = g.summary();
+  EXPECT_NE(s.find("|V|=6"), std::string::npos);
+  EXPECT_NE(s.find("|E|=6"), std::string::npos);
+}
+
+TEST(Graph, ConstructorRejectsBadOffsets) {
+  // offsets.back() disagrees with targets size.
+  EXPECT_THROW(Graph({0, 2}, {1}), InvariantViolation);
+  // non-monotone offsets.
+  EXPECT_THROW(Graph({0, 2, 1}, {1, 0}), InvariantViolation);
+}
+
+TEST(Fixtures, Fig1GraphMatchesPaperExample) {
+  // Fig. 1 works on a 4-node graph where the seed v1 has degree 3 and
+  // W·S0 = [0, 1/3, 1/3, 1/3].
+  Graph g = fixtures::fig1_graph();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+TEST(Fixtures, BarbellIsTwoCliquesWithBridge) {
+  Graph g = fixtures::barbell(4);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 2u * 6u + 1u);
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_FALSE(g.has_edge(0, 7));
+}
+
+TEST(Fixtures, BinaryTreeParentLinks) {
+  Graph g = fixtures::binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(2, 6));
+}
+
+}  // namespace
+}  // namespace meloppr::graph

@@ -1,0 +1,170 @@
+// Parameterized property sweeps for the hardware layer: numerics invariance
+// and cycle-model physics across (P × graph family × localized-aggregation)
+// combinations, plus end-to-end hybrid precision across paper graphs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/engine.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/paper_graphs.hpp"
+#include "hw/farm.hpp"
+#include "hw/host.hpp"
+#include "ppr/local_ppr.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::hw {
+namespace {
+
+using graph::Graph;
+
+// ---------------------------------------------------------------------------
+// Property A: cycle-model physics over P × localized-aggregation.
+// ---------------------------------------------------------------------------
+
+using CycleParam = std::tuple<unsigned, bool>;  // (P, localized)
+
+class CycleModelPhysics : public ::testing::TestWithParam<CycleParam> {};
+
+TEST_P(CycleModelPhysics, WorkConservationAndBounds) {
+  const auto [p, localized] = GetParam();
+  Rng rng(201);
+  Graph g = graph::barabasi_albert(1500, 3, 3, rng);
+  graph::Subgraph ball = graph::extract_ball(g, 21, 3);
+
+  AcceleratorConfig cfg;
+  cfg.parallelism = p;
+  cfg.localized_aggregation = localized;
+  Accelerator accel(cfg, Quantizer(0.85, 10, 50'000'000));
+  AcceleratorRun run = accel.diffuse(ball, 1 << 24, 3);
+
+  // Compute can never beat the perfectly balanced bound.
+  const std::uint64_t lower_bound =
+      (run.edge_ops + p - 1) / p + 3 * cfg.sync_cycles_per_iteration;
+  EXPECT_GE(run.cycles.diffusion, lower_bound);
+  // And P=1 cannot have conflicts.
+  if (p == 1) EXPECT_EQ(run.cycles.scheduling, 0u);
+  // A P-PE machine cannot run faster than edge_ops/P even with zero
+  // scheduling, nor slower than fully serial plus all writes.
+  EXPECT_LE(run.cycles.diffusion + run.cycles.scheduling,
+            2 * run.edge_ops + 3 * cfg.sync_cycles_per_iteration + 3);
+}
+
+TEST_P(CycleModelPhysics, NumericsIndependentOfSchedule) {
+  const auto [p, localized] = GetParam();
+  Rng rng(202);
+  Graph g = graph::erdos_renyi(400, 1200, rng);
+  graph::NodeId seed = 0;
+  while (g.degree(seed) == 0) ++seed;
+  graph::Subgraph ball = graph::extract_ball(g, seed, 3);
+
+  AcceleratorConfig base_cfg;
+  base_cfg.parallelism = 1;
+  const Quantizer quant(0.85, 10, 50'000'000);
+  AcceleratorRun reference =
+      Accelerator(base_cfg, quant).diffuse(ball, 1 << 22, 3);
+
+  AcceleratorConfig cfg;
+  cfg.parallelism = p;
+  cfg.localized_aggregation = localized;
+  AcceleratorRun run = Accelerator(cfg, quant).diffuse(ball, 1 << 22, 3);
+  EXPECT_EQ(run.accumulated, reference.accumulated);
+  EXPECT_EQ(run.residual, reference.residual);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CycleModelPhysics,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u, 16u),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<CycleParam>& info) {
+      return "P" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_localagg" : "_raw");
+    });
+
+// ---------------------------------------------------------------------------
+// Property B: hybrid pipeline precision on every small paper graph.
+// ---------------------------------------------------------------------------
+
+class HybridPrecision
+    : public ::testing::TestWithParam<graph::PaperGraphId> {};
+
+TEST_P(HybridPrecision, TracksCpuEngineWithinQuantizationNoise) {
+  Rng rng(203);
+  Graph g = graph::make_paper_graph(GetParam(), rng, 0.5);
+  const std::size_t k = 50;
+
+  core::MelopprConfig cfg;
+  cfg.stage_lengths = {3, 3};
+  cfg.k = k;
+  cfg.selection = core::Selection::top_count(16);
+  core::Engine engine(g, cfg);
+
+  Quantizer quant = Quantizer::from_graph_stats(
+      0.85, 10, DChoice::kHalfMaxDegree, g.average_degree(), g.max_degree(),
+      g.num_nodes());
+  AcceleratorConfig acfg;
+  acfg.parallelism = 16;
+
+  double prec_sum = 0.0;
+  const int trials = 3;
+  for (int i = 0; i < trials; ++i) {
+    const graph::NodeId seed = graph::random_seed_node(g, rng);
+    // CPU engine with the SAME selection — isolates quantization effects
+    // from the selection policy.
+    core::CpuBackend cpu(0.85);
+    core::ExactAggregator exact;
+    core::QueryResult ref = engine.query(seed, cpu, exact);
+
+    FpgaBackend fpga{Accelerator(acfg, quant)};
+    core::TopCKAggregator table(10 * k);
+    core::QueryResult got = engine.query(seed, fpga, table);
+    prec_sum += ppr::precision_at_k(ref.top, got.top, k);
+    EXPECT_EQ(fpga.saturated_runs(), 0u);
+  }
+  EXPECT_GE(prec_sum / trials, 0.9) << graph::spec_for(GetParam()).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGraphs, HybridPrecision,
+    ::testing::ValuesIn(graph::small_paper_graphs()),
+    [](const ::testing::TestParamInfo<graph::PaperGraphId>& info) {
+      return graph::spec_for(info.param).label;
+    });
+
+// ---------------------------------------------------------------------------
+// Property C: farm makespan obeys list-scheduling bounds for any D.
+// ---------------------------------------------------------------------------
+
+class FarmBounds : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FarmBounds, MakespanWithinGreedyGuarantee) {
+  const std::size_t devices = GetParam();
+  Rng rng(204);
+  Graph g = graph::barabasi_albert(1200, 2, 3, rng);
+  AcceleratorConfig cfg;
+  cfg.parallelism = 4;
+  FpgaFarm farm(devices, cfg, Quantizer(0.85, 10, 50'000'000));
+
+  double longest_job = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    const graph::NodeId seed = graph::random_seed_node(g, rng);
+    graph::Subgraph ball = graph::extract_ball(g, seed, 3);
+    core::BackendResult r = farm.run(ball, 1.0, 3);
+    longest_job =
+        std::max(longest_job, r.compute_seconds + r.transfer_seconds);
+  }
+  const double serial = farm.serial_seconds();
+  const double makespan = farm.makespan_seconds();
+  const double d = static_cast<double>(devices);
+  // Classic greedy list-scheduling sandwich:
+  //   max(serial/D, longest job) ≤ makespan ≤ serial/D + longest job.
+  EXPECT_GE(makespan + 1e-12, std::max(serial / d, longest_job));
+  EXPECT_LE(makespan, serial / d + longest_job + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceCounts, FarmBounds,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace meloppr::hw

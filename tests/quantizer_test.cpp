@@ -1,0 +1,91 @@
+#include "hw/quantizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace meloppr::hw {
+namespace {
+
+TEST(Quantizer, AlphaApproximationQ10) {
+  // Paper setting: q=10 → α_p = round(0.85·1024) = 870.
+  Quantizer quant(0.85, 10, 1'000'000);
+  EXPECT_EQ(quant.alpha_p(), 870u);
+  EXPECT_EQ(quant.q(), 10u);
+  EXPECT_NEAR(quant.effective_alpha(), 0.85, 1.0 / 1024.0);
+}
+
+TEST(Quantizer, RoundTripIsTight) {
+  Quantizer quant(0.85, 10, 1'000'000);
+  for (double mass : {1.0, 0.5, 0.123456, 1e-4}) {
+    const std::uint32_t fixed = quant.to_fixed(mass);
+    EXPECT_NEAR(quant.to_real(fixed), mass, 1.0 / 1e6);
+  }
+}
+
+TEST(Quantizer, MassBelowResolutionQuantizesToZero) {
+  Quantizer quant(0.85, 10, 1000);
+  EXPECT_EQ(quant.to_fixed(1e-9), 0u);
+  EXPECT_DOUBLE_EQ(quant.to_real(0), 0.0);
+}
+
+TEST(Quantizer, MulAlphaMatchesShiftArithmetic) {
+  Quantizer quant(0.85, 10, 1'000'000);
+  EXPECT_EQ(quant.mul_alpha(1024), (1024ull * 870) >> 10);
+  EXPECT_EQ(quant.mul_alpha(0), 0u);
+  // α + (1−α) applied to x never exceeds x (truncation only loses mass).
+  for (std::uint64_t x : {1000ull, 12345ull, 999999ull}) {
+    EXPECT_LE(quant.mul_alpha(x) + quant.mul_one_minus_alpha(x), x);
+    EXPECT_GE(quant.mul_alpha(x) + quant.mul_one_minus_alpha(x), x - 2);
+  }
+}
+
+TEST(Quantizer, DivDegreeTruncates) {
+  EXPECT_EQ(Quantizer::div_degree(10, 3), 3u);
+  EXPECT_EQ(Quantizer::div_degree(2, 3), 0u);
+}
+
+TEST(Quantizer, MaxValueClampsTo31Bits) {
+  Quantizer quant(0.85, 10, 1ull << 40);
+  EXPECT_EQ(quant.max_value(), 0x7fffffffu);
+}
+
+TEST(Quantizer, ParameterValidation) {
+  EXPECT_THROW(Quantizer(0.0, 10, 100), std::invalid_argument);
+  EXPECT_THROW(Quantizer(1.0, 10, 100), std::invalid_argument);
+  EXPECT_THROW(Quantizer(0.85, 0, 100), std::invalid_argument);
+  EXPECT_THROW(Quantizer(0.85, 17, 100), std::invalid_argument);
+  EXPECT_THROW(Quantizer(0.85, 10, 0), std::invalid_argument);
+}
+
+TEST(Quantizer, ToFixedRejectsOutOfRangeMass) {
+  Quantizer quant(0.85, 10, 1000);
+  EXPECT_THROW((void)quant.to_fixed(-0.1), InvariantViolation);
+  EXPECT_THROW((void)quant.to_fixed(1.5), InvariantViolation);
+  EXPECT_EQ(quant.to_fixed(1.0), 1000u);
+}
+
+TEST(Quantizer, FromGraphStatsPolicies) {
+  // avg degree 4, max degree 100, reference 1000 nodes.
+  const Quantizer avg = Quantizer::from_graph_stats(
+      0.85, 10, DChoice::kAverageDegree, 4.0, 100, 1000);
+  const Quantizer half = Quantizer::from_graph_stats(
+      0.85, 10, DChoice::kHalfMaxDegree, 4.0, 100, 1000);
+  const Quantizer full = Quantizer::from_graph_stats(
+      0.85, 10, DChoice::kMaxDegree, 4.0, 100, 1000);
+  EXPECT_EQ(avg.max_value(), 4000u);
+  EXPECT_EQ(half.max_value(), 50000u);
+  EXPECT_EQ(full.max_value(), 100000u);
+  // Larger d → finer resolution.
+  EXPECT_LT(avg.max_value(), half.max_value());
+  EXPECT_LT(half.max_value(), full.max_value());
+}
+
+TEST(Quantizer, DChoiceNames) {
+  EXPECT_EQ(to_string(DChoice::kAverageDegree), "d=avg_degree");
+  EXPECT_EQ(to_string(DChoice::kHalfMaxDegree), "d=max_degree/2");
+  EXPECT_EQ(to_string(DChoice::kMaxDegree), "d=max_degree");
+}
+
+}  // namespace
+}  // namespace meloppr::hw

@@ -1,0 +1,104 @@
+#include "hw/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/memory_model.hpp"
+#include "util/assert.hpp"
+
+namespace meloppr::hw {
+namespace {
+
+TEST(MemoryModel, PaperBramFormula) {
+  // BRAM|Bytes = 4·(2V + 2E + 2V + V) — Sec. VI-B, verbatim.
+  EXPECT_EQ(core::fpga_bram_bytes(10, 20), 4u * (20 + 40 + 20 + 10));
+  EXPECT_EQ(core::fpga_bram_bytes(0, 0), 0u);
+}
+
+TEST(MemoryModel, CpuBallBytesScalesWithBall) {
+  EXPECT_GT(core::cpu_ball_bytes(100, 400), core::cpu_ball_bytes(10, 40));
+}
+
+TEST(ResourceModel, DefaultsMatchPaperTableI) {
+  // Table I: LUT 0.9/3.1/8.9/21.8/70.6 %, BRAM 4.8/9.9/19.2/36.1/72.8 %
+  // for P = 1/2/4/8/16. The structural model should land within a couple of
+  // percentage points at every P.
+  ResourceModel model;
+  const struct {
+    unsigned p;
+    double lut_pct;
+    double bram_pct;
+  } expected[] = {
+      {1, 0.9, 4.8}, {2, 3.1, 9.9}, {4, 8.9, 19.2},
+      {8, 21.8, 36.1}, {16, 70.6, 72.8},
+  };
+  for (const auto& row : expected) {
+    const ResourceUsage usage = model.estimate(row.p);
+    EXPECT_NEAR(usage.lut_fraction * 100.0, row.lut_pct, 2.5)
+        << "P=" << row.p;
+    EXPECT_NEAR(usage.bram_fraction * 100.0, row.bram_pct, 2.5)
+        << "P=" << row.p;
+    EXPECT_TRUE(usage.fits) << "P=" << row.p;
+  }
+}
+
+TEST(ResourceModel, DspStaysNegligible) {
+  // Table I note: DSP usage under 0.1% because division is LUT logic.
+  ResourceModel model;
+  for (unsigned p : {1u, 16u}) {
+    EXPECT_LT(model.estimate(p).dsp_fraction, 0.001);
+  }
+}
+
+TEST(ResourceModel, LutGrowthIsSuperlinearBramLinear) {
+  ResourceModel model;
+  const auto u1 = model.estimate(1);
+  const auto u4 = model.estimate(4);
+  const auto u16 = model.estimate(16);
+  // LUTs: more than ×4 from P=4 to P=16 (crossbar quadratic term).
+  EXPECT_GT(static_cast<double>(u16.luts), 4.0 * static_cast<double>(u4.luts));
+  // BRAM: close to linear.
+  const double bram_ratio = static_cast<double>(u16.bram36_blocks) /
+                            static_cast<double>(u1.bram36_blocks);
+  EXPECT_GT(bram_ratio, 10.0);
+  EXPECT_LT(bram_ratio, 16.5);
+}
+
+TEST(ResourceModel, PeBramBlocksFromFormula) {
+  ResourceModel model;
+  const auto& c = model.coefficients();
+  const std::size_t bytes =
+      core::fpga_bram_bytes(c.pe_ball_nodes, c.pe_ball_edges);
+  const std::size_t expected = (bytes + 4607) / 4608;  // 36 Kb blocks
+  EXPECT_EQ(model.pe_bram_blocks(), expected);
+}
+
+TEST(ResourceModel, MaxParallelismIsBramBound) {
+  ResourceModel model;
+  const unsigned max_p = model.max_parallelism();
+  EXPECT_GE(max_p, 16u);   // the paper's P=16 must fit
+  EXPECT_LT(max_p, 64u);   // but not indefinitely
+  EXPECT_TRUE(model.estimate(max_p).fits);
+  EXPECT_FALSE(model.estimate(max_p + 1).fits);
+}
+
+TEST(ResourceModel, OverflowingDesignDoesNotFit) {
+  ResourceCoefficients huge;
+  huge.per_pe_luts = 200'000;
+  ResourceModel model(DeviceSpec{}, huge);
+  EXPECT_FALSE(model.estimate(2).fits);
+}
+
+TEST(ResourceModel, RejectsZeroParallelism) {
+  ResourceModel model;
+  EXPECT_THROW((void)model.estimate(0), InvariantViolation);
+}
+
+TEST(DeviceSpec, Kc705Constants) {
+  DeviceSpec spec;
+  EXPECT_EQ(spec.luts, 203'800u);
+  EXPECT_EQ(spec.bram36_blocks, 445u);
+  EXPECT_NE(spec.name.find("KC705"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace meloppr::hw

@@ -1,0 +1,103 @@
+#include "ppr/reverse_push.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "ppr/forward_push.hpp"
+#include "ppr/local_ppr.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::ppr {
+namespace {
+
+using graph::Graph;
+
+TEST(ReversePush, MassInvariant) {
+  Rng rng(51);
+  Graph g = graph::barabasi_albert(300, 2, 2, rng);
+  ReversePushResult r = reverse_push_ppr(g, 7, {0.85, 1e-8});
+  // Reverse push conserves Σp + Σr = 1 only in the degree-weighted sense on
+  // undirected graphs; what must hold unconditionally: residuals below
+  // threshold and positive contributions.
+  for (const auto& sn : r.contributions) EXPECT_GT(sn.score, 0.0);
+  EXPECT_GT(r.pushes, 0u);
+  EXPECT_GT(r.touched_nodes, 0u);
+}
+
+TEST(ReversePush, SymmetryWithForwardOnRegularGraph) {
+  // On a d-regular graph, π_s(t) = π_t(s); reverse push toward t and
+  // forward push from t must estimate the same vector.
+  Graph g = graph::fixtures::cycle(40);  // 2-regular
+  const graph::NodeId target = 5;
+  ReversePushResult rev = reverse_push_ppr(g, target, {0.85, 1e-10});
+  ForwardPushResult fwd = forward_push_ppr(g, target, {0.85, 1e-10, 40});
+
+  std::unordered_map<graph::NodeId, double> fwd_scores;
+  for (const auto& sn : fwd.scores) fwd_scores[sn.node] = sn.score;
+  for (const auto& [node, score] : rev.contributions) {
+    const auto it = fwd_scores.find(node);
+    const double fwd_score = it == fwd_scores.end() ? 0.0 : it->second;
+    EXPECT_NEAR(score, fwd_score, 1e-4) << "node " << node;
+  }
+}
+
+TEST(ReversePush, TargetContributesMostToItself) {
+  Rng rng(52);
+  Graph g = graph::barabasi_albert(400, 2, 2, rng);
+  const graph::NodeId target = 11;
+  ReversePushResult r = reverse_push_ppr(g, target, {0.85, 1e-8});
+  double target_score = 0.0;
+  double best_other = 0.0;
+  for (const auto& [node, score] : r.contributions) {
+    if (node == target) target_score = score;
+    else best_other = std::max(best_other, score);
+  }
+  EXPECT_GT(target_score, best_other);
+}
+
+TEST(ReversePush, EpsilonControlsWorkAndResidual) {
+  Rng rng(53);
+  Graph g = graph::barabasi_albert(400, 2, 2, rng);
+  ReversePushResult coarse = reverse_push_ppr(g, 3, {0.85, 1e-3});
+  ReversePushResult fine = reverse_push_ppr(g, 3, {0.85, 1e-7});
+  EXPECT_LT(coarse.pushes, fine.pushes);
+  EXPECT_GT(coarse.residual_mass, fine.residual_mass);
+}
+
+TEST(ReversePush, MaxPushesCap) {
+  Rng rng(54);
+  Graph g = graph::barabasi_albert(400, 2, 2, rng);
+  ReversePushResult r = reverse_push_ppr(g, 3, {0.85, 1e-12, 9});
+  EXPECT_LE(r.pushes, 9u);
+}
+
+TEST(ReversePush, BadTargetThrows) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  EXPECT_THROW(reverse_push_ppr(g, 2, {}), std::invalid_argument);
+  EXPECT_THROW(reverse_push_ppr(g, 7, {}), std::invalid_argument);
+}
+
+TEST(ReversePush, EstimatesMatchExactPprColumn) {
+  // π_s(t) for each source s should track the exact (L=∞ approximated by
+  // long-horizon) PPR of t as seen from s on a small graph. Use forward
+  // push from each s as the oracle.
+  Graph g = graph::fixtures::barbell(5);
+  const graph::NodeId target = 2;
+  ReversePushResult rev = reverse_push_ppr(g, target, {0.85, 1e-10});
+  for (const auto& [source, estimate] : rev.contributions) {
+    ForwardPushResult fwd =
+        forward_push_ppr(g, source, {0.85, 1e-10, g.num_nodes()});
+    double exact = 0.0;
+    for (const auto& sn : fwd.scores) {
+      if (sn.node == target) exact = sn.score;
+    }
+    EXPECT_NEAR(estimate, exact, 1e-3)
+        << "source " << source << " target " << target;
+  }
+}
+
+}  // namespace
+}  // namespace meloppr::ppr

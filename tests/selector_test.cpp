@@ -1,0 +1,112 @@
+#include "core/selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace meloppr::core {
+namespace {
+
+TEST(Selection, FactoriesAndDescribe) {
+  EXPECT_EQ(Selection::all().mode, Selection::Mode::kAll);
+  EXPECT_EQ(Selection::top_ratio(0.1).ratio, 0.1);
+  EXPECT_EQ(Selection::top_count(5).count, 5u);
+  EXPECT_EQ(Selection::above(0.01).threshold, 0.01);
+  EXPECT_NE(Selection::top_ratio(0.05).describe().find("5%"),
+            std::string::npos);
+  EXPECT_EQ(Selection::all().describe(), "all");
+}
+
+TEST(Selection, ValidationRejectsBadParams) {
+  EXPECT_THROW(Selection::top_ratio(0.0).validate(), std::invalid_argument);
+  EXPECT_THROW(Selection::top_ratio(1.5).validate(), std::invalid_argument);
+  EXPECT_THROW(Selection::top_count(0).validate(), std::invalid_argument);
+  EXPECT_THROW(Selection::above(-1.0).validate(), std::invalid_argument);
+  EXPECT_NO_THROW(Selection::all().validate());
+}
+
+TEST(SelectNextStage, AllModeTakesEveryNonzero) {
+  const std::vector<double> residual = {0.0, 0.5, 0.0, 0.2, 0.3};
+  auto sel = select_next_stage(residual, Selection::all());
+  ASSERT_EQ(sel.size(), 3u);
+  EXPECT_EQ(sel[0].local, 1u);  // 0.5
+  EXPECT_EQ(sel[1].local, 4u);  // 0.3
+  EXPECT_EQ(sel[2].local, 3u);  // 0.2
+}
+
+TEST(SelectNextStage, CountMode) {
+  const std::vector<double> residual = {0.1, 0.5, 0.4, 0.2};
+  auto sel = select_next_stage(residual, Selection::top_count(2));
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel[0].local, 1u);
+  EXPECT_EQ(sel[1].local, 2u);
+}
+
+TEST(SelectNextStage, CountLargerThanSupportIsClamped) {
+  const std::vector<double> residual = {0.0, 0.5};
+  auto sel = select_next_stage(residual, Selection::top_count(10));
+  EXPECT_EQ(sel.size(), 1u);
+}
+
+TEST(SelectNextStage, RatioIsRelativeToBallSizeNotSupport) {
+  // 10 nodes, ratio 0.2 → ⌈2⌉ nodes even though 5 have non-zero residual.
+  const std::vector<double> residual = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                        0.0, 0.0, 0.0, 0.0, 0.0};
+  auto sel = select_next_stage(residual, Selection::top_ratio(0.2));
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel[0].local, 4u);
+  EXPECT_EQ(sel[1].local, 3u);
+}
+
+TEST(SelectNextStage, RatioCeilsToAtLeastOne) {
+  const std::vector<double> residual = {0.1, 0.2, 0.3};
+  auto sel = select_next_stage(residual, Selection::top_ratio(0.01));
+  EXPECT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0].local, 2u);
+}
+
+TEST(SelectNextStage, ThresholdMode) {
+  const std::vector<double> residual = {0.05, 0.5, 0.01, 0.2};
+  auto sel = select_next_stage(residual, Selection::above(0.04));
+  ASSERT_EQ(sel.size(), 3u);
+  EXPECT_EQ(sel[0].local, 1u);
+  EXPECT_EQ(sel[1].local, 3u);
+  EXPECT_EQ(sel[2].local, 0u);
+}
+
+TEST(SelectNextStage, ThresholdIsStrict) {
+  const std::vector<double> residual = {0.1, 0.1};
+  EXPECT_TRUE(select_next_stage(residual, Selection::above(0.1)).empty());
+}
+
+TEST(SelectNextStage, TiesBrokenByLocalId) {
+  const std::vector<double> residual = {0.5, 0.5, 0.5};
+  auto sel = select_next_stage(residual, Selection::top_count(2));
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel[0].local, 0u);
+  EXPECT_EQ(sel[1].local, 1u);
+}
+
+TEST(SelectNextStage, EmptyResidualGivesEmptySelection) {
+  const std::vector<double> residual(8, 0.0);
+  EXPECT_TRUE(select_next_stage(residual, Selection::all()).empty());
+  EXPECT_TRUE(
+      select_next_stage(residual, Selection::top_ratio(0.5)).empty());
+}
+
+TEST(SelectNextStage, NegativeResidualIsAnInvariantViolation) {
+  const std::vector<double> residual = {0.1, -0.2};
+  EXPECT_THROW(select_next_stage(residual, Selection::all()),
+               InvariantViolation);
+}
+
+TEST(SelectNextStage, ResidualValuesAreCarried) {
+  const std::vector<double> residual = {0.25, 0.75};
+  auto sel = select_next_stage(residual, Selection::all());
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_DOUBLE_EQ(sel[0].residual, 0.75);
+  EXPECT_DOUBLE_EQ(sel[1].residual, 0.25);
+}
+
+}  // namespace
+}  // namespace meloppr::core

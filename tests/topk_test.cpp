@@ -1,0 +1,90 @@
+#include "ppr/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace meloppr::ppr {
+namespace {
+
+TEST(TopK, OrdersByScoreThenId) {
+  std::vector<ScoredNode> scores = {
+      {5, 0.1}, {3, 0.5}, {9, 0.5}, {1, 0.3}};
+  auto top = top_k(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].node, 3u);  // 0.5, lower id first
+  EXPECT_EQ(top[1].node, 9u);  // 0.5
+  EXPECT_EQ(top[2].node, 1u);  // 0.3
+}
+
+TEST(TopK, FewerThanKReturnsAllSorted) {
+  std::vector<ScoredNode> scores = {{2, 0.2}, {1, 0.9}};
+  auto top = top_k(scores, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 1u);
+}
+
+TEST(TopK, EmptyInput) {
+  auto top = top_k(std::vector<ScoredNode>{}, 5);
+  EXPECT_TRUE(top.empty());
+}
+
+TEST(TopK, MapOverloadAgreesWithVector) {
+  ScoreMap m{{1, 0.5}, {2, 0.7}, {3, 0.1}};
+  auto from_map = top_k(m, 2);
+  auto from_vec = top_k(to_scored_nodes(m), 2);
+  ASSERT_EQ(from_map.size(), from_vec.size());
+  for (std::size_t i = 0; i < from_map.size(); ++i) {
+    EXPECT_EQ(from_map[i].node, from_vec[i].node);
+  }
+}
+
+TEST(TopK, DeterministicUnderPermutation) {
+  std::vector<ScoredNode> a = {{4, 0.4}, {2, 0.4}, {7, 0.4}, {1, 0.4}};
+  std::vector<ScoredNode> b = {{1, 0.4}, {7, 0.4}, {2, 0.4}, {4, 0.4}};
+  auto ta = top_k(a, 2);
+  auto tb = top_k(b, 2);
+  ASSERT_EQ(ta.size(), 2u);
+  EXPECT_EQ(ta[0].node, tb[0].node);
+  EXPECT_EQ(ta[1].node, tb[1].node);
+  EXPECT_EQ(ta[0].node, 1u);
+  EXPECT_EQ(ta[1].node, 2u);
+}
+
+TEST(Precision, ExactMatchIsOne) {
+  std::vector<ScoredNode> truth = {{1, 0.9}, {2, 0.8}, {3, 0.7}};
+  EXPECT_DOUBLE_EQ(precision_at_k(truth, truth, 3), 1.0);
+}
+
+TEST(Precision, DisjointIsZero) {
+  std::vector<ScoredNode> truth = {{1, 0.9}, {2, 0.8}};
+  std::vector<ScoredNode> approx = {{3, 0.9}, {4, 0.8}};
+  EXPECT_DOUBLE_EQ(precision_at_k(truth, approx, 2), 0.0);
+}
+
+TEST(Precision, PartialOverlap) {
+  std::vector<ScoredNode> truth = {{1, 0.9}, {2, 0.8}, {3, 0.7}, {4, 0.6}};
+  std::vector<ScoredNode> approx = {{1, 0.9}, {3, 0.8}, {9, 0.7}, {8, 0.6}};
+  EXPECT_DOUBLE_EQ(precision_at_k(truth, approx, 4), 0.5);
+}
+
+TEST(Precision, DividesByKNotByListSize) {
+  // The paper's definition divides by k even if the approximation returned
+  // fewer nodes.
+  std::vector<ScoredNode> truth = {{1, 0.9}, {2, 0.8}, {3, 0.7}, {4, 0.6}};
+  std::vector<ScoredNode> approx = {{1, 0.9}};
+  EXPECT_DOUBLE_EQ(precision_at_k(truth, approx, 4), 0.25);
+}
+
+TEST(Precision, ScoresAreIrrelevantOnlyIdentity) {
+  std::vector<ScoredNode> truth = {{1, 1.0}, {2, 0.5}};
+  std::vector<ScoredNode> approx = {{2, 123.0}, {1, -5.0}};
+  EXPECT_DOUBLE_EQ(precision_at_k(truth, approx, 2), 1.0);
+}
+
+TEST(Precision, ZeroKThrows) {
+  EXPECT_THROW(precision_at_k({}, {}, 0), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace meloppr::ppr

@@ -1,0 +1,107 @@
+#include "util/memory_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace meloppr {
+namespace {
+
+TEST(MemoryMeter, TracksCurrentAndPeak) {
+  MemoryMeter m;
+  m.allocate("a", 100);
+  m.allocate("b", 50);
+  EXPECT_EQ(m.current_bytes(), 150u);
+  EXPECT_EQ(m.peak_bytes(), 150u);
+  m.release("a", 100);
+  EXPECT_EQ(m.current_bytes(), 50u);
+  EXPECT_EQ(m.peak_bytes(), 150u);  // peak is sticky
+  m.allocate("a", 40);
+  EXPECT_EQ(m.current_bytes(), 90u);
+  EXPECT_EQ(m.peak_bytes(), 150u);
+}
+
+TEST(MemoryMeter, PeakIsOfTheSumNotPerCategory) {
+  // Two categories that never overlap at 100 bytes each must yield a total
+  // peak of 100, not 200 — exactly the "one ball at a time" property the
+  // engine relies on.
+  MemoryMeter m;
+  m.allocate("ball", 100);
+  m.release("ball", 100);
+  m.allocate("ball", 100);
+  m.release("ball", 100);
+  EXPECT_EQ(m.peak_bytes(), 100u);
+  EXPECT_EQ(m.peak_bytes("ball"), 100u);
+}
+
+TEST(MemoryMeter, PerCategoryAccounting) {
+  MemoryMeter m;
+  m.allocate("x", 10);
+  m.allocate("y", 20);
+  EXPECT_EQ(m.current_bytes("x"), 10u);
+  EXPECT_EQ(m.current_bytes("y"), 20u);
+  EXPECT_EQ(m.current_bytes("z"), 0u);
+  EXPECT_EQ(m.peak_bytes("z"), 0u);
+  EXPECT_EQ(m.categories().size(), 2u);
+}
+
+TEST(MemoryMeter, OverReleaseThrows) {
+  MemoryMeter m;
+  m.allocate("x", 10);
+  EXPECT_THROW(m.release("x", 11), InvariantViolation);
+  EXPECT_THROW(m.release("never-seen", 1), InvariantViolation);
+}
+
+TEST(MemoryMeter, SetMovesFootprintUpAndDown) {
+  MemoryMeter m;
+  m.set("agg", 100);
+  EXPECT_EQ(m.current_bytes("agg"), 100u);
+  m.set("agg", 250);
+  EXPECT_EQ(m.current_bytes("agg"), 250u);
+  m.set("agg", 50);
+  EXPECT_EQ(m.current_bytes("agg"), 50u);
+  EXPECT_EQ(m.peak_bytes("agg"), 250u);
+}
+
+TEST(MemoryMeter, ResetForgetsEverything) {
+  MemoryMeter m;
+  m.allocate("x", 10);
+  m.reset();
+  EXPECT_EQ(m.current_bytes(), 0u);
+  EXPECT_EQ(m.peak_bytes(), 0u);
+  EXPECT_TRUE(m.categories().empty());
+}
+
+TEST(MemoryMeter, ReportMentionsCategories) {
+  MemoryMeter m;
+  m.allocate("ball", 1024 * 1024);
+  const std::string r = m.report();
+  EXPECT_NE(r.find("ball"), std::string::npos);
+  EXPECT_NE(r.find("1.000 MB"), std::string::npos);
+}
+
+TEST(ScopedAllocation, ReleasesOnDestruction) {
+  MemoryMeter m;
+  {
+    ScopedAllocation s(m, "scoped", 64);
+    EXPECT_EQ(m.current_bytes(), 64u);
+    s.grow(36);
+    EXPECT_EQ(m.current_bytes(), 100u);
+  }
+  EXPECT_EQ(m.current_bytes(), 0u);
+  EXPECT_EQ(m.peak_bytes(), 100u);
+}
+
+TEST(VectorBytes, UsesCapacity) {
+  std::vector<std::uint64_t> v;
+  v.reserve(10);
+  EXPECT_EQ(vector_bytes(v), 80u);
+}
+
+TEST(FormatMb, Format) {
+  EXPECT_EQ(format_mb(1024 * 1024), "1.000 MB");
+  EXPECT_EQ(format_mb(0), "0.000 MB");
+}
+
+}  // namespace
+}  // namespace meloppr

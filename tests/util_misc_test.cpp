@@ -1,0 +1,137 @@
+// Tests for table_printer, env knobs, timers and the assertion macros.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/env.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+namespace meloppr {
+namespace {
+
+TEST(TablePrinter, AsciiAlignsColumns) {
+  TablePrinter t({"Graph", "Memory"});
+  t.add_row({"G1", "0.005"});
+  t.add_row({"G2-long-name", "12"});
+  const std::string out = t.ascii();
+  EXPECT_NE(out.find("G2-long-name"), std::string::npos);
+  EXPECT_NE(out.find("| Graph"), std::string::npos);
+  // Every line has the same width.
+  std::size_t width = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinter, RowArityMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantViolation);
+}
+
+TEST(TablePrinter, CsvEscapesSpecials) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TablePrinter, SeparatorSkippedInCsv) {
+  TablePrinter t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string csv = t.csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(13.058), "13.06x");
+  EXPECT_EQ(fmt_percent(0.738), "73.8%");
+  EXPECT_EQ(fmt_range(0.005, 1.262), "0.005 ~ 1.262");
+}
+
+TEST(Env, IntFallbacks) {
+  ::unsetenv("MELOPPR_TEST_INT");
+  EXPECT_EQ(env_int("MELOPPR_TEST_INT", 7), 7);
+  ::setenv("MELOPPR_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("MELOPPR_TEST_INT", 7), 42);
+  ::setenv("MELOPPR_TEST_INT", "garbage", 1);
+  EXPECT_EQ(env_int("MELOPPR_TEST_INT", 7), 7);
+  ::unsetenv("MELOPPR_TEST_INT");
+}
+
+TEST(Env, DoubleAndFlag) {
+  ::setenv("MELOPPR_TEST_D", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("MELOPPR_TEST_D", 1.0), 0.25);
+  ::unsetenv("MELOPPR_TEST_D");
+  EXPECT_DOUBLE_EQ(env_double("MELOPPR_TEST_D", 1.0), 1.0);
+
+  ::setenv("MELOPPR_TEST_F", "off", 1);
+  EXPECT_FALSE(env_flag("MELOPPR_TEST_F", true));
+  ::setenv("MELOPPR_TEST_F", "1", 1);
+  EXPECT_TRUE(env_flag("MELOPPR_TEST_F", false));
+  ::unsetenv("MELOPPR_TEST_F");
+  EXPECT_TRUE(env_flag("MELOPPR_TEST_F", true));
+}
+
+TEST(Env, BenchSeedCount) {
+  ::unsetenv("MELOPPR_SEEDS");
+  EXPECT_EQ(bench_seed_count(25), 25u);
+  ::setenv("MELOPPR_SEEDS", "100", 1);
+  EXPECT_EQ(bench_seed_count(25), 100u);
+  ::setenv("MELOPPR_SEEDS", "-3", 1);
+  EXPECT_EQ(bench_seed_count(25), 25u);
+  ::unsetenv("MELOPPR_SEEDS");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.elapsed_ms(), 9.0);
+  EXPECT_LT(t.elapsed_seconds(), 5.0);
+  t.restart();
+  EXPECT_LT(t.elapsed_ms(), 9.0);
+}
+
+TEST(AccumulatingTimer, SumsScopes) {
+  AccumulatingTimer acc;
+  {
+    auto scope = acc.measure();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    auto scope = acc.measure();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(acc.total_ms(), 8.0);
+  acc.add_seconds(1.0);
+  EXPECT_GE(acc.total_seconds(), 1.0);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), 0.0);
+}
+
+TEST(Assert, CheckThrowsWithContext) {
+  try {
+    MELO_CHECK_MSG(1 == 2, "custom context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InvariantViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context 42"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Assert, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(MELO_CHECK(2 + 2 == 4));
+}
+
+}  // namespace
+}  // namespace meloppr

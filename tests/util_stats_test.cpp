@@ -1,0 +1,122 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace meloppr {
+namespace {
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, MeanAndVarianceMatchClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: Σ(x−5)² = 32, n−1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyThrowsOnRead) {
+  RunningStats s;
+  EXPECT_THROW((void)s.mean(), InvariantViolation);
+  EXPECT_THROW((void)s.min(), InvariantViolation);
+  EXPECT_THROW((void)s.max(), InvariantViolation);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.mean(), 1.0);
+}
+
+TEST(Samples, GeomeanOfRatios) {
+  Samples s({2.0, 8.0});
+  EXPECT_DOUBLE_EQ(s.geomean(), 4.0);
+}
+
+TEST(Samples, GeomeanRejectsNonPositive) {
+  Samples s({2.0, 0.0});
+  EXPECT_THROW((void)s.geomean(), InvariantViolation);
+}
+
+TEST(Samples, PercentileInterpolation) {
+  Samples s({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 25.0);
+  EXPECT_NEAR(s.percentile(25.0), 17.5, 1e-12);
+}
+
+TEST(Samples, PercentileSingleElement) {
+  Samples s({7.0});
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 7.0);
+}
+
+TEST(Samples, BasicMoments) {
+  Samples s({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+}
+
+TEST(LogHistogram, BinsAndFractions) {
+  LogHistogram h(-4.0, 0.0, 4);  // decades: [-4,-3), [-3,-2), [-2,-1), [-1,0]
+  h.add(0.5);      // log10 ≈ -0.3 → last bin
+  h.add(0.05);     // -1.3 → bin 2
+  h.add(0.005);    // -2.3 → bin 1
+  h.add(0.0005);   // -3.3 → bin 0
+  h.add(0.0);      // clamps to first bin
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction_below(-3.0), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(0.0), 1.0);
+}
+
+TEST(LogHistogram, AsciiRendersEveryBin) {
+  LogHistogram h(-2.0, 0.0, 2);
+  h.add(0.5);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace meloppr
