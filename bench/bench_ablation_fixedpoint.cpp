@@ -11,7 +11,7 @@
 namespace meloppr::bench {
 namespace {
 
-double fixed_point_precision(const graph::Graph& g, const hw::Quantizer& q,
+double fixed_point_precision(const hw::Quantizer& q,
                              const std::vector<graph::Subgraph>& balls,
                              std::size_t k, const PaperSetup& setup) {
   hw::AcceleratorConfig cfg;
@@ -62,7 +62,7 @@ int run() {
           setup.alpha, setup.q, choice, g.average_degree(), g.max_degree(),
           g.num_nodes());
       const double prec =
-          fixed_point_precision(g, quant, balls, setup.k, setup);
+          fixed_point_precision(quant, balls, setup.k, setup);
       table.add_row({spec.label, to_string(choice),
                      std::to_string(setup.q),
                      std::to_string(quant.max_value()), fmt_percent(prec),
@@ -74,7 +74,7 @@ int run() {
           setup.alpha, q, hw::DChoice::kHalfMaxDegree, g.average_degree(),
           g.max_degree(), g.num_nodes());
       const double prec =
-          fixed_point_precision(g, quant, balls, setup.k, setup);
+          fixed_point_precision(quant, balls, setup.k, setup);
       table.add_row({spec.label, "d=max_degree/2", std::to_string(q),
                      std::to_string(quant.max_value()), fmt_percent(prec),
                      fmt_percent(1.0 - prec, 2)});

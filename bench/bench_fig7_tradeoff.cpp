@@ -21,7 +21,6 @@ int run() {
   const PaperSetup setup = paper_setup();
 
   for (graph::PaperGraphId id : graph::all_paper_graphs()) {
-    const auto& spec = graph::spec_for(id);
     graph::Graph g = build_graph(id, rng);
     const bool large = g.num_nodes() > 100'000;
     const std::size_t seeds = bench_seed_count(large ? 2 : 5);

@@ -87,4 +87,61 @@ void TopCKAggregator::clear() {
   evictions_ = 0;
 }
 
+StripedAggregator::StripedAggregator(std::size_t stripes) {
+  if (stripes == 0) {
+    throw std::invalid_argument("StripedAggregator: need at least one stripe");
+  }
+  stripes_.reserve(stripes);
+  for (std::size_t s = 0; s < stripes; ++s) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+void StripedAggregator::add(graph::NodeId node, double delta) {
+  Stripe& stripe = stripe_for(node);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.scores[node] += delta;
+}
+
+std::vector<ScoredNode> StripedAggregator::top(std::size_t k) const {
+  std::vector<ScoredNode> all;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    all.reserve(all.size() + stripe->scores.size());
+    for (const auto& [node, score] : stripe->scores) {
+      all.push_back({node, score});
+    }
+  }
+  return ppr::top_k(std::move(all), k);
+}
+
+std::size_t StripedAggregator::entries() const {
+  std::size_t n = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    n += stripe->scores.size();
+  }
+  return n;
+}
+
+std::size_t StripedAggregator::bytes() const {
+  // Same per-entry model as ExactAggregator, plus the stripe array.
+  const std::size_t per_entry =
+      sizeof(graph::NodeId) + sizeof(double) + 2 * sizeof(void*);
+  std::size_t total = stripes_.size() * sizeof(Stripe);
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->scores.bucket_count() * sizeof(void*) +
+             stripe->scores.size() * per_entry;
+  }
+  return total;
+}
+
+void StripedAggregator::clear() {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->scores.clear();
+  }
+}
+
 }  // namespace meloppr::core

@@ -12,10 +12,15 @@
 //                      contributions to evicted nodes are lost — the source
 //                      of the <0.2% (c>8) / >3% (c<4) precision loss the
 //                      paper measures. We default to c=10 as the paper does.
+//   StripedAggregator — the QueryPipeline's concurrent path: exact scores
+//                      sharded across mutex-striped maps so worker threads
+//                      add() in parallel with low contention.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -89,6 +94,41 @@ class TopCKAggregator final : public ScoreAggregator {
   std::unordered_map<graph::NodeId, double> by_node_;
   /// Score-ordered index for O(log n) min-eviction; multimap tolerates ties.
   std::multimap<double, graph::NodeId> by_score_;
+};
+
+/// Exact aggregation sharded across `stripes` independent score maps, each
+/// behind its own mutex (stripe = hash(node) % stripes). add() is safe from
+/// any number of threads and contends only within a stripe; sums are exact
+/// because every node lives in exactly one stripe, but the *order* in which
+/// concurrent deltas land is scheduling-dependent, so totals can differ
+/// from a serial run by floating-point rounding (~1e-15 relative). The
+/// read-side calls (top/entries/bytes/clear) lock every stripe and must not
+/// race in-flight add() bursts the caller still awaits.
+class StripedAggregator final : public ScoreAggregator {
+ public:
+  /// Throws std::invalid_argument when `stripes` is zero.
+  explicit StripedAggregator(std::size_t stripes = 16);
+
+  void add(graph::NodeId node, double delta) override;
+  [[nodiscard]] std::vector<ScoredNode> top(std::size_t k) const override;
+  [[nodiscard]] std::size_t entries() const override;
+  [[nodiscard]] std::size_t bytes() const override;
+  void clear() override;
+
+  [[nodiscard]] std::size_t stripe_count() const { return stripes_.size(); }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    ppr::ScoreMap scores;
+  };
+  [[nodiscard]] Stripe& stripe_for(graph::NodeId node) const {
+    return *stripes_[static_cast<std::size_t>(node) % stripes_.size()];
+  }
+
+  /// unique_ptr keeps Stripe addresses stable and sidesteps mutex's
+  /// non-movability.
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 }  // namespace meloppr::core

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "graph/subgraph.hpp"
@@ -51,6 +53,24 @@ class DiffusionBackend {
 
   /// Short name for reports, e.g. "cpu" or "fpga(P=16)".
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Fresh instance sharing no mutable state with this one (counters start
+  /// at zero). The QueryPipeline clones one backend per worker thread when
+  /// the backend is not thread_safe().
+  [[nodiscard]] virtual std::unique_ptr<DiffusionBackend> clone() const = 0;
+
+  /// True when run() may be called concurrently from multiple threads on
+  /// this same instance (e.g. a farm that dispatches internally). Defaults
+  /// to false: the pipeline then clones per worker instead of sharing.
+  [[nodiscard]] virtual bool thread_safe() const { return false; }
+
+  /// Upper bound on run() calls this backend can genuinely execute at the
+  /// same time (its internal execution slots). Unbounded by default; an
+  /// internally-scheduled farm reports its device count so schedulers can
+  /// report physically possible makespans when workers outnumber devices.
+  [[nodiscard]] virtual std::size_t max_concurrent_runs() const {
+    return std::numeric_limits<std::size_t>::max();
+  }
 };
 
 /// Host-CPU backend: wall-clock-measured ppr::diffuse.
@@ -63,6 +83,11 @@ class CpuBackend final : public DiffusionBackend {
   [[nodiscard]] std::size_t working_bytes(
       std::size_t ball_nodes, std::size_t ball_edges) const override;
   [[nodiscard]] std::string name() const override { return "cpu"; }
+  [[nodiscard]] std::unique_ptr<DiffusionBackend> clone() const override {
+    return std::make_unique<CpuBackend>(alpha_);
+  }
+  /// run() holds no mutable state — concurrent calls are safe.
+  [[nodiscard]] bool thread_safe() const override { return true; }
 
  private:
   double alpha_;

@@ -8,11 +8,44 @@
 #include <cstddef>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/selector.hpp"
 
 namespace meloppr::core {
+
+/// Concurrency surface of the QueryPipeline (core/pipeline.hpp): how many
+/// workers, and how their score contributions are reduced.
+struct PipelineConfig {
+  /// Worker threads; 0 → std::thread::hardware_concurrency() (min 1).
+  std::size_t threads = 0;
+
+  /// Reduction mode for the stage-parallel single-query schedule.
+  /// true  → workers only *compute*; the coordinator applies every task's
+  ///         contributions in task order, so scores are identical for any
+  ///         thread count (deterministic reduction).
+  /// false → workers add concurrently through a StripedAggregator: faster
+  ///         under contention, but the floating-point sum order is
+  ///         scheduling-dependent (~1e-15 relative jitter between runs).
+  bool deterministic_reduction = true;
+
+  /// Stripe count for the concurrent aggregation path.
+  std::size_t aggregator_stripes = 16;
+
+  [[nodiscard]] std::size_t resolved_threads() const {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  void validate() const {
+    if (aggregator_stripes == 0) {
+      throw std::invalid_argument(
+          "PipelineConfig: aggregator_stripes must be positive");
+    }
+  }
+};
 
 struct MelopprConfig {
   double alpha = 0.85;                       ///< α-RW continuation prob.

@@ -25,110 +25,135 @@ QueryResult Engine::query(graph::NodeId seed, DiffusionBackend& backend,
   aggregator.clear();
   QueryResult result;
   result.stats.stages.resize(config_.num_stages());
-
-  RecursionContext ctx{backend, aggregator, result.stats, MemoryMeter{}};
+  MemoryMeter meter;
 
   Timer total;
-  run_stage(ctx, seed, /*mass=*/1.0, /*stage=*/0);
+  // Serial schedule: a LIFO work stack drained depth-first. Children are
+  // pushed in reverse selection order so they pop in selection order; the
+  // resulting aggregator operation sequence is exactly the one the original
+  // recursive engine produced, so scores are bit-identical.
+  std::vector<StageTask> stack;
+  stack.push_back({seed, 1.0, 0});
+  meter.set("pending", vector_bytes(stack));
+  while (!stack.empty()) {
+    const StageTask task = stack.back();
+    stack.pop_back();
+    // A non-positive mass cannot move anything; skip the task rather than
+    // abort the query (select_next_stage filters these, but a backend could
+    // in principle emit one — degrade gracefully).
+    if (!(task.mass > 0.0)) continue;
+
+    // Eq. 8's −α^l·S^r term: remove the mass this task will re-diffuse
+    // (the parent's GD_l left it parked at the root).
+    if (task.stage > 0) aggregator.add(task.root, -task.mass);
+
+    StageOutcome out = run_task(task, backend, meter);
+    result.stats.stages[task.stage].merge(out.stats);
+
+    for (const auto& [node, delta] : out.contributions) {
+      aggregator.add(node, delta);
+    }
+    meter.set("aggregator", aggregator.bytes());
+
+    for (auto it = out.children.rbegin(); it != out.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+    meter.set("pending", vector_bytes(stack));
+    meter.set("stage_buffers", 0);
+  }
+
   result.top = aggregator.top(config_.k);
   result.stats.total_seconds = total.elapsed_seconds();
+  result.stats.diffusion_serial_seconds =
+      result.stats.compute_seconds() + result.stats.transfer_seconds();
+  result.stats.diffusion_makespan_seconds =
+      result.stats.diffusion_serial_seconds;
+  result.stats.threads_used = 1;
 
   result.stats.aggregator_bytes = aggregator.bytes();
-  result.stats.peak_bytes = ctx.meter.peak_bytes();
+  result.stats.peak_bytes = meter.peak_bytes();
   return result;
 }
 
-void Engine::run_stage(RecursionContext& ctx, graph::NodeId root_global,
-                       double mass, std::size_t stage) const {
-  MELO_CHECK(stage < config_.num_stages());
-  MELO_CHECK(mass > 0.0);
-  const unsigned length = config_.stage_lengths[stage];
-  StageStats& st = ctx.stats.stages[stage];
+StageOutcome Engine::run_task(const StageTask& task, DiffusionBackend& backend,
+                              MemoryMeter& meter) const {
+  MELO_CHECK(task.stage < config_.num_stages());
+  MELO_CHECK(task.mass > 0.0);
+  const unsigned length = config_.stage_lengths[task.stage];
+  StageOutcome out;
+  out.stage = task.stage;
+  StageStats& st = out.stats;
 
   // --- 1. CPU-side sub-graph preparation (the PS role in Fig. 4). ---
   // With a ball cache installed, extraction is served (and charged) by the
-  // cache; otherwise the ball is owned by this stage frame.
+  // cache; otherwise the ball is owned by this task and freed on return.
   Timer bfs_timer;
   std::optional<graph::Subgraph> owned;
   const graph::Subgraph* ball_ptr;
   if (cache_ != nullptr) {
-    ball_ptr = &cache_->get(root_global, length);
-    ctx.meter.set("ball_cache", cache_->bytes());
+    ball_ptr = &cache_->get(task.root, length);
+    meter.set("ball_cache", cache_->bytes());
   } else {
-    owned.emplace(graph::extract_ball(*graph_, root_global, length));
+    owned.emplace(graph::extract_ball(*graph_, task.root, length));
     ball_ptr = &*owned;
   }
   const graph::Subgraph& ball = *ball_ptr;
   st.bfs_seconds += bfs_timer.elapsed_seconds();
 
-  // Next-stage work list: (global id, in-flight mass) pairs. Populated
-  // inside the block below, consumed after the ball has been freed.
-  std::vector<std::pair<graph::NodeId, double>> children;
-  {
-    // Ball + device working set live only within this block; freeing them
-    // before recursion keeps the peak at "one ball at a time" — the memory
-    // claim of the paper, here verified by the meter rather than assumed.
-    ScopedAllocation ball_mem(ctx.meter, "ball",
-                              owned.has_value() ? ball.bytes() : 0);
-    ScopedAllocation work_mem(
-        ctx.meter, "device",
-        ctx.backend.working_bytes(ball.num_nodes(), ball.num_edges()));
+  // Ball + device working set live only until this function returns; the
+  // peak stays at "one ball at a time" (per worker) — the memory claim of
+  // the paper, verified by the meter rather than assumed.
+  ScopedAllocation ball_mem(meter, "ball",
+                            owned.has_value() ? ball.bytes() : 0);
+  ScopedAllocation work_mem(
+      meter, "device",
+      backend.working_bytes(ball.num_nodes(), ball.num_edges()));
 
-    // --- 2. Diffusion on the device (the PL role in Fig. 4). ---
-    BackendResult diff = ctx.backend.run(ball, mass, length);
-    MELO_CHECK(diff.accumulated.size() == ball.num_nodes());
-    MELO_CHECK(diff.inflight.size() == ball.num_nodes());
+  // --- 2. Diffusion on the device (the PL role in Fig. 4). ---
+  BackendResult diff = backend.run(ball, task.mass, length);
+  MELO_CHECK(diff.accumulated.size() == ball.num_nodes());
+  MELO_CHECK(diff.inflight.size() == ball.num_nodes());
 
-    st.balls += 1;
-    st.max_ball_nodes = std::max(st.max_ball_nodes, ball.num_nodes());
-    st.max_ball_edges = std::max(st.max_ball_edges, ball.num_edges());
-    st.total_ball_nodes += ball.num_nodes();
-    st.total_ball_edges += ball.num_edges();
-    st.compute_seconds += diff.compute_seconds;
-    st.transfer_seconds += diff.transfer_seconds;
-    st.edge_ops += diff.edge_ops;
+  st.balls += 1;
+  st.max_ball_nodes = std::max(st.max_ball_nodes, ball.num_nodes());
+  st.max_ball_edges = std::max(st.max_ball_edges, ball.num_edges());
+  st.total_ball_nodes += ball.num_nodes();
+  st.total_ball_edges += ball.num_edges();
+  st.compute_seconds += diff.compute_seconds;
+  st.transfer_seconds += diff.transfer_seconds;
+  st.edge_ops += diff.edge_ops;
 
-    // --- 3. Aggregate π_a into the global score structure (Eq. 8, +GD_l
-    //        term; the input mass was pre-scaled so no factor is needed). ---
-    for (graph::NodeId local = 0; local < ball.num_nodes(); ++local) {
-      if (diff.accumulated[local] != 0.0) {
-        ctx.aggregator.add(ball.to_global(local), diff.accumulated[local]);
-      }
-    }
-    ctx.meter.set("aggregator", ctx.aggregator.bytes());
-
-    // --- 4. Select next-stage nodes from the in-flight mass (Sec. IV-D). ---
-    if (stage + 1 < config_.num_stages()) {
-      const std::vector<SelectedNode> selected =
-          select_next_stage(diff.inflight, config_.selection);
-      st.selected += selected.size();
-      for (double r : diff.inflight) {
-        if (r > 0.0) ++st.candidates;
-      }
-      children.reserve(selected.size());
-      for (const SelectedNode& sn : selected) {
-        children.emplace_back(ball.to_global(sn.local), sn.residual);
-      }
+  // --- 3. Collect π_a contributions (Eq. 8, +GD_l term; the input mass was
+  //        pre-scaled so no factor is needed). The scheduler owns their
+  //        application so it can pick the reduction order. ---
+  out.contributions.reserve(ball.num_nodes());
+  for (graph::NodeId local = 0; local < ball.num_nodes(); ++local) {
+    if (diff.accumulated[local] != 0.0) {
+      out.contributions.emplace_back(ball.to_global(local),
+                                     diff.accumulated[local]);
     }
   }
 
-  // Drop the owned ball before recursing — the "one ball at a time" peak
-  // is real, not just a meter convention. (ball_ptr/ball dangle past here.)
-  owned.reset();
-
-  if (children.empty()) return;
-
-  // --- Eq. 8: re-diffuse the selected in-flight mass one stage deeper. ---
-  ScopedAllocation pending_mem(
-      ctx.meter, "pending",
-      children.size() * sizeof(std::pair<graph::NodeId, double>));
-  for (const auto& [child_global, child_mass] : children) {
-    // Remove the α^l·r mass that GD_l left parked at the node; the child
-    // diffusion will redistribute it (and put some of it right back).
-    ctx.aggregator.add(child_global, -child_mass);
-    run_stage(ctx, child_global, child_mass, stage + 1);
+  // --- 4. Select next-stage nodes from the in-flight mass (Sec. IV-D). ---
+  if (task.stage + 1 < config_.num_stages()) {
+    const std::vector<SelectedNode> selected =
+        select_next_stage(diff.inflight, config_.selection);
+    st.selected += selected.size();
+    for (double r : diff.inflight) {
+      if (r > 0.0) ++st.candidates;
+    }
+    out.children.reserve(selected.size());
+    for (const SelectedNode& sn : selected) {
+      out.children.push_back(
+          {ball.to_global(sn.local), sn.residual, task.stage + 1});
+    }
   }
-  ctx.meter.set("aggregator", ctx.aggregator.bytes());
+  // Charge the outcome buffers while the ball and device working set are
+  // still live — they genuinely coexist here, so the peak must see the
+  // overlap. The scheduler zeroes the category once it has consumed them.
+  meter.set("stage_buffers",
+            vector_bytes(out.contributions) + vector_bytes(out.children));
+  return out;
 }
 
 }  // namespace meloppr::core

@@ -1,6 +1,8 @@
-// The MeLoPPR engine — multi-stage PPR per Sec. IV.
+// The MeLoPPR engine — multi-stage PPR per Sec. IV, driven by an explicit
+// stage scheduler instead of hidden recursion.
 //
-// One query proceeds recursively, implementing Eq. 8 (and its multi-stage
+// One query is a tree of stage tasks. Each task is a frame
+// StageTask{root, mass, stage} implementing Eq. 8 (and its multi-stage
 // generalization by re-applying Eq. 6 inside each child):
 //
 //   stage s, root v, in-flight mass m (pre-scaled: by linearity
@@ -12,19 +14,34 @@
 //     3. Aggregate: S_L[g] += π_a[g]  for every ball node g
 //     4. If not the last stage:
 //          select next-stage nodes from α^l·π_r (Sec. IV-D sparsity)
-//          for each selected node u with in-flight mass r:
-//            S_L[u] −= r                    (remove the mass that will be
-//                                            re-diffused — Eq. 8's −α^l·S^r)
-//            recurse(stage s+1, u, r)
+//          each selected node u with in-flight mass r becomes a child task
+//          StageTask{u, r, s+1}; before the child's ball is aggregated,
+//          S_L[u] −= r removes the mass the child will re-diffuse (Eq. 8's
+//          −α^l·S^r term).
 //
-// The ball and its score vectors are freed *before* recursing, so the peak
-// footprint is one ball at a time plus the aggregator — that is MeLoPPR's
-// O(G_l) ≪ O(G_L) memory story, and the engine's memory meter verifies it
-// rather than assuming it.
+// Steps 1–4 are packaged as `run_task`: a pure work unit that maps one
+// StageTask to its score contributions and child tasks without touching any
+// shared state. Two schedules drain the task tree:
+//
+//   * Engine::query — a serial LIFO work stack. Children are pushed in
+//     selection order and popped depth-first, so the aggregator sees the
+//     exact floating-point operation order of the original recursive
+//     implementation (scores are bit-identical); the stack replaces the call
+//     stack, nothing more.
+//   * core::QueryPipeline (pipeline.hpp) — the linear decomposition makes
+//     every same-stage task independent (the paper's Sec. VI-C future work),
+//     so the pipeline materializes each stage frontier and dispatches it
+//     across a thread pool, with a deterministic task-order reduction.
+//
+// The ball and its score vectors are freed when run_task returns, so the
+// peak footprint is one ball at a time (per worker) plus the aggregator —
+// that is MeLoPPR's O(G_l) ≪ O(G_L) memory story, and the engine's memory
+// meter verifies it rather than assuming it.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/aggregator.hpp"
@@ -43,6 +60,29 @@ struct QueryResult {
   QueryStats stats;
 };
 
+/// One schedulable unit of multi-stage work: diffuse `mass` from `root` at
+/// recursion depth `stage`. The root query is {seed, 1.0, 0}; every selected
+/// next-stage node becomes a task one stage deeper.
+struct StageTask {
+  graph::NodeId root = graph::kInvalidNode;
+  double mass = 0.0;
+  std::size_t stage = 0;
+};
+
+/// Everything one executed stage task hands back to its scheduler.
+struct StageOutcome {
+  /// π_a score contributions (global ids, ascending local-id order). The
+  /// scheduler applies them to the aggregator; run_task itself never touches
+  /// shared state.
+  std::vector<std::pair<graph::NodeId, double>> contributions;
+  /// Next-stage tasks in selection order (descending residual). Empty for
+  /// the last stage.
+  std::vector<StageTask> children;
+  /// This task's increments for QueryStats.stages[stage].
+  StageStats stats;
+  std::size_t stage = 0;
+};
+
 class Engine {
  public:
   /// The graph must outlive the engine. Throws std::invalid_argument on an
@@ -54,9 +94,19 @@ class Engine {
 
   /// Full-control query: caller supplies the diffusion backend (CPU or
   /// simulated FPGA) and the aggregation strategy (exact map or top-c·k
-  /// table). The aggregator is cleared first.
+  /// table). The aggregator is cleared first. Thread-safe for concurrent
+  /// calls when the backend is thread-safe (or distinct per call), each call
+  /// uses its own aggregator, and no ball cache is installed.
   QueryResult query(graph::NodeId seed, DiffusionBackend& backend,
                     ScoreAggregator& aggregator) const;
+
+  /// Executes one stage task: BFS ball extraction, diffusion on `backend`,
+  /// and next-stage selection. Transient footprints (ball, device working
+  /// set) are charged to `meter`. Does not read or write any engine mutable
+  /// state, so concurrent calls are safe whenever the backend tolerates them
+  /// and no ball cache is installed (the cache is single-threaded).
+  StageOutcome run_task(const StageTask& task, DiffusionBackend& backend,
+                        MemoryMeter& meter) const;
 
   [[nodiscard]] const MelopprConfig& config() const { return config_; }
   [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
@@ -65,19 +115,11 @@ class Engine {
   /// extraction). The cache must be built over the same graph and outlive
   /// the engine's queries; its footprint is charged to the query's memory
   /// peak under the "ball_cache" category instead of per-stage "ball".
+  /// A cache pins the engine to serial use: it is not thread-safe.
   void set_ball_cache(BallCache* cache) { cache_ = cache; }
+  [[nodiscard]] BallCache* ball_cache() const { return cache_; }
 
  private:
-  struct RecursionContext {
-    DiffusionBackend& backend;
-    ScoreAggregator& aggregator;
-    QueryStats& stats;
-    MemoryMeter meter;
-  };
-
-  void run_stage(RecursionContext& ctx, graph::NodeId root_global,
-                 double mass, std::size_t stage) const;
-
   const graph::Graph* graph_;
   MelopprConfig config_;
   BallCache* cache_ = nullptr;

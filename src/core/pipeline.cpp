@@ -1,0 +1,213 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace meloppr::core {
+
+QueryPipeline::QueryPipeline(const Engine& engine, DiffusionBackend& backend,
+                             PipelineConfig config)
+    : engine_(&engine),
+      config_(config),
+      threads_(config.resolved_threads()) {
+  config_.validate();
+  if (backend.thread_safe()) {
+    shared_backend_ = &backend;
+  } else {
+    clones_.reserve(threads_);
+    for (std::size_t w = 0; w < threads_; ++w) {
+      clones_.push_back(backend.clone());
+    }
+  }
+  workers_.reserve(threads_);
+  for (std::size_t w = 0; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+QueryPipeline::~QueryPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void QueryPipeline::check_cache_free() const {
+  MELO_CHECK_MSG(engine_->ball_cache() == nullptr || threads_ == 1,
+                 "QueryPipeline: the engine's ball cache is single-threaded; "
+                 "remove it (set_ball_cache(nullptr)) before parallel use");
+}
+
+void QueryPipeline::worker_loop(std::size_t worker_id) {
+  for (;;) {
+    std::function<void(std::size_t)> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job(worker_id);
+  }
+}
+
+void QueryPipeline::run_jobs(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < count; ++i) {
+      queue_.emplace_back([&fn, i, latch](std::size_t worker_id) {
+        std::exception_ptr err;
+        try {
+          fn(i, worker_id);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> l(latch->mu);
+        if (err != nullptr && latch->error == nullptr) latch->error = err;
+        if (--latch->remaining == 0) latch->done.notify_all();
+      });
+    }
+  }
+  work_available_.notify_all();
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->done.wait(lock, [&] { return latch->remaining == 0; });
+  if (latch->error != nullptr) std::rethrow_exception(latch->error);
+}
+
+QueryResult QueryPipeline::query(graph::NodeId seed) {
+  check_cache_free();
+  QueryResult result;
+  result.stats.stages.resize(engine_->config().num_stages());
+
+  // Per-worker state: transient-footprint meters and diffusion busy time.
+  // A worker runs one job at a time, so its slot needs no lock; the
+  // completion latch orders its writes before the coordinator's reads.
+  std::vector<MemoryMeter> meters(threads_);
+  std::vector<double> busy_seconds(threads_, 0.0);
+
+  const bool deterministic = config_.deterministic_reduction;
+  const std::unique_ptr<ScoreAggregator> owned_aggregator =
+      deterministic
+          ? static_cast<std::unique_ptr<ScoreAggregator>>(
+                std::make_unique<ExactAggregator>())
+          : std::make_unique<StripedAggregator>(config_.aggregator_stripes);
+  ScoreAggregator& aggregator = *owned_aggregator;
+
+  Timer total;
+  // The coordinator's own footprint: the frontier plus every outstanding
+  // outcome buffer of the stage (they all coexist until the reduction).
+  MemoryMeter coordinator_meter;
+  std::vector<StageTask> frontier;
+  frontier.push_back({seed, 1.0, 0});
+  while (!frontier.empty()) {
+    // Dispatch: every task in the frontier is independent (linearity of the
+    // decomposition), so BFS + diffusion fan out across the pool.
+    std::vector<StageOutcome> outcomes(frontier.size());
+    run_jobs(frontier.size(), [&](std::size_t i, std::size_t w) {
+      const StageTask& task = frontier[i];
+      if (!(task.mass > 0.0)) return;  // skip, as the serial schedule does
+      StageOutcome out = engine_->run_task(task, backend_for(w), meters[w]);
+      meters[w].set("stage_buffers", 0);  // ownership moves to outcomes[i]
+      busy_seconds[w] +=
+          out.stats.compute_seconds + out.stats.transfer_seconds;
+      if (!deterministic) {
+        // Concurrent reduction: stream this task's deltas straight into the
+        // striped aggregator (sums are exact per node; order is not).
+        if (task.stage > 0) aggregator.add(task.root, -task.mass);
+        for (const auto& [node, delta] : out.contributions) {
+          aggregator.add(node, delta);
+        }
+        out.contributions.clear();
+      }
+      outcomes[i] = std::move(out);
+    });
+
+    std::size_t outcome_bytes =
+        vector_bytes(frontier) + vector_bytes(outcomes);
+    for (const StageOutcome& out : outcomes) {
+      outcome_bytes +=
+          vector_bytes(out.contributions) + vector_bytes(out.children);
+    }
+    coordinator_meter.set("frontier_buffers", outcome_bytes);
+
+    // Reduce in task order — deterministic regardless of which worker ran
+    // what — and splice the children into the next frontier.
+    std::vector<StageTask> next;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const StageTask& task = frontier[i];
+      StageOutcome& out = outcomes[i];
+      result.stats.stages[task.stage].merge(out.stats);
+      if (deterministic && task.mass > 0.0) {
+        if (task.stage > 0) aggregator.add(task.root, -task.mass);
+        for (const auto& [node, delta] : out.contributions) {
+          aggregator.add(node, delta);
+        }
+      }
+      next.insert(next.end(), out.children.begin(), out.children.end());
+    }
+    frontier = std::move(next);
+    coordinator_meter.set("frontier_buffers", vector_bytes(frontier));
+  }
+
+  result.top = aggregator.top(engine_->config().k);
+  result.stats.total_seconds = total.elapsed_seconds();
+  result.stats.threads_used = threads_;
+  result.stats.diffusion_serial_seconds =
+      result.stats.compute_seconds() + result.stats.transfer_seconds();
+  // Worker-level makespan, floored by the backend's own execution slots: a
+  // shared farm with D < T devices cannot complete faster than serial/D no
+  // matter how its seconds were attributed across dispatching workers.
+  const std::size_t slots =
+      std::min(threads_, shared_backend_ != nullptr
+                             ? shared_backend_->max_concurrent_runs()
+                             : threads_);
+  result.stats.diffusion_makespan_seconds = std::max(
+      *std::max_element(busy_seconds.begin(), busy_seconds.end()),
+      result.stats.diffusion_serial_seconds / static_cast<double>(slots));
+  result.stats.aggregator_bytes = aggregator.bytes();
+
+  // Aggregator first, then the worker peaks on top: the final score
+  // structure coexists with the in-flight balls, so the honest (upper
+  // bound) peak is their sum, not their max.
+  MemoryMeter merged;
+  merged.set("aggregator", aggregator.bytes());
+  merged.merge_peak(coordinator_meter);
+  for (const MemoryMeter& m : meters) merged.merge_peak(m);
+  result.stats.peak_bytes = merged.peak_bytes();
+  return result;
+}
+
+std::vector<QueryResult> QueryPipeline::query_batch(
+    std::span<const graph::NodeId> seeds) {
+  check_cache_free();
+  std::vector<QueryResult> results(seeds.size());
+  run_jobs(seeds.size(), [&](std::size_t i, std::size_t w) {
+    // Each query keeps the serial depth-first schedule — scores are
+    // bit-identical to Engine::query — and its own aggregator; the batch's
+    // parallelism is across queries.
+    ExactAggregator aggregator;
+    results[i] = engine_->query(seeds[i], backend_for(w), aggregator);
+  });
+  return results;
+}
+
+}  // namespace meloppr::core

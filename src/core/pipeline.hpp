@@ -1,0 +1,111 @@
+// Concurrent query execution over the stage scheduler.
+//
+// The paper's linear decomposition (Eq. 6/8) makes every same-stage
+// diffusion independent — its stated future work (Sec. VI-C) is running
+// them in parallel. The engine's scheduler materializes exactly that
+// independence as StageTask frontiers; QueryPipeline adds the thread pool
+// that exploits it, at two granularities:
+//
+//   query(seed)        — stage-parallel: each stage's frontier of tasks is
+//                        dispatched across the pool (the BFS+diffusion of
+//                        task i overlaps task j), then reduced. With
+//                        PipelineConfig::deterministic_reduction (default)
+//                        the coordinator applies contributions in task
+//                        order, so scores are identical for ANY thread
+//                        count; the alternative streams contributions into
+//                        a mutex-striped aggregator concurrently.
+//   query_batch(seeds) — query-parallel: each query runs the serial
+//                        depth-first schedule (bit-identical to
+//                        Engine::query) on one worker, queries concurrent
+//                        with each other — the multi-query throughput path
+//                        a serving deployment wants.
+//
+// Backend policy: a thread_safe() backend (CpuBackend, FpgaFarm) is shared
+// by all workers — the farm then receives genuinely concurrent dispatches,
+// its devices filling with independent same-stage balls. A non-thread-safe
+// backend (FpgaBackend with its cycle counters) is clone()d once per
+// worker.
+//
+// Memory accounting stays honest under concurrency: every worker meters
+// its own transient footprints (ball + device working set), and the
+// per-thread meters are merged by summing peaks — an upper bound on the
+// true simultaneous peak, never an under-report. The peak story becomes
+// "T balls at a time + aggregator" instead of one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/engine.hpp"
+
+namespace meloppr::core {
+
+class QueryPipeline {
+ public:
+  /// Spawns the worker pool. `engine` and `backend` must outlive the
+  /// pipeline; the engine must not have a ball cache installed when more
+  /// than one worker is used (the cache is single-threaded). Throws
+  /// std::invalid_argument on a bad config.
+  QueryPipeline(const Engine& engine, DiffusionBackend& backend,
+                PipelineConfig config = {});
+  QueryPipeline(const QueryPipeline&) = delete;
+  QueryPipeline& operator=(const QueryPipeline&) = delete;
+  ~QueryPipeline();
+
+  /// One query with its independent same-stage diffusions dispatched across
+  /// the pool. Scores match Engine::query within floating-point reduction
+  /// reordering (≤ ~1e-14 absolute on the paper graphs); with deterministic
+  /// reduction they are additionally identical across thread counts.
+  QueryResult query(graph::NodeId seed);
+
+  /// Many queries, each executed with the serial depth-first schedule
+  /// (scores bit-identical to Engine::query) and concurrently with the
+  /// others. Results are positionally aligned with `seeds`.
+  std::vector<QueryResult> query_batch(std::span<const graph::NodeId> seeds);
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+  [[nodiscard]] const Engine& engine() const { return *engine_; }
+
+ private:
+  /// Enqueues `count` jobs fn(job_index, worker_id) and blocks until all
+  /// complete; the first job exception (if any) is rethrown here. Safe to
+  /// call from several coordinator threads at once — each call waits on its
+  /// own completion latch.
+  void run_jobs(std::size_t count,
+                const std::function<void(std::size_t, std::size_t)>& fn);
+
+  void worker_loop(std::size_t worker_id);
+
+  [[nodiscard]] DiffusionBackend& backend_for(std::size_t worker_id) {
+    return shared_backend_ != nullptr ? *shared_backend_
+                                      : *clones_[worker_id];
+  }
+
+  void check_cache_free() const;
+
+  const Engine* engine_;
+  PipelineConfig config_;
+  std::size_t threads_;
+
+  /// Exactly one of these is used: the shared thread-safe backend, or one
+  /// clone per worker.
+  DiffusionBackend* shared_backend_ = nullptr;
+  std::vector<std::unique_ptr<DiffusionBackend>> clones_;
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void(std::size_t)>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  bool stop_ = false;
+};
+
+}  // namespace meloppr::core

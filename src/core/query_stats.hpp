@@ -22,6 +22,27 @@ struct StageStats {
   double compute_seconds = 0.0;   ///< device diffusion time
   double transfer_seconds = 0.0;  ///< host↔device data movement (FPGA only)
   std::uint64_t edge_ops = 0;
+
+  /// Folds another task's increments into this stage's totals (sums, with
+  /// max for the max_* fields). Schedulers use this to combine per-task
+  /// StageStats deltas — in deterministic task order when parallel.
+  void merge(const StageStats& other) {
+    balls += other.balls;
+    selected += other.selected;
+    candidates += other.candidates;
+    max_ball_nodes = max_ball_nodes > other.max_ball_nodes
+                         ? max_ball_nodes
+                         : other.max_ball_nodes;
+    max_ball_edges = max_ball_edges > other.max_ball_edges
+                         ? max_ball_edges
+                         : other.max_ball_edges;
+    total_ball_nodes += other.total_ball_nodes;
+    total_ball_edges += other.total_ball_edges;
+    bfs_seconds += other.bfs_seconds;
+    compute_seconds += other.compute_seconds;
+    transfer_seconds += other.transfer_seconds;
+    edge_ops += other.edge_ops;
+  }
 };
 
 struct QueryStats {
@@ -35,6 +56,26 @@ struct QueryStats {
   std::size_t aggregator_bytes = 0;
 
   double total_seconds = 0.0;  ///< end-to-end query latency
+
+  /// Serial-sum view of the diffusion work: Σ over all balls of
+  /// (compute + transfer) seconds — the 1-worker latency of this load.
+  double diffusion_serial_seconds = 0.0;
+  /// Parallel completion time of the same work: max over workers of their
+  /// summed busy seconds, floored at serial / (backend execution slots) so
+  /// a shared farm with fewer devices than workers can never report a
+  /// physically impossible speedup. Equals diffusion_serial_seconds for
+  /// the serial engine.
+  double diffusion_makespan_seconds = 0.0;
+  /// Worker threads that executed this query's diffusions.
+  std::size_t threads_used = 1;
+
+  /// serial-sum / makespan — the speedup the stage scheduler extracted from
+  /// independent same-stage diffusions (1.0 when serial).
+  [[nodiscard]] double parallel_speedup() const {
+    return diffusion_makespan_seconds > 0.0
+               ? diffusion_serial_seconds / diffusion_makespan_seconds
+               : 1.0;
+  }
 
   [[nodiscard]] double bfs_seconds() const {
     double s = 0.0;

@@ -57,10 +57,15 @@ std::vector<SelectedNode> select_next_stage(std::span<const double> residual,
   std::vector<SelectedNode> nonzero;
   nonzero.reserve(residual.size() / 4);
   for (std::size_t v = 0; v < residual.size(); ++v) {
-    MELO_CHECK_MSG(residual[v] >= 0.0, "negative residual at local " << v);
-    if (residual[v] > 0.0) {
-      nonzero.push_back({static_cast<NodeId>(v), residual[v]});
-    }
+    const double r = residual[v];
+    MELO_CHECK_MSG(r >= 0.0 && std::isfinite(r),
+                   "invalid residual " << r << " at local " << v);
+    // Zero and denormal residuals are never worth a next-stage diffusion
+    // (a denormal mass underflows to nothing after one α-scaling step), and
+    // the engine's stage tasks require strictly positive normal masses —
+    // filter here so the selector's postcondition, checked below, holds.
+    if (std::fpclassify(r) != FP_NORMAL) continue;
+    nonzero.push_back({static_cast<NodeId>(v), r});
   }
   const auto better = [](const SelectedNode& a, const SelectedNode& b) {
     if (a.residual != b.residual) return a.residual > b.residual;
@@ -100,6 +105,14 @@ std::vector<SelectedNode> select_next_stage(std::span<const double> residual,
     nonzero.resize(keep);
   }
   std::sort(nonzero.begin(), nonzero.end(), better);
+  for (const SelectedNode& sn : nonzero) {
+    // Postcondition the engine relies on instead of aborting mid-query: a
+    // selected residual is a valid stage-task mass.
+    MELO_CHECK_MSG(sn.residual > 0.0 && std::isnormal(sn.residual),
+                   "selected non-positive/denormal residual " << sn.residual
+                                                              << " at local "
+                                                              << sn.local);
+  }
   return nonzero;
 }
 

@@ -9,7 +9,8 @@
 namespace meloppr::hw {
 
 FpgaFarm::FpgaFarm(std::size_t devices, const AcceleratorConfig& config,
-                   const Quantizer& quantizer) {
+                   const Quantizer& quantizer)
+    : config_(config), quantizer_(quantizer), free_count_(devices) {
   if (devices == 0) {
     throw std::invalid_argument("FpgaFarm: need at least one device");
   }
@@ -18,18 +19,41 @@ FpgaFarm::FpgaFarm(std::size_t devices, const AcceleratorConfig& config,
     devices_.emplace_back(Accelerator(config, quantizer));
   }
   busy_seconds_.assign(devices, 0.0);
+  in_use_.assign(devices, 0);
 }
 
 core::BackendResult FpgaFarm::run(const graph::Subgraph& ball, double mass,
                                   unsigned length) {
   // Greedy list scheduling: the next independent diffusion goes to the
-  // device that frees up first.
-  const std::size_t device = static_cast<std::size_t>(
-      std::min_element(busy_seconds_.begin(), busy_seconds_.end()) -
-      busy_seconds_.begin());
+  // least-loaded device that is currently free. Checkout is serialized;
+  // the diffusion itself runs unlocked, so up to D run concurrently.
+  std::size_t device = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    device_free_.wait(lock, [this] { return free_count_ > 0; });
+    double least = -1.0;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      if (in_use_[d]) continue;
+      if (least < 0.0 || busy_seconds_[d] < least) {
+        least = busy_seconds_[d];
+        device = d;
+      }
+    }
+    in_use_[device] = 1;
+    --free_count_;
+  }
+
   core::BackendResult result = devices_[device].run(ball, mass, length);
-  busy_seconds_[device] += result.compute_seconds + result.transfer_seconds;
-  ++runs_;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_seconds_[device] +=
+        result.compute_seconds + result.transfer_seconds;
+    in_use_[device] = 0;
+    ++free_count_;
+    ++runs_;
+  }
+  device_free_.notify_one();
   return result;
 }
 
@@ -47,23 +71,43 @@ std::string FpgaFarm::name() const {
   return os.str();
 }
 
+std::unique_ptr<core::DiffusionBackend> FpgaFarm::clone() const {
+  return std::make_unique<FpgaFarm>(devices_.size(), config_, quantizer_);
+}
+
 double FpgaFarm::makespan_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return *std::max_element(busy_seconds_.begin(), busy_seconds_.end());
 }
 
 double FpgaFarm::serial_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
   double total = 0.0;
   for (double b : busy_seconds_) total += b;
   return total;
 }
 
 double FpgaFarm::imbalance() const {
-  const double ideal =
-      serial_seconds() / static_cast<double>(devices_.size());
-  return ideal > 0.0 ? makespan_seconds() / ideal : 1.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  double makespan = 0.0;
+  double total = 0.0;
+  for (double b : busy_seconds_) {
+    makespan = std::max(makespan, b);
+    total += b;
+  }
+  const double ideal = total / static_cast<double>(devices_.size());
+  return ideal > 0.0 ? makespan / ideal : 1.0;
+}
+
+std::size_t FpgaFarm::runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_;
 }
 
 void FpgaFarm::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MELO_CHECK_MSG(free_count_ == devices_.size(),
+                 "FpgaFarm::reset while dispatches are in flight");
   for (auto& device : devices_) device.reset_counters();
   std::fill(busy_seconds_.begin(), busy_seconds_.end(), 0.0);
   runs_ = 0;

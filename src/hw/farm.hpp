@@ -6,15 +6,24 @@
 // The linear decomposition makes every stage-2 diffusion independent, so a
 // farm of D accelerator instances can process them concurrently. FpgaFarm
 // plugs into the engine as a DiffusionBackend: each run is dispatched to
-// the least-loaded device (greedy online list scheduling, within 2× of the
-// optimal makespan), per-device busy time accumulates, and the query's
-// parallel diffusion latency is the farm makespan rather than the serial
-// sum. The CPU-side BFS stays serial — exactly the bottleneck the paper
-// predicts would cap this optimization, which bench_future_parallel
-// quantifies.
+// the least-loaded *free* device (greedy online list scheduling, within 2×
+// of the optimal makespan), per-device busy time accumulates, and the
+// query's parallel diffusion latency is the farm makespan rather than the
+// serial sum.
+//
+// Dispatch is thread-safe: up to D runs proceed concurrently (one per
+// device); callers beyond D block on a condition variable until a device
+// frees up. This makes the farm the natural shared backend for the
+// QueryPipeline's stage-parallel schedule — the pool's workers feed the
+// farm exactly the independent same-stage diffusions the paper describes.
+// Device checkout and busy-time accounting sit behind one mutex; the
+// simulated diffusions themselves run outside it, in parallel.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/backend.hpp"
@@ -28,16 +37,27 @@ class FpgaFarm final : public core::DiffusionBackend {
   FpgaFarm(std::size_t devices, const AcceleratorConfig& config,
            const Quantizer& quantizer);
 
-  /// Dispatches to the least-loaded device and returns its result. The
-  /// BackendResult's compute/transfer seconds are the device's own time
-  /// (the engine sums them — that is the *serial* view; use makespan() for
-  /// the parallel completion time).
+  /// Dispatches to the least-loaded free device and returns its result,
+  /// blocking while all devices are busy. The BackendResult's
+  /// compute/transfer seconds are the device's own time (the engine sums
+  /// them — that is the *serial* view; use makespan_seconds() for the
+  /// parallel completion time). Safe to call from multiple threads.
   core::BackendResult run(const graph::Subgraph& ball, double mass,
                           unsigned length) override;
 
   [[nodiscard]] std::size_t working_bytes(
       std::size_t ball_nodes, std::size_t ball_edges) const override;
   [[nodiscard]] std::string name() const override;
+
+  /// A fresh farm of the same shape (device count, config, quantizer) with
+  /// zeroed load. Rarely needed — the farm itself is thread-safe and meant
+  /// to be shared.
+  [[nodiscard]] std::unique_ptr<core::DiffusionBackend> clone() const override;
+  [[nodiscard]] bool thread_safe() const override { return true; }
+  /// At most one run per device executes at a time.
+  [[nodiscard]] std::size_t max_concurrent_runs() const override {
+    return devices_.size();
+  }
 
   [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
 
@@ -51,14 +71,23 @@ class FpgaFarm final : public core::DiffusionBackend {
   /// Busy-time imbalance: makespan / (serial / D); 1.0 = perfect balance.
   [[nodiscard]] double imbalance() const;
 
-  [[nodiscard]] std::size_t runs() const { return runs_; }
+  [[nodiscard]] std::size_t runs() const;
 
   void reset();
 
  private:
+  // Kept for clone(); devices_ holds the live instances.
+  AcceleratorConfig config_;
+  Quantizer quantizer_;
+
   std::vector<FpgaBackend> devices_;
-  std::vector<double> busy_seconds_;
-  std::size_t runs_ = 0;
+  std::vector<double> busy_seconds_;   ///< guarded by mu_
+  std::vector<char> in_use_;           ///< guarded by mu_ (char: no vbool)
+  std::size_t free_count_;             ///< guarded by mu_
+  std::size_t runs_ = 0;               ///< guarded by mu_
+
+  mutable std::mutex mu_;
+  std::condition_variable device_free_;
 };
 
 }  // namespace meloppr::hw

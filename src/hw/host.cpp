@@ -60,6 +60,11 @@ std::size_t FpgaBackend::working_bytes(std::size_t ball_nodes,
   return core::fpga_bram_bytes(ball_nodes, ball_edges);
 }
 
+std::unique_ptr<core::DiffusionBackend> FpgaBackend::clone() const {
+  return std::make_unique<FpgaBackend>(
+      Accelerator(accel_.config(), accel_.quantizer()));
+}
+
 std::string FpgaBackend::name() const {
   std::ostringstream os;
   os << "fpga(P=" << accel_.config().parallelism << ")";

@@ -28,6 +28,12 @@ class FpgaBackend final : public core::DiffusionBackend {
 
   [[nodiscard]] std::string name() const override;
 
+  /// Fresh backend over an identical accelerator (same config + quantizer),
+  /// with zeroed counters and an empty double-buffer budget. Cycle counters
+  /// and the overlap budget make this class stateful, so it is NOT
+  /// thread-safe; the pipeline clones one per worker.
+  [[nodiscard]] std::unique_ptr<core::DiffusionBackend> clone() const override;
+
   /// Cumulative cycle breakdown since construction / reset_counters().
   /// Data-movement cycles are the *visible* (non-overlapped) residue: the
   /// streaming interface double-buffers, so a ball's transfer hides behind

@@ -54,6 +54,16 @@ std::vector<std::string> MemoryMeter::categories() const {
   return names;
 }
 
+void MemoryMeter::merge_peak(const MemoryMeter& other) {
+  for (const auto& [name, entry] : other.entries_) {
+    Entry& e = entries_[name];
+    e.current += entry.current;
+    e.peak += entry.peak;
+  }
+  current_ += other.current_;
+  peak_ += other.peak_;
+}
+
 void MemoryMeter::reset() {
   entries_.clear();
   current_ = 0;

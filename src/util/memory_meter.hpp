@@ -41,6 +41,14 @@ class MemoryMeter {
   /// All categories ever seen, sorted by name.
   [[nodiscard]] std::vector<std::string> categories() const;
 
+  /// Folds another meter into this one, category-wise: currents add and
+  /// *peaks add*. Summing the per-worker peaks of concurrent threads is an
+  /// upper bound on the true simultaneous peak (workers need not peak at the
+  /// same instant), so merged accounting is honest in the sense of never
+  /// under-reporting — the convention the QueryPipeline uses to report one
+  /// peak across its per-thread meters.
+  void merge_peak(const MemoryMeter& other);
+
   /// Forgets everything (footprints and peaks).
   void reset();
 

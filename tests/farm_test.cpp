@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <thread>
+#include <vector>
+
 #include "core/engine.hpp"
 #include "graph/bfs.hpp"
 #include "graph/generators.hpp"
@@ -105,6 +109,65 @@ TEST(FpgaFarm, ResetClearsLoad) {
   farm.reset();
   EXPECT_DOUBLE_EQ(farm.makespan_seconds(), 0.0);
   EXPECT_EQ(farm.runs(), 0u);
+}
+
+TEST(FpgaFarm, BusyAccountingSurvivesParallelDispatch) {
+  // Hammer the farm from more threads than devices: every dispatched second
+  // must land in exactly one device's busy total, the makespan must stay
+  // the max-device view, and imbalance() must stay ≥ 1.
+  Rng rng(80);
+  Graph g = graph::barabasi_albert(1200, 2, 2, rng);
+  std::vector<graph::Subgraph> balls;
+  for (graph::NodeId seed : {3u, 17u, 44u, 99u, 250u, 500u, 750u, 999u}) {
+    balls.push_back(graph::extract_ball(g, seed, 3));
+  }
+
+  FpgaFarm farm = make_farm(3);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRunsPerThread = 6;
+  std::mutex mu;
+  double dispatched_seconds = 0.0;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      double mine = 0.0;
+      for (std::size_t i = 0; i < kRunsPerThread; ++i) {
+        const core::BackendResult r =
+            farm.run(balls[(t + i) % balls.size()], 1.0, 3);
+        EXPECT_FALSE(r.accumulated.empty());
+        mine += r.compute_seconds + r.transfer_seconds;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      dispatched_seconds += mine;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(farm.runs(), kThreads * kRunsPerThread);
+  // Conservation: Σ device busy time == Σ seconds handed to callers.
+  EXPECT_NEAR(farm.serial_seconds(), dispatched_seconds,
+              1e-9 * dispatched_seconds + 1e-15);
+  EXPECT_GE(farm.imbalance(), 1.0 - 1e-9);
+  EXPECT_LE(farm.makespan_seconds(), farm.serial_seconds() + 1e-15);
+  // 48 runs over 3 devices: every device must have been exercised.
+  EXPECT_GE(farm.makespan_seconds(), farm.serial_seconds() / 3.0 - 1e-15);
+}
+
+TEST(FpgaFarm, CloneSharesNoLoad) {
+  Rng rng(81);
+  Graph g = graph::barabasi_albert(300, 2, 2, rng);
+  graph::Subgraph ball = graph::extract_ball(g, 5, 3);
+  FpgaFarm farm = make_farm(2);
+  farm.run(ball, 1.0, 3);
+  auto clone = farm.clone();
+  EXPECT_EQ(clone->name(), farm.name());
+  EXPECT_TRUE(clone->thread_safe());
+  auto* fresh = dynamic_cast<FpgaFarm*>(clone.get());
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->runs(), 0u);
+  EXPECT_DOUBLE_EQ(fresh->makespan_seconds(), 0.0);
+  EXPECT_EQ(farm.runs(), 1u);  // original untouched
 }
 
 TEST(FpgaFarm, WorksAsEngineBackend) {

@@ -44,7 +44,9 @@ TEST_P(CycleModelPhysics, WorkConservationAndBounds) {
       (run.edge_ops + p - 1) / p + 3 * cfg.sync_cycles_per_iteration;
   EXPECT_GE(run.cycles.diffusion, lower_bound);
   // And P=1 cannot have conflicts.
-  if (p == 1) EXPECT_EQ(run.cycles.scheduling, 0u);
+  if (p == 1) {
+    EXPECT_EQ(run.cycles.scheduling, 0u);
+  }
   // A P-PE machine cannot run faster than edge_ops/P even with zero
   // scheduling, nor slower than fully serial plus all writes.
   EXPECT_LE(run.cycles.diffusion + run.cycles.scheduling,

@@ -1,0 +1,240 @@
+// The contract of the iterative stage scheduler: it is a re-expression of
+// the original recursive engine, not a reinterpretation. A faithful
+// recursive reference lives in this file; the serial engine must reproduce
+// it bit-for-bit (same DFS aggregation order), and the stage-parallel
+// pipeline must match within 1e-12 (same sums, frontier reduction order).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/engine.hpp"
+#include "core/pipeline.hpp"
+#include "graph/bfs.hpp"
+#include "graph/paper_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::core {
+namespace {
+
+using graph::Graph;
+
+/// The pre-scheduler engine, verbatim: blind recursion, aggregating in DFS
+/// order with the Eq. 8 subtraction applied immediately before each child.
+void reference_recurse(const Graph& g, const MelopprConfig& cfg,
+                       DiffusionBackend& backend, ScoreAggregator& agg,
+                       graph::NodeId root, double mass, std::size_t stage) {
+  const unsigned length = cfg.stage_lengths[stage];
+  const graph::Subgraph ball = graph::extract_ball(g, root, length);
+  const BackendResult diff = backend.run(ball, mass, length);
+  for (graph::NodeId local = 0; local < ball.num_nodes(); ++local) {
+    if (diff.accumulated[local] != 0.0) {
+      agg.add(ball.to_global(local), diff.accumulated[local]);
+    }
+  }
+  if (stage + 1 >= cfg.num_stages()) return;
+  const std::vector<SelectedNode> selected =
+      select_next_stage(diff.inflight, cfg.selection);
+  std::vector<std::pair<graph::NodeId, double>> children;
+  children.reserve(selected.size());
+  for (const SelectedNode& sn : selected) {
+    children.emplace_back(ball.to_global(sn.local), sn.residual);
+  }
+  for (const auto& [child, r] : children) {
+    agg.add(child, -r);
+    reference_recurse(g, cfg, backend, agg, child, r, stage + 1);
+  }
+}
+
+std::map<graph::NodeId, double> reference_scores(const Graph& g,
+                                                 const MelopprConfig& cfg,
+                                                 graph::NodeId seed) {
+  CpuBackend backend(cfg.alpha);
+  ExactAggregator agg;
+  reference_recurse(g, cfg, backend, agg, seed, 1.0, 0);
+  return {agg.scores().begin(), agg.scores().end()};
+}
+
+MelopprConfig two_stage_config(Selection selection, std::size_t k = 50) {
+  MelopprConfig cfg;
+  cfg.stage_lengths = {3, 3};
+  cfg.k = k;
+  cfg.selection = selection;
+  return cfg;
+}
+
+/// Top list → map, missing nodes read as 0.
+std::map<graph::NodeId, double> as_map(
+    const std::vector<ppr::ScoredNode>& top) {
+  std::map<graph::NodeId, double> out;
+  for (const auto& sn : top) out.emplace(sn.node, sn.score);
+  return out;
+}
+
+class SchedulerEquivalence : public ::testing::Test {
+ protected:
+  static const Graph& paper_graph(int which) {
+    static Rng rng(123);
+    static const Graph g1 =
+        graph::make_paper_graph(graph::PaperGraphId::kG1Citeseer, rng);
+    static const Graph g2 =
+        graph::make_paper_graph(graph::PaperGraphId::kG2Cora, rng);
+    return which == 0 ? g1 : g2;
+  }
+};
+
+TEST_F(SchedulerEquivalence, IterativeMatchesRecursiveBitwise) {
+  // The 1-thread scheduler must reproduce the recursion's floating-point
+  // operation order exactly — not approximately.
+  for (int which : {0, 1}) {
+    const Graph& g = paper_graph(which);
+    const MelopprConfig cfg = two_stage_config(Selection::top_ratio(0.05));
+    Engine engine(g, cfg);
+    CpuBackend backend(cfg.alpha);
+    ExactAggregator agg;
+    engine.query(17, backend, agg);
+    const auto reference = reference_scores(g, cfg, 17);
+    ASSERT_EQ(agg.scores().size(), reference.size());
+    for (const auto& [node, score] : agg.scores()) {
+      const auto it = reference.find(node);
+      ASSERT_TRUE(it != reference.end()) << "node " << node;
+      EXPECT_DOUBLE_EQ(score, it->second) << "node " << node;
+    }
+  }
+}
+
+TEST_F(SchedulerEquivalence, IterativeMatchesRecursiveInExactMode) {
+  const Graph& g = paper_graph(0);
+  const MelopprConfig cfg = two_stage_config(Selection::all(), 100);
+  Engine engine(g, cfg);
+  CpuBackend backend(cfg.alpha);
+  ExactAggregator agg;
+  engine.query(3, backend, agg);
+  const auto reference = reference_scores(g, cfg, 3);
+  ASSERT_EQ(agg.scores().size(), reference.size());
+  for (const auto& [node, score] : agg.scores()) {
+    EXPECT_DOUBLE_EQ(score, reference.at(node)) << "node " << node;
+  }
+}
+
+TEST_F(SchedulerEquivalence, StageParallelMatchesSerialWithin1e12) {
+  // The acceptance bar: N≥4 worker threads, deterministic frontier
+  // reduction, scores within 1e-12 of the serial engine on paper graphs.
+  for (int which : {0, 1}) {
+    const Graph& g = paper_graph(which);
+    MelopprConfig cfg = two_stage_config(Selection::top_ratio(0.05));
+    cfg.k = g.num_nodes();  // expose every aggregated node for comparison
+    Engine engine(g, cfg);
+
+    const QueryResult serial = engine.query(29);
+
+    CpuBackend backend(cfg.alpha);
+    PipelineConfig pcfg;
+    pcfg.threads = 4;
+    QueryPipeline pipeline(engine, backend, pcfg);
+    const QueryResult parallel = pipeline.query(29);
+
+    const auto want = as_map(serial.top);
+    const auto got = as_map(parallel.top);
+    for (const auto& [node, score] : want) {
+      const auto it = got.find(node);
+      const double parallel_score = it == got.end() ? 0.0 : it->second;
+      EXPECT_NEAR(parallel_score, score, 1e-12) << "node " << node;
+    }
+    for (const auto& [node, score] : got) {
+      if (want.find(node) == want.end()) {
+        EXPECT_NEAR(score, 0.0, 1e-12) << "extra node " << node;
+      }
+    }
+  }
+}
+
+TEST_F(SchedulerEquivalence, DeterministicReductionIsThreadCountInvariant) {
+  // With deterministic reduction the parallel scores must be *identical*
+  // for any pool size, not merely close.
+  const Graph& g = paper_graph(1);
+  const MelopprConfig cfg = two_stage_config(Selection::top_ratio(0.08));
+  Engine engine(g, cfg);
+  CpuBackend backend(cfg.alpha);
+
+  std::vector<QueryResult> results;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    PipelineConfig pcfg;
+    pcfg.threads = threads;
+    QueryPipeline pipeline(engine, backend, pcfg);
+    results.push_back(pipeline.query(41));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].top.size(), results[0].top.size());
+    for (std::size_t r = 0; r < results[0].top.size(); ++r) {
+      EXPECT_EQ(results[i].top[r].node, results[0].top[r].node);
+      EXPECT_DOUBLE_EQ(results[i].top[r].score, results[0].top[r].score);
+    }
+  }
+}
+
+TEST_F(SchedulerEquivalence, StripedReductionWithin1e12) {
+  const Graph& g = paper_graph(0);
+  MelopprConfig cfg = two_stage_config(Selection::top_ratio(0.05));
+  cfg.k = g.num_nodes();
+  Engine engine(g, cfg);
+  const QueryResult serial = engine.query(55);
+
+  CpuBackend backend(cfg.alpha);
+  PipelineConfig pcfg;
+  pcfg.threads = 4;
+  pcfg.deterministic_reduction = false;
+  QueryPipeline pipeline(engine, backend, pcfg);
+  const QueryResult parallel = pipeline.query(55);
+
+  const auto want = as_map(serial.top);
+  for (const auto& [node, score] : as_map(parallel.top)) {
+    const auto it = want.find(node);
+    const double serial_score = it == want.end() ? 0.0 : it->second;
+    EXPECT_NEAR(score, serial_score, 1e-12) << "node " << node;
+  }
+}
+
+TEST_F(SchedulerEquivalence, BatchMatchesSerialBitwise) {
+  // query_batch keeps the serial DFS schedule per query, so scores are
+  // bit-identical to Engine::query — parallelism is across queries only.
+  const Graph& g = paper_graph(1);
+  const MelopprConfig cfg = two_stage_config(Selection::top_ratio(0.05), 30);
+  Engine engine(g, cfg);
+  CpuBackend backend(cfg.alpha);
+  PipelineConfig pcfg;
+  pcfg.threads = 4;
+  QueryPipeline pipeline(engine, backend, pcfg);
+
+  const std::vector<graph::NodeId> seeds{3, 17, 29, 41, 55, 67, 79, 91};
+  const std::vector<QueryResult> batch = pipeline.query_batch(seeds);
+  ASSERT_EQ(batch.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const QueryResult serial = engine.query(seeds[i]);
+    ASSERT_EQ(batch[i].top.size(), serial.top.size()) << "seed " << seeds[i];
+    for (std::size_t r = 0; r < serial.top.size(); ++r) {
+      EXPECT_EQ(batch[i].top[r].node, serial.top[r].node);
+      EXPECT_DOUBLE_EQ(batch[i].top[r].score, serial.top[r].score);
+    }
+  }
+}
+
+TEST_F(SchedulerEquivalence, SerialStatsUnchangedShape) {
+  // The scheduler reports the same per-stage accounting the recursion did.
+  const Graph& g = paper_graph(0);
+  MelopprConfig cfg = two_stage_config(Selection::top_count(5), 10);
+  Engine engine(g, cfg);
+  const QueryResult r = engine.query(9);
+  ASSERT_EQ(r.stats.stages.size(), 2u);
+  EXPECT_EQ(r.stats.stages[0].balls, 1u);
+  EXPECT_EQ(r.stats.stages[0].selected, 5u);
+  EXPECT_EQ(r.stats.stages[1].balls, 5u);
+  EXPECT_EQ(r.stats.total_balls(), 6u);
+  EXPECT_EQ(r.stats.threads_used, 1u);
+  EXPECT_DOUBLE_EQ(r.stats.diffusion_makespan_seconds,
+                   r.stats.diffusion_serial_seconds);
+  EXPECT_DOUBLE_EQ(r.stats.parallel_speedup(), 1.0);
+}
+
+}  // namespace
+}  // namespace meloppr::core

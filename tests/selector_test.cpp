@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "util/assert.hpp"
 
 namespace meloppr::core {
@@ -96,6 +99,31 @@ TEST(SelectNextStage, EmptyResidualGivesEmptySelection) {
 
 TEST(SelectNextStage, NegativeResidualIsAnInvariantViolation) {
   const std::vector<double> residual = {0.1, -0.2};
+  EXPECT_THROW(select_next_stage(residual, Selection::all()),
+               InvariantViolation);
+}
+
+TEST(SelectNextStage, DenormalResidualsAreFilteredNotSelected) {
+  // A denormal residual would become a zero-progress stage task (one
+  // α-scaling step underflows it to nothing); the selector filters it so
+  // the engine never has to abort on a non-positive mass.
+  const std::vector<double> residual = {0.5,
+                                        std::numeric_limits<double>::denorm_min(),
+                                        1e-320,  // subnormal
+                                        0.0, 0.25};
+  const auto sel = select_next_stage(residual, Selection::all());
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel[0].local, 0u);
+  EXPECT_EQ(sel[1].local, 4u);
+  for (const auto& sn : sel) {
+    EXPECT_TRUE(std::isnormal(sn.residual));
+    EXPECT_GT(sn.residual, 0.0);
+  }
+}
+
+TEST(SelectNextStage, NonFiniteResidualIsAnInvariantViolation) {
+  const std::vector<double> residual = {
+      0.1, std::numeric_limits<double>::infinity()};
   EXPECT_THROW(select_next_stage(residual, Selection::all()),
                InvariantViolation);
 }
