@@ -134,7 +134,39 @@ int run() {
                "linear decomposition, so modeled throughput scales almost "
                "linearly with workers — >2x at 4 threads — until device "
                "count or BFS bandwidth saturates. Wall q/s tracks the model "
-               "only when the host has that many real cores.\n";
+               "only when the host has that many real cores.\n\n";
+
+  // --- Aggregator pooling A/B (ROADMAP: aggregator reuse across a batch).
+  // Same stream, repeated to amplify per-query construct/teardown cost;
+  // pooled arenas keep each worker's score-map buckets warm across
+  // queries, so the only difference between the rows is malloc churn.
+  std::vector<graph::NodeId> repeated;
+  repeated.reserve(stream.size() * 4);
+  for (int rep = 0; rep < 4; ++rep) {
+    repeated.insert(repeated.end(), stream.begin(), stream.end());
+  }
+  TablePrinter pool_table(
+      {"aggregators", "threads", "wall (s)", "wall q/s", "arena reuses"});
+  for (const bool pooled : {false, true}) {
+    core::CpuBackend cpu(cfg.alpha);
+    core::PipelineConfig pcfg;
+    pcfg.threads = max_threads;
+    pcfg.pool_aggregators = pooled;
+    pcfg.prefetch = false;  // isolate the aggregator effect
+    core::QueryPipeline pipeline(engine, cpu, pcfg);
+    Timer wall;
+    const std::size_t served = pipeline.query_batch(repeated).size();
+    const double seconds = wall.elapsed_seconds();
+    pool_table.add_row(
+        {pooled ? "pooled arenas" : "per-query", std::to_string(max_threads),
+         fmt_fixed(seconds, 3),
+         fmt_fixed(static_cast<double>(served) / seconds, 1),
+         pooled ? std::to_string(pipeline.aggregator_pool()->reuses())
+                : "-"});
+  }
+  std::cout << pool_table.ascii() << '\n'
+            << "reading: pooled rows reuse warm hash-map arenas (clear() "
+               "keeps buckets), so the gap is pure allocation churn.\n";
   return 0;
 }
 

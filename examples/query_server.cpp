@@ -3,23 +3,29 @@
 // serving simulation, now served by the concurrent QueryPipeline.
 //
 // A stream of queries with a skewed (popular-seed-heavy) distribution hits
-// the same MeLoPPR engine three ways:
+// the same MeLoPPR engine four ways:
 //   * serial, cold           — the baseline single-threaded engine;
 //   * serial + ball cache    — BFS time converted into memory (the LRU
 //                              ball cache; single-threaded by design);
 //   * pipeline, T workers    — QueryPipeline::query_batch, the throughput
 //                              path: queries run concurrently, scores stay
-//                              bit-identical to the serial engine.
+//                              bit-identical to the serial engine;
+//   * pipeline + serving stack — the concurrent layer: sharded ball cache
+//                              shared by all workers, stage-lookahead
+//                              prefetch hiding BFS behind diffusion, and
+//                              work-stealing across queries.
 // The report shows tail latency, throughput, and what each configuration
 // spends (cache memory vs cores) — the serving-time face of the paper's
 // memory↔latency trade-off, plus the parallelism its Sec. VI-C future work
-// predicts.
+// predicts. The new columns surface the serving layer's own telemetry:
+// cache hit rate, prefetch-hidden BFS seconds, and steal counts.
 #include <iostream>
 #include <vector>
 
 #include "core/ball_cache.hpp"
 #include "core/engine.hpp"
 #include "core/pipeline.hpp"
+#include "core/sharded_ball_cache.hpp"
 #include "graph/paper_graphs.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -56,21 +62,21 @@ int main() {
 
   TablePrinter report({"configuration", "p50 (ms)", "p99 (ms)", "mean (ms)",
                        "wall (s)", "queries/s", "BFS share",
-                       "cache hit rate", "cache MB"});
+                       "cache hit rate", "cache MB", "hidden BFS (s)",
+                       "steals"});
 
   const auto add_row = [&](const std::string& name, const Samples& latency_ms,
                            double wall_s, double bfs_s, double total_s,
-                           core::BallCache* cache) {
+                           const std::string& hit_rate,
+                           const std::string& cache_mb,
+                           const std::string& hidden,
+                           const std::string& steals) {
     report.add_row(
         {name, fmt_fixed(latency_ms.median(), 2),
          fmt_fixed(latency_ms.percentile(99.0), 2),
          fmt_fixed(latency_ms.mean(), 2), fmt_fixed(wall_s, 2),
          fmt_fixed(static_cast<double>(query_count) / wall_s, 1),
-         fmt_percent(bfs_s / total_s),
-         cache != nullptr ? fmt_percent(cache->hit_rate()) : "-",
-         cache != nullptr
-             ? fmt_fixed(static_cast<double>(cache->bytes()) / (1 << 20), 1)
-             : "-"});
+         fmt_percent(bfs_s / total_s), hit_rate, cache_mb, hidden, steals});
   };
 
   // --- Serial engine, cold and with byte-budgeted ball caches. ---
@@ -90,7 +96,13 @@ int main() {
     }
     const double wall_s = wall.elapsed_seconds();
     engine.set_ball_cache(nullptr);
-    add_row(name, latency_ms, wall_s, bfs_s, total_s, cache);
+    add_row(name, latency_ms, wall_s, bfs_s, total_s,
+            cache != nullptr ? fmt_percent(cache->hit_rate()) : "-",
+            cache != nullptr
+                ? fmt_fixed(static_cast<double>(cache->bytes()) / (1 << 20),
+                            1)
+                : "-",
+            "-", "-");
   };
 
   serve_serial(nullptr, "serial, cold");
@@ -99,16 +111,24 @@ int main() {
   core::BallCache big_cache(g, 64u << 20);
   serve_serial(&big_cache, "serial, 64 MB ball cache");
 
-  // --- Pipeline: the same stream served by T concurrent workers. ---
-  for (const std::size_t threads : {2u, 4u, 8u}) {
+  // --- Pipeline: the same stream served by T concurrent workers, bare
+  //     (PR 1 behavior) and with the full serving stack (sharded cache +
+  //     stage-lookahead prefetch + work stealing). ---
+  const auto serve_pipeline = [&](std::size_t threads, bool serving_stack) {
     core::CpuBackend backend(cfg.alpha);
     core::PipelineConfig pcfg;
     pcfg.threads = threads;
+    pcfg.prefetch = serving_stack;
+    pcfg.work_stealing = serving_stack;
+    core::ShardedBallCache shared_cache(g, 64u << 20);
+    if (serving_stack) engine.set_shared_ball_cache(&shared_cache);
     core::QueryPipeline pipeline(engine, backend, pcfg);
+    core::QueryPipeline::BatchStats batch;
     Timer wall;
     const std::vector<core::QueryResult> results =
-        pipeline.query_batch(stream);
+        pipeline.query_batch(stream, &batch);
     const double wall_s = wall.elapsed_seconds();
+    engine.set_shared_ball_cache(nullptr);
     Samples latency_ms;
     double bfs_s = 0.0;
     double total_s = 0.0;
@@ -117,14 +137,33 @@ int main() {
       bfs_s += r.stats.bfs_seconds();
       total_s += r.stats.total_seconds;
     }
-    add_row("pipeline, " + std::to_string(threads) + " workers", latency_ms,
-            wall_s, bfs_s, total_s, nullptr);
+    const std::string label =
+        (serving_stack ? "serving stack, " : "pipeline, ") +
+        std::to_string(threads) + " workers";
+    add_row(label, latency_ms, wall_s, bfs_s, total_s,
+            serving_stack ? fmt_percent(batch.cache_hit_rate()) : "-",
+            serving_stack
+                ? fmt_fixed(
+                      static_cast<double>(shared_cache.bytes()) / (1 << 20),
+                      1)
+                : "-",
+            serving_stack ? fmt_fixed(batch.prefetch_hidden_seconds, 2)
+                          : "-",
+            serving_stack ? std::to_string(batch.stolen_tasks) : "-");
+  };
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    serve_pipeline(threads, /*serving_stack=*/false);
+  }
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    serve_pipeline(threads, /*serving_stack=*/true);
   }
 
   std::cout << report.ascii() << '\n'
             << "reading: the cache converts the BFS share of repeated "
                "queries into memory; the pipeline converts idle cores into "
-               "throughput at identical scores — two independent dials on "
-               "the same memory<->latency trade.\n";
+               "throughput at identical scores; the serving stack combines "
+               "both and hides the residual BFS behind diffusion — three "
+               "dials on the same memory<->latency trade.\n";
   return 0;
 }

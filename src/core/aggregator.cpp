@@ -144,4 +144,67 @@ void StripedAggregator::clear() {
   }
 }
 
+AggregatorPool::AggregatorPool(std::size_t slots) {
+  if (slots == 0) {
+    throw std::invalid_argument("AggregatorPool: need at least one slot");
+  }
+  slots_.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+AggregatorPool::Lease AggregatorPool::acquire(std::size_t preferred) {
+  const std::size_t want = preferred % slots_.size();
+  std::size_t picked = want;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (!slots_[want]->busy) {
+        picked = want;
+        break;
+      }
+      // Preferred slot busy (another batch shares the pool): any free slot
+      // keeps the arena warm for *someone*.
+      bool found = false;
+      for (std::size_t s = 0; s < slots_.size() && !found; ++s) {
+        if (!slots_[s]->busy) {
+          picked = s;
+          found = true;
+        }
+      }
+      if (found) break;
+      slot_free_.wait(lock);
+    }
+    Slot& slot = *slots_[picked];
+    slot.busy = true;
+    if (slot.used_once) reuses_.fetch_add(1, std::memory_order_relaxed);
+    slot.used_once = true;
+  }
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  // clear() keeps the unordered_map's bucket array — the whole point.
+  slots_[picked]->aggregator.clear();
+  return Lease(this, picked);
+}
+
+void AggregatorPool::release(std::size_t slot) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[slot]->busy = false;
+  }
+  slot_free_.notify_one();
+}
+
+AggregatorPool::Lease::~Lease() {
+  if (pool_ != nullptr) pool_->release(slot_);
+}
+
+ExactAggregator& AggregatorPool::Lease::operator*() const {
+  return pool_->slots_[slot_]->aggregator;
+}
+
+ExactAggregator* AggregatorPool::Lease::operator->() const {
+  return &pool_->slots_[slot_]->aggregator;
+}
+
 }  // namespace meloppr::core

@@ -17,6 +17,8 @@
 //                      add() in parallel with low contention.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <map>
 #include <memory>
@@ -129,6 +131,71 @@ class StripedAggregator final : public ScoreAggregator {
   /// unique_ptr keeps Stripe addresses stable and sidesteps mutex's
   /// non-movability.
   std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+/// Per-worker arena of reusable ExactAggregators (ROADMAP: "Aggregator
+/// reuse across a batch"). Constructing and tearing down an ExactAggregator
+/// per query reallocates the score map's bucket array every time; clear()
+/// on a reused instance keeps the buckets, so a worker's second query
+/// aggregates into already-warm memory. acquire(slot) hands out an
+/// exclusive lease on one aggregator, cleared and ready; the preferred slot
+/// is the worker index, so within one batch there is no contention at all —
+/// the locking only matters when several batches share a pipeline.
+class AggregatorPool {
+ public:
+  /// Throws std::invalid_argument when `slots` is zero.
+  explicit AggregatorPool(std::size_t slots);
+
+  /// Exclusive lease; releases the slot on destruction. The aggregator
+  /// reference stays valid for the lease's lifetime only.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), slot_(other.slot_) {
+      other.pool_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease();
+
+    [[nodiscard]] ExactAggregator& operator*() const;
+    [[nodiscard]] ExactAggregator* operator->() const;
+
+   private:
+    friend class AggregatorPool;
+    Lease(AggregatorPool* pool, std::size_t slot)
+        : pool_(pool), slot_(slot) {}
+    AggregatorPool* pool_;
+    std::size_t slot_;
+  };
+
+  /// Returns a cleared aggregator, preferring slot `preferred % slots` and
+  /// falling back to any free slot (blocking on the preferred one only when
+  /// every slot is busy).
+  [[nodiscard]] Lease acquire(std::size_t preferred);
+
+  [[nodiscard]] std::size_t slots() const { return slots_.size(); }
+  /// Total leases handed out (each beyond the first per slot reused a warm
+  /// arena instead of allocating a fresh map).
+  [[nodiscard]] std::size_t acquires() const { return acquires_.load(); }
+  /// acquires() minus first-use-per-slot: queries that skipped the
+  /// construct/teardown malloc churn entirely.
+  [[nodiscard]] std::size_t reuses() const { return reuses_.load(); }
+
+ private:
+  struct Slot {
+    ExactAggregator aggregator;
+    bool busy = false;       ///< guarded by mu_
+    bool used_once = false;  ///< guarded by mu_
+  };
+  void release(std::size_t slot);
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::mutex mu_;
+  std::condition_variable slot_free_;
+  std::atomic<std::size_t> acquires_{0};
+  std::atomic<std::size_t> reuses_{0};
 };
 
 }  // namespace meloppr::core

@@ -15,7 +15,7 @@ BallCache::BallCache(const graph::Graph& g, std::size_t byte_budget)
 }
 
 const graph::Subgraph& BallCache::get(graph::NodeId root, unsigned radius) {
-  const Key key{root, radius};
+  const BallKey key{root, radius};
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;

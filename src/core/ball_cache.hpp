@@ -8,7 +8,9 @@
 // memory, a second instance of the paper's central memory↔latency trade.
 // The cache is byte-budgeted and evicts least-recently-used balls.
 //
-// Not thread-safe; one cache per serving thread.
+// Not thread-safe; one cache per serving thread. The concurrent serving
+// path uses ShardedBallCache (sharded_ball_cache.hpp), which shares the
+// (root, radius) key and hash defined here.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +23,35 @@
 #include "graph/subgraph.hpp"
 
 namespace meloppr::core {
+
+/// splitmix64 finalizer — a full-avalanche 64-bit mixer, so every output bit
+/// depends on every input bit. The previous `root << 8 ^ radius` scheme
+/// clustered keys (consecutive roots map 256 apart) and collided outright
+/// once radius ≥ 256 overflowed into the root bits.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Cache key: which ball. Root and radius occupy disjoint halves of the
+/// 64-bit pre-mix word, so distinct keys can never alias before mixing.
+struct BallKey {
+  graph::NodeId root = graph::kInvalidNode;
+  unsigned radius = 0;
+  bool operator==(const BallKey&) const = default;
+  [[nodiscard]] std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(root) << 32) |
+           static_cast<std::uint64_t>(radius);
+  }
+};
+
+struct BallKeyHash {
+  std::size_t operator()(const BallKey& k) const {
+    return static_cast<std::size_t>(splitmix64(k.packed()));
+  }
+};
 
 class BallCache {
  public:
@@ -55,19 +86,8 @@ class BallCache {
   void clear();
 
  private:
-  struct Key {
-    graph::NodeId root;
-    unsigned radius;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      return std::hash<std::uint64_t>{}(
-          (static_cast<std::uint64_t>(k.root) << 8) ^ k.radius);
-    }
-  };
   struct Entry {
-    Key key;
+    BallKey key;
     graph::Subgraph ball;
   };
 
@@ -82,7 +102,8 @@ class BallCache {
 
   /// MRU-ordered list; lookups map keys to list iterators.
   std::list<Entry> lru_;
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_;
+  std::unordered_map<BallKey, std::list<Entry>::iterator, BallKeyHash>
+      entries_;
   /// Oversized ball served without being retained.
   graph::Subgraph overflow_;
 };

@@ -33,10 +33,41 @@ struct PipelineConfig {
   /// Stripe count for the concurrent aggregation path.
   std::size_t aggregator_stripes = 16;
 
+  /// Stage-lookahead BFS prefetch. When the engine has a shared
+  /// (ShardedBallCache) ball cache installed, each finished stage task's
+  /// next-stage children are handed to dedicated prefetch threads, which
+  /// extract their balls into the cache while the current stage's
+  /// diffusions still occupy the backend — the PS/PL overlap of Fig. 4.
+  /// No-op without a shared cache; never affects scores.
+  bool prefetch = true;
+
+  /// Dedicated prefetch (host BFS) threads; 0 → max(1, threads/2). These
+  /// are in addition to the worker pool: workers blocked on a busy device
+  /// farm leave exactly this many cores for lookahead BFS.
+  std::size_t prefetch_threads = 0;
+
+  /// query_batch scheduling. true → per-stage tasks of every query go into
+  /// per-worker deques and idle workers steal from the busiest tails, so
+  /// one query with a huge stage-2 fan-out cannot idle the pool; scores
+  /// stay bit-identical to Engine::query (reduction replays the serial DFS
+  /// order). false → each query is pinned to one worker (PR 1 behavior).
+  bool work_stealing = true;
+
+  /// Reuse per-worker ExactAggregator arenas across the queries of a batch
+  /// (clear() keeps the hash-map buckets) instead of construct/teardown per
+  /// query — cuts malloc churn at high thread counts.
+  bool pool_aggregators = true;
+
   [[nodiscard]] std::size_t resolved_threads() const {
     if (threads != 0) return threads;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
+  }
+
+  [[nodiscard]] std::size_t resolved_prefetch_threads() const {
+    if (prefetch_threads != 0) return prefetch_threads;
+    const std::size_t half = resolved_threads() / 2;
+    return half == 0 ? 1 : half;
   }
 
   void validate() const {

@@ -49,6 +49,7 @@
 #include "core/ball_cache.hpp"
 #include "core/config.hpp"
 #include "core/query_stats.hpp"
+#include "core/sharded_ball_cache.hpp"
 #include "graph/graph.hpp"
 #include "ppr/topk.hpp"
 #include "util/memory_meter.hpp"
@@ -119,10 +120,23 @@ class Engine {
   void set_ball_cache(BallCache* cache) { cache_ = cache; }
   [[nodiscard]] BallCache* ball_cache() const { return cache_; }
 
+  /// Serves all ball extractions through the thread-safe sharded cache
+  /// (nullptr restores direct extraction) — the concurrent alternative to
+  /// set_ball_cache, safe under any number of workers, and the storage side
+  /// of the pipeline's stage-lookahead prefetcher. When both caches are
+  /// installed the sharded one wins. Same lifetime/graph contract as above.
+  void set_shared_ball_cache(ShardedBallCache* cache) {
+    shared_cache_ = cache;
+  }
+  [[nodiscard]] ShardedBallCache* shared_ball_cache() const {
+    return shared_cache_;
+  }
+
  private:
   const graph::Graph* graph_;
   MelopprConfig config_;
   BallCache* cache_ = nullptr;
+  ShardedBallCache* shared_cache_ = nullptr;
 };
 
 }  // namespace meloppr::core

@@ -1,7 +1,11 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -23,6 +27,9 @@ QueryPipeline::QueryPipeline(const Engine& engine, DiffusionBackend& backend,
       clones_.push_back(backend.clone());
     }
   }
+  if (config_.pool_aggregators) {
+    agg_pool_ = std::make_unique<AggregatorPool>(threads_);
+  }
   workers_.reserve(threads_);
   for (std::size_t w = 0; w < threads_; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -38,10 +45,24 @@ QueryPipeline::~QueryPipeline() {
   for (std::thread& t : workers_) t.join();
 }
 
+ShardedBallCache* QueryPipeline::activate_lookahead() {
+  if (!config_.prefetch) return nullptr;
+  ShardedBallCache* cache = engine_->shared_ball_cache();
+  if (cache == nullptr) return nullptr;
+  // Lazy: a pipeline that never sees a shared cache never pays for
+  // prefetch threads (they could do no work anyway).
+  std::call_once(prefetcher_once_, [this] {
+    prefetcher_ = std::make_unique<BallPrefetcher>(
+        config_.resolved_prefetch_threads());
+  });
+  return cache;
+}
+
 void QueryPipeline::check_cache_free() const {
   MELO_CHECK_MSG(engine_->ball_cache() == nullptr || threads_ == 1,
-                 "QueryPipeline: the engine's ball cache is single-threaded; "
-                 "remove it (set_ball_cache(nullptr)) before parallel use");
+                 "QueryPipeline: the engine's BallCache is single-threaded; "
+                 "remove it (set_ball_cache(nullptr)) or install a "
+                 "ShardedBallCache for parallel use");
 }
 
 void QueryPipeline::worker_loop(std::size_t worker_id) {
@@ -104,13 +125,29 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
   std::vector<MemoryMeter> meters(threads_);
   std::vector<double> busy_seconds(threads_, 0.0);
 
+  // Stage-lookahead: children discovered by a finishing task are handed to
+  // the prefetch threads immediately, so their balls stream into the shared
+  // cache while the REST of this stage's diffusions still run.
+  ShardedBallCache* lookahead = activate_lookahead();
+  const double hidden_before =
+      prefetcher_ != nullptr ? prefetcher_->hidden_seconds() : 0.0;
+
   const bool deterministic = config_.deterministic_reduction;
-  const std::unique_ptr<ScoreAggregator> owned_aggregator =
-      deterministic
-          ? static_cast<std::unique_ptr<ScoreAggregator>>(
-                std::make_unique<ExactAggregator>())
-          : std::make_unique<StripedAggregator>(config_.aggregator_stripes);
-  ScoreAggregator& aggregator = *owned_aggregator;
+  std::optional<AggregatorPool::Lease> lease;
+  std::unique_ptr<ScoreAggregator> owned_aggregator;
+  ScoreAggregator* aggregator_ptr;
+  if (deterministic && agg_pool_ != nullptr) {
+    lease.emplace(agg_pool_->acquire(0));
+    aggregator_ptr = &**lease;
+  } else {
+    owned_aggregator =
+        deterministic
+            ? static_cast<std::unique_ptr<ScoreAggregator>>(
+                  std::make_unique<ExactAggregator>())
+            : std::make_unique<StripedAggregator>(config_.aggregator_stripes);
+    aggregator_ptr = owned_aggregator.get();
+  }
+  ScoreAggregator& aggregator = *aggregator_ptr;
 
   Timer total;
   // The coordinator's own footprint: the frontier plus every outstanding
@@ -129,6 +166,13 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
       meters[w].set("stage_buffers", 0);  // ownership moves to outcomes[i]
       busy_seconds[w] +=
           out.stats.compute_seconds + out.stats.transfer_seconds;
+      if (lookahead != nullptr) {
+        for (const StageTask& child : out.children) {
+          prefetcher_->enqueue(
+              *lookahead, child.root,
+              engine_->config().stage_lengths[child.stage]);
+        }
+      }
       if (!deterministic) {
         // Concurrent reduction: stream this task's deltas straight into the
         // striped aggregator (sums are exact per node; order is not).
@@ -184,6 +228,15 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
       *std::max_element(busy_seconds.begin(), busy_seconds.end()),
       result.stats.diffusion_serial_seconds / static_cast<double>(slots));
   result.stats.aggregator_bytes = aggregator.bytes();
+  if (lookahead != nullptr) {
+    // Quiesce so no prefetch thread touches the cache after we return and
+    // the hidden-seconds delta is complete. Approximate under concurrent
+    // queries: the delta includes lookahead work triggered by overlapping
+    // calls on the same pipeline.
+    prefetcher_->quiesce();
+    result.stats.prefetch_hidden_seconds =
+        prefetcher_->hidden_seconds() - hidden_before;
+  }
 
   // Aggregator first, then the worker peaks on top: the final score
   // structure coexists with the in-flight balls, so the honest (upper
@@ -197,17 +250,348 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
 }
 
 std::vector<QueryResult> QueryPipeline::query_batch(
-    std::span<const graph::NodeId> seeds) {
+    std::span<const graph::NodeId> seeds, BatchStats* batch_stats) {
   check_cache_free();
+  Timer wall;
+  // Spawn prefetch threads (when eligible) before the delta snapshot.
+  ShardedBallCache* lookahead = activate_lookahead();
+
+  // Serving-layer counters, measured as deltas around the batch.
+  ShardedBallCache* cache = engine_->shared_ball_cache();
+  const std::size_t dedup_before = cache != nullptr ? cache->dedup_hits() : 0;
+  const std::size_t issued_before =
+      prefetcher_ != nullptr ? prefetcher_->issued() : 0;
+  const std::size_t fetched_before =
+      prefetcher_ != nullptr ? prefetcher_->balls_fetched() : 0;
+  const double hidden_before =
+      prefetcher_ != nullptr ? prefetcher_->hidden_seconds() : 0.0;
+
   std::vector<QueryResult> results(seeds.size());
-  run_jobs(seeds.size(), [&](std::size_t i, std::size_t w) {
-    // Each query keeps the serial depth-first schedule — scores are
-    // bit-identical to Engine::query — and its own aggregator; the batch's
-    // parallelism is across queries.
-    ExactAggregator aggregator;
-    results[i] = engine_->query(seeds[i], backend_for(w), aggregator);
-  });
+  if (config_.work_stealing && threads_ > 1 && seeds.size() > 1) {
+    run_stealing_batch(seeds, results);
+  } else {
+    run_jobs(seeds.size(), [&](std::size_t i, std::size_t w) {
+      // Query-pinned scheduling: each query keeps the serial depth-first
+      // schedule (scores bit-identical to Engine::query) on one worker;
+      // the batch's parallelism is across queries.
+      if (agg_pool_ != nullptr) {
+        AggregatorPool::Lease lease = agg_pool_->acquire(w);
+        results[i] = engine_->query(seeds[i], backend_for(w), *lease);
+      } else {
+        ExactAggregator aggregator;
+        results[i] = engine_->query(seeds[i], backend_for(w), aggregator);
+      }
+    });
+  }
+
+  // Quiesce before reading deltas (and before the caller may tear the
+  // cache down): queued lookahead from the batch's tail would otherwise
+  // keep prefetch threads touching the cache after we return.
+  if (lookahead != nullptr) prefetcher_->quiesce();
+
+  if (batch_stats != nullptr) {
+    *batch_stats = BatchStats{};  // caller may reuse one instance per batch
+    batch_stats->queries = seeds.size();
+    batch_stats->wall_seconds = wall.elapsed_seconds();
+    for (const QueryResult& r : results) {
+      batch_stats->executed_tasks += r.stats.total_balls();
+      batch_stats->stolen_tasks += r.stats.stolen_tasks;
+      batch_stats->cache_hits += r.stats.cache_hits();
+      batch_stats->cache_misses += r.stats.cache_misses();
+      batch_stats->demand_bfs_seconds += r.stats.bfs_seconds();
+      batch_stats->peak_bytes =
+          std::max(batch_stats->peak_bytes, r.stats.peak_bytes);
+    }
+    if (cache != nullptr) {
+      batch_stats->dedup_hits = cache->dedup_hits() - dedup_before;
+    }
+    if (prefetcher_ != nullptr) {
+      batch_stats->prefetch_issued = prefetcher_->issued() - issued_before;
+      batch_stats->prefetched_balls =
+          prefetcher_->balls_fetched() - fetched_before;
+      batch_stats->prefetch_hidden_seconds =
+          prefetcher_->hidden_seconds() - hidden_before;
+    }
+  }
   return results;
+}
+
+namespace {
+
+/// One stage task of one query in the stealing scheduler. The tree is the
+/// query's task tree; outcomes stay attached to their node so the reduction
+/// can replay the serial depth-first order after out-of-order execution.
+struct TreeNode {
+  StageTask task;
+  StageOutcome out;
+  std::vector<std::unique_ptr<TreeNode>> children;
+};
+
+struct BatchQuery {
+  std::size_t index = 0;
+  std::unique_ptr<TreeNode> root;
+  /// Tasks of this query not yet executed (root counts as 1 up front).
+  /// Whoever decrements it to zero reduces the query.
+  std::atomic<std::size_t> remaining{1};
+  /// One bit per worker that executed a task of this query (exact at any
+  /// thread count; words allocated by the scheduler).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> worker_words;
+  std::atomic<std::size_t> stolen{0};
+  double start_seconds = 0.0;
+};
+
+struct StealTask {
+  BatchQuery* query = nullptr;
+  TreeNode* node = nullptr;
+};
+
+struct WorkerDeque {
+  std::mutex mu;
+  std::deque<StealTask> tasks;
+};
+
+/// Applies one query's outcomes in the exact operation order of
+/// Engine::query's LIFO stack (depth-first, children in selection order) —
+/// this is what makes stolen, out-of-order execution bit-identical.
+void reduce_tree(const TreeNode& node, ScoreAggregator& aggregator,
+                 QueryStats& stats) {
+  if (!(node.task.mass > 0.0)) return;  // serial schedule skips these too
+  if (node.task.stage > 0) {
+    aggregator.add(node.task.root, -node.task.mass);
+  }
+  for (const auto& [dest, delta] : node.out.contributions) {
+    aggregator.add(dest, delta);
+  }
+  stats.stages[node.task.stage].merge(node.out.stats);
+  for (const auto& child : node.children) {
+    reduce_tree(*child, aggregator, stats);
+  }
+}
+
+std::size_t tree_bytes(const TreeNode& node) {
+  std::size_t bytes = sizeof(TreeNode) +
+                      vector_bytes(node.out.contributions) +
+                      vector_bytes(node.out.children) +
+                      vector_bytes(node.children);
+  for (const auto& child : node.children) bytes += tree_bytes(*child);
+  return bytes;
+}
+
+}  // namespace
+
+void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
+                                       std::vector<QueryResult>& results) {
+  const std::size_t n = seeds.size();
+  ShardedBallCache* lookahead = activate_lookahead();
+  const std::size_t mask_words = (threads_ + 63) / 64;
+
+  std::vector<std::unique_ptr<BatchQuery>> queries;
+  queries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto q = std::make_unique<BatchQuery>();
+    q->index = i;
+    q->worker_words =
+        std::make_unique<std::atomic<std::uint64_t>[]>(mask_words);
+    for (std::size_t word = 0; word < mask_words; ++word) {
+      q->worker_words[word].store(0, std::memory_order_relaxed);
+    }
+    queries.push_back(std::move(q));
+  }
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques;
+  deques.reserve(threads_);
+  for (std::size_t w = 0; w < threads_; ++w) {
+    deques.push_back(std::make_unique<WorkerDeque>());
+  }
+
+  std::vector<MemoryMeter> meters(threads_);
+  std::atomic<std::size_t> next_root{0};
+  std::atomic<std::size_t> live{n};  // known-but-unfinished tasks
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  // Idle workers park here instead of spinning: signaled when new tasks
+  // are published, when the batch drains, and on failure. The timed wait
+  // below makes a lost wakeup cost a millisecond, never a hang.
+  std::mutex idle_mu;
+  std::condition_variable idle_cv;
+  Timer wall;
+
+  const auto finalize_query = [&](BatchQuery& q, std::size_t self) {
+    std::optional<AggregatorPool::Lease> lease;
+    std::optional<ExactAggregator> local;
+    ExactAggregator* aggregator;
+    if (agg_pool_ != nullptr) {
+      lease.emplace(agg_pool_->acquire(self));
+      aggregator = &**lease;
+    } else {
+      local.emplace();
+      aggregator = &*local;
+    }
+
+    QueryResult r;
+    r.stats.stages.resize(engine_->config().num_stages());
+    reduce_tree(*q.root, *aggregator, r.stats);
+    r.top = aggregator->top(engine_->config().k);
+    r.stats.total_seconds = wall.elapsed_seconds() - q.start_seconds;
+    r.stats.diffusion_serial_seconds =
+        r.stats.compute_seconds() + r.stats.transfer_seconds();
+    // Per-query makespan equals the serial sum: this query's *internal*
+    // speedup is not tracked under stealing (parallelism is across the
+    // batch); batch-level wall time is the honest throughput figure.
+    r.stats.diffusion_makespan_seconds = r.stats.diffusion_serial_seconds;
+    std::size_t distinct_workers = 0;
+    for (std::size_t word = 0; word < mask_words; ++word) {
+      distinct_workers += static_cast<std::size_t>(std::popcount(
+          q.worker_words[word].load(std::memory_order_relaxed)));
+    }
+    r.stats.threads_used = distinct_workers;
+    r.stats.stolen_tasks = q.stolen.load(std::memory_order_relaxed);
+    r.stats.aggregator_bytes = aggregator->bytes();
+    // Retained footprint: the outcome tree coexists with the aggregator at
+    // reduction time. The transient ball/device footprints live in the
+    // per-worker meters and are folded into every query's peak once the
+    // batch drains (tasks of any query may run on any worker).
+    MemoryMeter meter;
+    meter.set("aggregator", aggregator->bytes());
+    meter.set("outcome_tree", tree_bytes(*q.root));
+    r.stats.peak_bytes = meter.peak_bytes();
+    results[q.index] = std::move(r);
+  };
+
+  const auto execute_task = [&](const StealTask& t, std::size_t self,
+                                std::size_t w) {
+    BatchQuery& q = *t.query;
+    TreeNode& node = *t.node;
+    if (node.task.mass > 0.0) {
+      node.out = engine_->run_task(node.task, backend_for(w), meters[w]);
+      meters[w].set("stage_buffers", 0);
+      const std::vector<StageTask>& child_tasks = node.out.children;
+      if (!child_tasks.empty()) {
+        node.children.reserve(child_tasks.size());
+        for (const StageTask& c : child_tasks) {
+          auto child = std::make_unique<TreeNode>();
+          child->task = c;
+          node.children.push_back(std::move(child));
+        }
+        // Account the children before finishing this task so neither the
+        // query's remaining count nor the batch's live count can touch
+        // zero while work is still pending.
+        q.remaining.fetch_add(child_tasks.size(),
+                              std::memory_order_acq_rel);
+        live.fetch_add(child_tasks.size(), std::memory_order_acq_rel);
+        {
+          // Publish in reverse selection order: this worker pops LIFO, so
+          // it continues depth-first with the first-selected child while
+          // thieves take from the other end (the last-selected tail).
+          std::lock_guard<std::mutex> lock(deques[self]->mu);
+          for (auto it = node.children.rbegin();
+               it != node.children.rend(); ++it) {
+            deques[self]->tasks.push_back({&q, it->get()});
+          }
+        }
+        idle_cv.notify_all();  // parked workers can steal these
+        if (lookahead != nullptr) {
+          // This worker dives into children[0] next; its siblings' balls
+          // are lookahead work for the prefetch threads.
+          for (std::size_t c = 1; c < node.children.size(); ++c) {
+            prefetcher_->enqueue(
+                *lookahead, node.children[c]->task.root,
+                engine_->config().stage_lengths[node.children[c]->task.stage]);
+          }
+        }
+      }
+    }
+    q.worker_words[self / 64].fetch_or(std::uint64_t{1} << (self % 64),
+                                       std::memory_order_relaxed);
+    // acq_rel: the winner of the final decrement observes every executor's
+    // outcome writes (release sequence on `remaining`), so reduce_tree
+    // reads fully-published nodes.
+    if (q.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      finalize_query(q, self);
+    }
+    if (live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      idle_cv.notify_all();  // batch drained: release parked workers
+    }
+  };
+
+  run_jobs(threads_, [&](std::size_t self, std::size_t w) {
+    WorkerDeque& own = *deques[self];
+    for (;;) {
+      if (failed.load(std::memory_order_acquire)) break;
+      StealTask task;
+      bool have = false;
+      {  // 1. own deque, LIFO — depth-first, newest (hottest) subtree
+        std::lock_guard<std::mutex> lock(own.mu);
+        if (!own.tasks.empty()) {
+          task = own.tasks.back();
+          own.tasks.pop_back();
+          have = true;
+        }
+      }
+      if (!have) {  // 2. claim a fresh query root
+        const std::size_t r =
+            next_root.fetch_add(1, std::memory_order_relaxed);
+        if (r < n) {
+          BatchQuery& q = *queries[r];
+          q.start_seconds = wall.elapsed_seconds();
+          q.root = std::make_unique<TreeNode>();
+          q.root->task = {seeds[r], 1.0, 0};
+          task = {&q, q.root.get()};
+          have = true;
+        }
+      }
+      if (!have) {  // 3. steal, FIFO — the victim's oldest (biggest) subtree
+        for (std::size_t d = 1; d < deques.size() && !have; ++d) {
+          WorkerDeque& victim = *deques[(self + d) % deques.size()];
+          std::lock_guard<std::mutex> lock(victim.mu);
+          if (!victim.tasks.empty()) {
+            task = victim.tasks.front();
+            victim.tasks.pop_front();
+            have = true;
+          }
+        }
+        if (have) {
+          task.query->stolen.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (!have) {
+        if (live.load(std::memory_order_acquire) == 0) break;
+        // A peer still runs tasks we may inherit; park until something is
+        // published (bounded wait: a missed notify costs 1 ms, not a hang,
+        // and leaves the cores to the prefetch threads meanwhile).
+        std::unique_lock<std::mutex> lock(idle_mu);
+        idle_cv.wait_for(lock, std::chrono::milliseconds(1));
+        continue;
+      }
+      try {
+        execute_task(task, self, w);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+          }
+        }
+        failed.store(true, std::memory_order_release);
+        idle_cv.notify_all();
+        break;
+      }
+    }
+  });
+
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  MELO_CHECK(live.load() == 0);
+
+  // Fold the workers' transient ball/device peaks into every query's peak:
+  // summed worker peaks never under-report the true simultaneous footprint
+  // (the same convention the stage-parallel query uses), so per-query
+  // peak_bytes stays an honest sizing figure under the default scheduler.
+  MemoryMeter transient;
+  for (const MemoryMeter& m : meters) transient.merge_peak(m);
+  for (QueryResult& r : results) {
+    r.stats.peak_bytes += transient.peak_bytes();
+  }
 }
 
 }  // namespace meloppr::core

@@ -14,11 +14,25 @@
 //                        order, so scores are identical for ANY thread
 //                        count; the alternative streams contributions into
 //                        a mutex-striped aggregator concurrently.
-//   query_batch(seeds) — query-parallel: each query runs the serial
-//                        depth-first schedule (bit-identical to
-//                        Engine::query) on one worker, queries concurrent
-//                        with each other — the multi-query throughput path
-//                        a serving deployment wants.
+//   query_batch(seeds) — multi-query throughput. With work_stealing (the
+//                        default) every query's per-stage tasks go into
+//                        per-worker deques and idle workers steal from the
+//                        tails of busy ones, so one query with a huge
+//                        stage-2 fan-out cannot idle the pool; each query
+//                        is then reduced by replaying the serial depth-
+//                        first order, so scores stay bit-identical to
+//                        Engine::query. With work_stealing off, queries
+//                        are pinned whole to workers (the PR 1 scheduler).
+//
+// Host/device overlap: when the engine carries a ShardedBallCache, the
+// pipeline runs a stage-lookahead prefetcher — the moment a task's
+// children are selected, dedicated host threads extract their (next-stage)
+// balls into the shared cache while the current stage's diffusions still
+// occupy the backend. This is the Fig. 4 PS/PL overlap the paper leaves
+// serial: CPU-side BFS, the end-to-end bottleneck of Fig. 7, hides behind
+// device time instead of serializing in front of it. Prefetch never
+// affects scores; a missed prefetch just means the demand fetch pays the
+// BFS itself.
 //
 // Backend policy: a thread_safe() backend (CpuBackend, FpgaFarm) is shared
 // by all workers — the farm then receives genuinely concurrent dispatches,
@@ -45,14 +59,44 @@
 
 #include "core/config.hpp"
 #include "core/engine.hpp"
+#include "core/prefetcher.hpp"
 
 namespace meloppr::core {
 
 class QueryPipeline {
  public:
-  /// Spawns the worker pool. `engine` and `backend` must outlive the
-  /// pipeline; the engine must not have a ball cache installed when more
-  /// than one worker is used (the cache is single-threaded). Throws
+  /// Batch-level accounting for one query_batch call: what the serving
+  /// layer (cache + prefetcher + stealing) did for the whole stream.
+  /// Cache/prefetch deltas are measured around the call, so concurrent
+  /// batches sharing one engine see each other's traffic folded in.
+  struct BatchStats {
+    std::size_t queries = 0;
+    double wall_seconds = 0.0;
+    std::size_t executed_tasks = 0;  ///< stage tasks (balls) run
+    std::size_t stolen_tasks = 0;    ///< tasks executed off their home worker
+    std::size_t cache_hits = 0;      ///< demand hits (incl. dedup joins)
+    std::size_t cache_misses = 0;
+    std::size_t dedup_hits = 0;      ///< joins of an in-flight extraction
+    std::size_t prefetch_issued = 0;
+    std::size_t prefetched_balls = 0;  ///< lookahead BFS actually performed
+    double prefetch_hidden_seconds = 0.0;  ///< BFS time moved off demand path
+    double demand_bfs_seconds = 0.0;       ///< BFS time still paid by workers
+    /// Largest per-query peak_bytes in the batch (upper bound; in stealing
+    /// mode every query's peak folds in all workers' transient ball/device
+    /// footprints, since tasks of any query may run on any worker).
+    std::size_t peak_bytes = 0;
+    [[nodiscard]] double cache_hit_rate() const {
+      const std::size_t total = cache_hits + cache_misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// Spawns the worker pool (plus prefetch threads when config.prefetch).
+  /// `engine` and `backend` must outlive the pipeline. A single-threaded
+  /// BallCache on the engine is still rejected in parallel mode; a
+  /// ShardedBallCache is embraced at any thread count. Throws
   /// std::invalid_argument on a bad config.
   QueryPipeline(const Engine& engine, DiffusionBackend& backend,
                 PipelineConfig config = {});
@@ -66,14 +110,30 @@ class QueryPipeline {
   /// reduction they are additionally identical across thread counts.
   QueryResult query(graph::NodeId seed);
 
-  /// Many queries, each executed with the serial depth-first schedule
-  /// (scores bit-identical to Engine::query) and concurrently with the
-  /// others. Results are positionally aligned with `seeds`.
-  std::vector<QueryResult> query_batch(std::span<const graph::NodeId> seeds);
+  /// Many queries, concurrently. Scores are bit-identical to Engine::query
+  /// at any thread count in both scheduling modes (the stealing mode
+  /// executes tasks out of order but reduces each query in the serial
+  /// depth-first order). Results are positionally aligned with `seeds`;
+  /// `batch_stats` (optional) receives the serving-layer accounting.
+  std::vector<QueryResult> query_batch(std::span<const graph::NodeId> seeds,
+                                       BatchStats* batch_stats = nullptr);
 
   [[nodiscard]] std::size_t threads() const { return threads_; }
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
   [[nodiscard]] const Engine& engine() const { return *engine_; }
+
+  /// The stage-lookahead prefetcher. Created lazily by the first query
+  /// that finds a ShardedBallCache on the engine (threads are pointless
+  /// without one), so this is nullptr until then and always when
+  /// config.prefetch is off.
+  [[nodiscard]] const BallPrefetcher* prefetcher() const {
+    return prefetcher_.get();
+  }
+  /// The pooled per-worker aggregator arenas (nullptr when
+  /// config.pool_aggregators is off).
+  [[nodiscard]] const AggregatorPool* aggregator_pool() const {
+    return agg_pool_.get();
+  }
 
  private:
   /// Enqueues `count` jobs fn(job_index, worker_id) and blocks until all
@@ -85,12 +145,24 @@ class QueryPipeline {
 
   void worker_loop(std::size_t worker_id);
 
+  /// The work-stealing batch scheduler (config.work_stealing, threads > 1).
+  /// Fills `results` positionally; serving-layer deltas are taken by the
+  /// caller around this call.
+  void run_stealing_batch(std::span<const graph::NodeId> seeds,
+                          std::vector<QueryResult>& results);
+
   [[nodiscard]] DiffusionBackend& backend_for(std::size_t worker_id) {
     return shared_backend_ != nullptr ? *shared_backend_
                                       : *clones_[worker_id];
   }
 
   void check_cache_free() const;
+
+  /// Returns the cache to prefetch into when lookahead is active —
+  /// config.prefetch on AND a shared cache installed — spawning the
+  /// prefetch threads on first activation; nullptr otherwise. Called by
+  /// query coordinators, safe from several at once.
+  ShardedBallCache* activate_lookahead();
 
   const Engine* engine_;
   PipelineConfig config_;
@@ -100,6 +172,10 @@ class QueryPipeline {
   /// clone per worker.
   DiffusionBackend* shared_backend_ = nullptr;
   std::vector<std::unique_ptr<DiffusionBackend>> clones_;
+
+  std::once_flag prefetcher_once_;
+  std::unique_ptr<BallPrefetcher> prefetcher_;
+  std::unique_ptr<AggregatorPool> agg_pool_;
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void(std::size_t)>> queue_;

@@ -1,0 +1,84 @@
+#include "core/prefetcher.hpp"
+
+#include <algorithm>
+
+namespace meloppr::core {
+
+BallPrefetcher::BallPrefetcher(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BallPrefetcher::~BallPrefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    queue_.clear();
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void BallPrefetcher::enqueue(ShardedBallCache& cache, graph::NodeId root,
+                             unsigned radius) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    queue_.push_back({&cache, root, radius});
+  }
+  issued_.fetch_add(1, std::memory_order_relaxed);
+  work_available_.notify_one();
+}
+
+void BallPrefetcher::drop_pending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.clear();
+}
+
+void BallPrefetcher::quiesce() {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.clear();
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+double BallPrefetcher::hidden_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hidden_seconds_;
+}
+
+void BallPrefetcher::worker_loop() {
+  for (;;) {
+    Request req{};
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // pending requests are best-effort; drop on stop
+      req = queue_.front();
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    double extract_seconds = 0.0;
+    bool fetched = false;
+    try {
+      const ShardedBallCache::Fetch f = req.cache->fetch(
+          req.root, req.radius, ShardedBallCache::FetchKind::kPrefetch);
+      fetched = !f.hit;
+      extract_seconds = f.extract_seconds;
+    } catch (...) {
+      // A prefetch is advisory: swallow the failure, the demand fetch will
+      // surface it with proper attribution if the ball is truly unreachable.
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (fetched) balls_fetched_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      hidden_seconds_ += extract_seconds;
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace meloppr::core

@@ -1,0 +1,94 @@
+// Stage-lookahead BFS prefetcher — the PS/PL overlap of Fig. 4 the paper
+// leaves serial.
+//
+// The moment a stage task finishes, select_next_stage has named the roots of
+// its stage-s+1 children — but their diffusions cannot start until the rest
+// of stage s drains. That window is exactly when the host's cores are idle
+// (or blocked on the device farm). The prefetcher spends it extracting the
+// next stage's balls into the ShardedBallCache on dedicated host threads,
+// so by the time a child task is dispatched, its BFS is a cache hit and the
+// CPU-side ball preparation (Fig. 7's dominant light-blue bars) has been
+// hidden behind device diffusion instead of serialized in front of it.
+//
+// The prefetcher is deliberately decoupled from scheduling policy: it is a
+// fire-and-forget queue of (cache, root, radius) requests. Correctness never
+// depends on it — a dropped or late prefetch only means the demand fetch
+// pays the BFS itself, and the cache's in-flight dedup guarantees a demand
+// fetch racing a prefetch of the same ball never extracts twice.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_ball_cache.hpp"
+#include "graph/graph.hpp"
+
+namespace meloppr::core {
+
+class BallPrefetcher {
+ public:
+  /// Spawns `threads` dedicated BFS threads (≥ 1 enforced).
+  explicit BallPrefetcher(std::size_t threads);
+  BallPrefetcher(const BallPrefetcher&) = delete;
+  BallPrefetcher& operator=(const BallPrefetcher&) = delete;
+  ~BallPrefetcher();
+
+  /// Requests the ball (root, radius) be pulled into `cache`. Returns
+  /// immediately; the extraction happens on a prefetch thread. `cache`
+  /// must stay alive until quiesce() returns — the pipeline quiesces at
+  /// the end of every query()/query_batch(), so callers only need the
+  /// cache to outlive the query call, not the pipeline.
+  void enqueue(ShardedBallCache& cache, graph::NodeId root, unsigned radius);
+
+  /// Discards queued (not yet started) requests.
+  void drop_pending();
+
+  /// drop_pending() plus a wait for in-flight requests to finish: after
+  /// this returns, no prefetch thread touches any cache passed earlier.
+  /// Bounded by one ball extraction per prefetch thread.
+  void quiesce();
+
+  // --- statistics ---
+  [[nodiscard]] std::size_t issued() const { return issued_.load(); }
+  [[nodiscard]] std::size_t completed() const { return completed_.load(); }
+  /// Requests whose ball was not already cached, i.e. BFS work actually
+  /// moved off the demand path.
+  [[nodiscard]] std::size_t balls_fetched() const {
+    return balls_fetched_.load();
+  }
+  /// BFS seconds executed on prefetch threads — extraction time hidden from
+  /// (run concurrently with) the demand path.
+  [[nodiscard]] double hidden_seconds() const;
+
+  [[nodiscard]] std::size_t threads() const { return workers_.size(); }
+
+ private:
+  struct Request {
+    ShardedBallCache* cache;
+    graph::NodeId root;
+    unsigned radius;
+  };
+
+  void worker_loop();
+
+  std::deque<Request> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;      ///< signaled when in-flight drains
+  bool stop_ = false;
+  std::size_t in_flight_ = 0;         ///< guarded by mu_
+  double hidden_seconds_ = 0.0;       ///< guarded by mu_
+
+  std::atomic<std::size_t> issued_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> balls_fetched_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace meloppr::core

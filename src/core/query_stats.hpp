@@ -22,6 +22,11 @@ struct StageStats {
   double compute_seconds = 0.0;   ///< device diffusion time
   double transfer_seconds = 0.0;  ///< host↔device data movement (FPGA only)
   std::uint64_t edge_ops = 0;
+  /// Ball-cache outcomes for this stage's extractions (both zero when no
+  /// cache is installed). A hit means the BFS was skipped — either the ball
+  /// was resident or a prefetch/concurrent extraction was joined.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 
   /// Folds another task's increments into this stage's totals (sums, with
   /// max for the max_* fields). Schedulers use this to combine per-task
@@ -42,6 +47,8 @@ struct StageStats {
     compute_seconds += other.compute_seconds;
     transfer_seconds += other.transfer_seconds;
     edge_ops += other.edge_ops;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
   }
 };
 
@@ -68,6 +75,17 @@ struct QueryStats {
   double diffusion_makespan_seconds = 0.0;
   /// Worker threads that executed this query's diffusions.
   std::size_t threads_used = 1;
+
+  /// Stage tasks of this query executed by a worker other than the one that
+  /// started the query — the work-stealing batch scheduler's spill count.
+  /// Zero for the serial engine and for query-pinned scheduling.
+  std::size_t stolen_tasks = 0;
+
+  /// BFS seconds extracted on prefetch threads concurrently with this
+  /// query's diffusions (stage-lookahead overlap). Only the stage-parallel
+  /// pipeline attributes this per query; batch-level totals live in
+  /// QueryPipeline::BatchStats.
+  double prefetch_hidden_seconds = 0.0;
 
   /// serial-sum / makespan — the speedup the stage scheduler extracted from
   /// independent same-stage diffusions (1.0 when serial).
@@ -106,6 +124,23 @@ struct QueryStats {
   /// Fig. 7.
   [[nodiscard]] double bfs_fraction() const {
     return total_seconds > 0.0 ? bfs_seconds() / total_seconds : 0.0;
+  }
+  [[nodiscard]] std::size_t cache_hits() const {
+    std::size_t s = 0;
+    for (const auto& st : stages) s += st.cache_hits;
+    return s;
+  }
+  [[nodiscard]] std::size_t cache_misses() const {
+    std::size_t s = 0;
+    for (const auto& st : stages) s += st.cache_misses;
+    return s;
+  }
+  /// Ball-cache hit rate over this query's extractions (0 when no cache).
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::size_t total = cache_hits() + cache_misses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits()) /
+                            static_cast<double>(total);
   }
 };
 

@@ -1,0 +1,170 @@
+#include "core/sharded_ball_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "graph/bfs.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace meloppr::core {
+
+ShardedBallCache::ShardedBallCache(const graph::Graph& g,
+                                   std::size_t byte_budget,
+                                   std::size_t shards)
+    : graph_(&g), budget_(byte_budget) {
+  if (byte_budget == 0) {
+    throw std::invalid_argument(
+        "ShardedBallCache: byte budget must be positive");
+  }
+  const std::size_t n = shards == 0 ? kDefaultShards : shards;
+  shard_budget_ = byte_budget / n;
+  if (shard_budget_ == 0) shard_budget_ = 1;
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void ShardedBallCache::count_hit(FetchKind kind, bool deduped) {
+  if (kind == FetchKind::kPrefetch) {
+    prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (deduped) dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedBallCache::count_miss(FetchKind kind) {
+  if (kind == FetchKind::kPrefetch) {
+    prefetch_misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
+                                                unsigned radius,
+                                                FetchKind kind) {
+  const BallKey key{root, radius};
+  Shard& shard = shard_for(key);
+
+  std::promise<BallPtr> promise;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    if (const auto it = shard.map.find(key); it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // → MRU
+      count_hit(kind, /*deduped=*/false);
+      return {it->second->ball, /*hit=*/true, /*deduped=*/false, 0.0};
+    }
+    if (const auto it = shard.in_flight.find(key);
+        it != shard.in_flight.end()) {
+      if (kind == FetchKind::kPrefetch) {
+        // The ball is already on its way into the cache; parking a
+        // prefetch thread on someone else's BFS would serialize the whole
+        // lookahead pipeline for zero work. Report a (ball-less) hit.
+        count_hit(kind, /*deduped=*/true);
+        return {nullptr, /*hit=*/true, /*deduped=*/true, 0.0};
+      }
+      // Another thread is extracting this very ball; wait for its result
+      // outside the lock instead of duplicating the BFS.
+      std::shared_future<BallPtr> pending = it->second;
+      lock.unlock();
+      BallPtr ball = pending.get();  // rethrows the extractor's exception
+      count_hit(kind, /*deduped=*/true);
+      return {std::move(ball), /*hit=*/true, /*deduped=*/true, 0.0};
+    }
+    shard.in_flight.emplace(key, promise.get_future().share());
+  }
+
+  // Miss with the extraction claimed: run the BFS unlocked so other shards
+  // (and other keys of this shard, briefly) keep serving.
+  Timer timer;
+  BallPtr ball;
+  try {
+    ball = std::make_shared<const graph::Subgraph>(
+        graph::extract_ball(*graph_, root, radius));
+  } catch (...) {
+    // Unblock any waiters with the same failure, then unclaim the key.
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.in_flight.erase(key);
+    throw;
+  }
+  const double extract_seconds = timer.elapsed_seconds();
+  promise.set_value(ball);
+  count_miss(kind);
+
+  const std::size_t incoming = ball->bytes();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.in_flight.erase(key);
+    shard.extraction_seconds += extract_seconds;
+    // clear() may have raced ahead of this insertion; re-check the map in
+    // case another extraction of the same key landed first (possible only
+    // across a clear()).
+    if (incoming <= shard_budget_ && shard.map.find(key) == shard.map.end()) {
+      evict_until_fits(shard, incoming);
+      shard.lru.push_front(Entry{key, ball, incoming});
+      shard.map.emplace(key, shard.lru.begin());
+      shard.bytes += incoming;
+      total_bytes_.fetch_add(incoming, std::memory_order_relaxed);
+    }
+  }
+  return {std::move(ball), /*hit=*/false, /*deduped=*/false, extract_seconds};
+}
+
+void ShardedBallCache::evict_until_fits(Shard& shard, std::size_t incoming) {
+  while (!shard.lru.empty() && shard.bytes + incoming > shard_budget_) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.ball_bytes;
+    total_bytes_.fetch_sub(victim.ball_bytes, std::memory_order_relaxed);
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();  // pinned readers keep the ball alive via BallPtr
+  }
+  MELO_CHECK(shard.bytes + incoming <= shard_budget_);
+}
+
+double ShardedBallCache::hit_rate() const {
+  const std::size_t h = hits_.load();
+  const std::size_t total = h + misses_.load();
+  return total == 0 ? 0.0
+                    : static_cast<double>(h) / static_cast<double>(total);
+}
+
+std::size_t ShardedBallCache::entries() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+double ShardedBallCache::extraction_seconds() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->extraction_seconds;
+  }
+  return total;
+}
+
+void ShardedBallCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+    total_bytes_.fetch_sub(shard->bytes, std::memory_order_relaxed);
+    shard->bytes = 0;
+    shard->extraction_seconds = 0.0;
+    // in_flight is left alone: those extractions complete normally.
+  }
+  hits_.store(0);
+  misses_.store(0);
+  dedup_hits_.store(0);
+  prefetch_hits_.store(0);
+  prefetch_misses_.store(0);
+}
+
+}  // namespace meloppr::core

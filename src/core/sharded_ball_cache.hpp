@@ -1,0 +1,162 @@
+// Thread-safe N-way sharded LRU cache of extracted BFS balls.
+//
+// The concurrent counterpart of BallCache (ball_cache.hpp): the serving
+// pipeline's workers and the stage-lookahead prefetcher all extract balls
+// through one shared cache, so popular-seed locality is exploited across
+// the whole worker pool instead of per thread. Design:
+//
+//   * Sharding. Keys are distributed over N independent shards by the high
+//     bits of the splitmix64-mixed key (the map inside a shard consumes the
+//     low bits, so the two uses are decorrelated). Each shard owns its own
+//     mutex, LRU list and byte budget (total / N), so concurrent fetches of
+//     different balls contend only when they land in the same shard.
+//
+//   * Pinned entries. fetch() hands out shared_ptr<const Subgraph>, so an
+//     eviction (or clear()) while another worker still reads the ball only
+//     drops the cache's reference — the ball stays alive until its last
+//     reader releases it. This is what BallCache's "valid until the next
+//     get()" contract cannot offer under concurrency.
+//
+//   * In-flight miss deduplication. When two workers miss on the same
+//     popular ball simultaneously, the first installs a shared_future and
+//     runs the BFS; the second waits on the future instead of extracting
+//     the same ball twice. Counted as dedup_hits — BFS work avoided, not
+//     merely bytes served.
+//
+//   * Prefetch accounting. The prefetcher's fetches pass kPrefetch so they
+//     do not pollute the demand hit rate: a prefetched ball that a query
+//     later reads is a demand hit (the entire point); the prefetch fetch
+//     itself is tallied under prefetch_hits/prefetch_misses.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ball_cache.hpp"
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+
+namespace meloppr::core {
+
+class ShardedBallCache {
+ public:
+  using BallPtr = std::shared_ptr<const graph::Subgraph>;
+
+  /// Who is asking — demand fetches feed hit_rate(); prefetch fetches are
+  /// tallied separately so lookahead traffic cannot inflate it.
+  enum class FetchKind { kDemand, kPrefetch };
+
+  /// What one fetch() did, for per-task attribution.
+  struct Fetch {
+    /// The ball — always set for demand fetches. A kPrefetch fetch that
+    /// finds the key already being extracted returns hit=true with a null
+    /// ball instead of parking on the other thread's BFS.
+    BallPtr ball;
+    bool hit = false;      ///< served without running a BFS on this thread
+    bool deduped = false;  ///< joined/observed another thread's extraction
+    double extract_seconds = 0.0;  ///< BFS time paid by THIS call (0 on hit)
+  };
+
+  /// `byte_budget` is split evenly across `shards` (0 → kDefaultShards).
+  /// A ball larger than its shard's budget is served but never retained.
+  /// Throws std::invalid_argument on a zero budget.
+  ShardedBallCache(const graph::Graph& g, std::size_t byte_budget,
+                   std::size_t shards = 0);
+
+  /// Returns the ball around `root` with the given radius, extracting it on
+  /// a miss (or waiting for a concurrent extraction of the same key). Safe
+  /// from any number of threads.
+  Fetch fetch(graph::NodeId root, unsigned radius,
+              FetchKind kind = FetchKind::kDemand);
+
+  /// Convenience wrapper when the caller only wants the ball.
+  BallPtr get(graph::NodeId root, unsigned radius) {
+    return fetch(root, radius).ball;
+  }
+
+  static constexpr std::size_t kDefaultShards = 16;
+
+  // --- statistics (atomic; safe to read while serving) ---
+  [[nodiscard]] std::size_t hits() const { return hits_.load(); }
+  [[nodiscard]] std::size_t misses() const { return misses_.load(); }
+  /// Demand fetches that piggybacked on another thread's in-flight
+  /// extraction (already included in hits()).
+  [[nodiscard]] std::size_t dedup_hits() const { return dedup_hits_.load(); }
+  [[nodiscard]] std::size_t prefetch_hits() const {
+    return prefetch_hits_.load();
+  }
+  [[nodiscard]] std::size_t prefetch_misses() const {
+    return prefetch_misses_.load();
+  }
+  /// Demand hit rate (prefetch traffic excluded).
+  [[nodiscard]] double hit_rate() const;
+
+  /// Current cached footprint across all shards (Subgraph::bytes() sums).
+  /// Lock-free (an atomic total maintained on insert/evict): safe to poll
+  /// from the per-task hot path without re-serializing the shards.
+  [[nodiscard]] std::size_t bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::size_t byte_budget() const { return budget_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Total BFS seconds paid on misses, by whichever thread ran them.
+  [[nodiscard]] double extraction_seconds() const;
+
+  /// Drops every cached ball and zeroes the statistics. Balls still pinned
+  /// by outstanding BallPtrs survive until released. Extractions in flight
+  /// complete and are inserted afterwards (their stats land post-clear).
+  void clear();
+
+ private:
+  struct Entry {
+    BallKey key;
+    BallPtr ball;
+    std::size_t ball_bytes = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< MRU at front
+    std::unordered_map<BallKey, std::list<Entry>::iterator, BallKeyHash> map;
+    /// Extractions in progress: later fetches of the same key wait here.
+    std::unordered_map<BallKey, std::shared_future<BallPtr>, BallKeyHash>
+        in_flight;
+    std::size_t bytes = 0;
+    double extraction_seconds = 0.0;  ///< guarded by mu
+  };
+
+  [[nodiscard]] Shard& shard_for(const BallKey& key) {
+    // High bits pick the shard; the in-shard map hashes the same mixed word
+    // from the low end, so shard choice and bucket choice stay independent.
+    return *shards_[(splitmix64(key.packed()) >> 40) % shards_.size()];
+  }
+
+  void count_hit(FetchKind kind, bool deduped);
+  void count_miss(FetchKind kind);
+
+  /// Must hold `shard.mu`. Evicts LRU entries until `incoming` fits.
+  void evict_until_fits(Shard& shard, std::size_t incoming);
+
+  const graph::Graph* graph_;
+  std::size_t budget_;
+  std::size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> dedup_hits_{0};
+  std::atomic<std::size_t> prefetch_hits_{0};
+  std::atomic<std::size_t> prefetch_misses_{0};
+  /// Sum of per-shard bytes, updated under the owning shard's mutex.
+  std::atomic<std::size_t> total_bytes_{0};
+};
+
+}  // namespace meloppr::core

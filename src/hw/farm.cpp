@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/assert.hpp"
+#include "util/timer.hpp"
 
 namespace meloppr::hw {
 
@@ -29,8 +30,10 @@ core::BackendResult FpgaFarm::run(const graph::Subgraph& ball, double mass,
   // the diffusion itself runs unlocked, so up to D run concurrently.
   std::size_t device = 0;
   {
+    Timer wait_timer;
     std::unique_lock<std::mutex> lock(mu_);
     device_free_.wait(lock, [this] { return free_count_ > 0; });
+    wait_seconds_ += wait_timer.elapsed_seconds();
     double least = -1.0;
     for (std::size_t d = 0; d < devices_.size(); ++d) {
       if (in_use_[d]) continue;
@@ -41,6 +44,7 @@ core::BackendResult FpgaFarm::run(const graph::Subgraph& ball, double mass,
     }
     in_use_[device] = 1;
     --free_count_;
+    peak_in_use_ = std::max(peak_in_use_, devices_.size() - free_count_);
   }
 
   core::BackendResult result = devices_[device].run(ball, mass, length);
@@ -104,6 +108,16 @@ std::size_t FpgaFarm::runs() const {
   return runs_;
 }
 
+double FpgaFarm::dispatch_wait_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wait_seconds_;
+}
+
+std::size_t FpgaFarm::peak_concurrent_runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_in_use_;
+}
+
 void FpgaFarm::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   MELO_CHECK_MSG(free_count_ == devices_.size(),
@@ -111,6 +125,8 @@ void FpgaFarm::reset() {
   for (auto& device : devices_) device.reset_counters();
   std::fill(busy_seconds_.begin(), busy_seconds_.end(), 0.0);
   runs_ = 0;
+  wait_seconds_ = 0.0;
+  peak_in_use_ = 0;
 }
 
 }  // namespace meloppr::hw

@@ -73,6 +73,15 @@ class FpgaFarm final : public core::DiffusionBackend {
 
   [[nodiscard]] std::size_t runs() const;
 
+  /// Cumulative wall seconds dispatching threads spent blocked waiting for
+  /// a free device. Large values with idle prefetch threads mean host BFS
+  /// could hide here — the signal the stage-lookahead prefetcher exploits.
+  [[nodiscard]] double dispatch_wait_seconds() const;
+
+  /// Most devices ever busy simultaneously (≤ device_count). Shows whether
+  /// the serving layer actually fills the farm.
+  [[nodiscard]] std::size_t peak_concurrent_runs() const;
+
   void reset();
 
  private:
@@ -85,6 +94,8 @@ class FpgaFarm final : public core::DiffusionBackend {
   std::vector<char> in_use_;           ///< guarded by mu_ (char: no vbool)
   std::size_t free_count_;             ///< guarded by mu_
   std::size_t runs_ = 0;               ///< guarded by mu_
+  double wait_seconds_ = 0.0;          ///< guarded by mu_
+  std::size_t peak_in_use_ = 0;        ///< guarded by mu_
 
   mutable std::mutex mu_;
   std::condition_variable device_free_;

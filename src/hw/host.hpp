@@ -39,6 +39,15 @@ class FpgaBackend final : public core::DiffusionBackend {
   /// streaming interface double-buffers, so a ball's transfer hides behind
   /// the previous ball's compute and only the overhang is charged.
   [[nodiscard]] const CycleBreakdown& total_cycles() const { return total_; }
+
+  /// Simulated busy time of this device since construction / reset: total
+  /// cycles at the configured clock. The per-device term of a farm's
+  /// serial_seconds(), exposed here so single-device deployments can put
+  /// host-side BFS seconds and device seconds on one axis (the overlap the
+  /// serving layer's prefetcher hides).
+  [[nodiscard]] double busy_seconds() const {
+    return accel_.seconds(total_.total());
+  }
   [[nodiscard]] std::size_t runs() const { return runs_; }
   /// Diffusions whose scores clipped at the 32-bit ceiling (should be zero;
   /// non-zero means the quantizer's Max is too large for the ball).

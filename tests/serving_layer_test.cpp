@@ -1,0 +1,314 @@
+// The concurrent serving layer on top of the QueryPipeline: sharded cache
+// integration, stage-lookahead prefetch equivalence, work-stealing batch
+// scheduling (bit-identical scores, skew behavior), and aggregator pooling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/sharded_ball_cache.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::core {
+namespace {
+
+using graph::Graph;
+
+MelopprConfig small_config() {
+  MelopprConfig cfg;
+  cfg.stage_lengths = {3, 3};
+  cfg.k = 20;
+  cfg.selection = Selection::top_count(12);
+  return cfg;
+}
+
+void expect_bit_identical(const QueryResult& want, const QueryResult& got) {
+  ASSERT_EQ(want.top.size(), got.top.size());
+  for (std::size_t i = 0; i < want.top.size(); ++i) {
+    EXPECT_EQ(want.top[i].node, got.top[i].node) << "rank " << i;
+    // EXPECT_EQ on doubles: bit-identical is the contract, not "near".
+    EXPECT_EQ(want.top[i].score, got.top[i].score) << "rank " << i;
+  }
+}
+
+TEST(ServingLayer, SharedCacheAcceptedInParallelMode) {
+  Rng rng(91);
+  Graph g = graph::barabasi_albert(500, 2, 2, rng);
+  Engine engine(g, small_config());
+  CpuBackend backend(0.85);
+  ShardedBallCache cache(g, 64u << 20);
+  engine.set_shared_ball_cache(&cache);
+
+  PipelineConfig pcfg;
+  pcfg.threads = 4;
+  QueryPipeline pipeline(engine, backend, pcfg);
+  EXPECT_NO_THROW(pipeline.query(5));          // no single-thread prohibition
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);  // extractions went through
+  engine.set_shared_ball_cache(nullptr);
+}
+
+TEST(ServingLayer, StealingBatchBitIdenticalToSerialEngine) {
+  Rng rng(92);
+  Graph g = graph::barabasi_albert(1200, 2, 3, rng);
+  Engine engine(g, small_config());
+  CpuBackend backend(0.85);
+  ShardedBallCache cache(g, 128u << 20);
+  engine.set_shared_ball_cache(&cache);
+
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId s = 0; s < 24; ++s) seeds.push_back(s * 49 % 1200);
+
+  PipelineConfig pcfg;
+  pcfg.threads = 4;
+  pcfg.work_stealing = true;
+  pcfg.prefetch = true;
+  QueryPipeline pipeline(engine, backend, pcfg);
+  const std::vector<QueryResult> results = pipeline.query_batch(seeds);
+  engine.set_shared_ball_cache(nullptr);
+
+  ASSERT_EQ(results.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const QueryResult want = engine.query(seeds[i]);
+    expect_bit_identical(want, results[i]);
+    // Stage accounting survives out-of-order execution: the DFS-order
+    // reduction must reproduce the serial ball counts exactly.
+    EXPECT_EQ(results[i].stats.total_balls(), want.stats.total_balls());
+  }
+}
+
+TEST(ServingLayer, PrefetchOnOffScoresIdentical) {
+  Rng rng(93);
+  Graph g = graph::barabasi_albert(900, 2, 2, rng);
+  Engine engine(g, small_config());
+  std::vector<graph::NodeId> seeds{7, 7, 123, 400, 7, 881, 123};
+
+  const auto run = [&](bool prefetch, bool stealing) {
+    CpuBackend backend(0.85);
+    ShardedBallCache cache(g, 128u << 20);
+    engine.set_shared_ball_cache(&cache);
+    PipelineConfig pcfg;
+    pcfg.threads = 4;
+    pcfg.prefetch = prefetch;
+    pcfg.work_stealing = stealing;
+    QueryPipeline pipeline(engine, backend, pcfg);
+    auto results = pipeline.query_batch(seeds);
+    engine.set_shared_ball_cache(nullptr);
+    return results;
+  };
+
+  const auto off = run(false, true);
+  const auto on = run(true, true);
+  const auto pinned = run(true, false);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    expect_bit_identical(off[i], on[i]);
+    expect_bit_identical(off[i], pinned[i]);
+  }
+}
+
+TEST(ServingLayer, StageParallelQueryPrefetchesLookahead) {
+  Rng rng(94);
+  Graph g = graph::barabasi_albert(900, 2, 2, rng);
+  MelopprConfig cfg = small_config();
+  cfg.selection = Selection::top_count(24);
+  Engine engine(g, cfg);
+  CpuBackend backend(0.85);
+  ShardedBallCache cache(g, 128u << 20);
+  engine.set_shared_ball_cache(&cache);
+
+  PipelineConfig pcfg;
+  pcfg.threads = 2;
+  pcfg.prefetch = true;
+  pcfg.prefetch_threads = 2;
+  QueryPipeline pipeline(engine, backend, pcfg);
+  // Lazy: prefetch threads spawn on the first query that sees the cache.
+  EXPECT_EQ(pipeline.prefetcher(), nullptr);
+
+  const QueryResult with_prefetch = pipeline.query(11);
+  ASSERT_NE(pipeline.prefetcher(), nullptr);
+  // Every stage-2 child was announced to the prefetcher as soon as its
+  // parent task finished.
+  EXPECT_EQ(pipeline.prefetcher()->issued(),
+            with_prefetch.stats.stages[1].balls);
+  // Scores are identical to a prefetch-free pipeline at the same thread
+  // count (deterministic reduction; prefetch never changes task order).
+  PipelineConfig no_pf = pcfg;
+  no_pf.prefetch = false;
+  ShardedBallCache cold(g, 128u << 20);
+  engine.set_shared_ball_cache(&cold);
+  QueryPipeline plain(engine, backend, no_pf);
+  expect_bit_identical(plain.query(11), with_prefetch);
+  engine.set_shared_ball_cache(nullptr);
+}
+
+TEST(ServingLayer, WorkStealingSpreadsHeavyQuery) {
+  Rng rng(95);
+  Graph g = graph::barabasi_albert(2500, 2, 3, rng);
+  MelopprConfig cfg = small_config();
+  // Ratio selection: the hub's big ball yields many stage-2 tasks, a
+  // periphery ball few — the skew the stealing scheduler exists for.
+  cfg.selection = Selection::top_ratio(0.08);
+  Engine engine(g, cfg);
+
+  // Heaviest seed: the max-degree hub.
+  graph::NodeId hub = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(hub)) hub = v;
+  }
+  ASSERT_GT(engine.query(hub).stats.stages[1].balls, 16u);
+
+  // Light seeds: low-degree periphery nodes.
+  std::vector<graph::NodeId> seeds{hub};
+  for (graph::NodeId v = 0; v < g.num_nodes() && seeds.size() < 4; ++v) {
+    if (g.degree(v) <= 2) seeds.push_back(v);
+  }
+  ASSERT_EQ(seeds.size(), 4u);
+
+  CpuBackend backend(0.85);
+  PipelineConfig pcfg;
+  pcfg.threads = 4;
+  pcfg.work_stealing = true;
+  pcfg.prefetch = false;
+  QueryPipeline pipeline(engine, backend, pcfg);
+  QueryPipeline::BatchStats batch;
+  const std::vector<QueryResult> results =
+      pipeline.query_batch(seeds, &batch);
+
+  // The three light workers drain their queries and must steal from the
+  // heavy one's deque — the heavy query ends up executed by several
+  // workers instead of idling them.
+  EXPECT_GT(batch.stolen_tasks, 0u);
+  EXPECT_GT(results[0].stats.stolen_tasks, 0u);
+  EXPECT_GE(results[0].stats.threads_used, 2u);
+  // Scores unaffected by who ran what.
+  expect_bit_identical(engine.query(hub), results[0]);
+
+  // Query-pinned scheduling, by contrast, keeps every query on one worker.
+  PipelineConfig pinned = pcfg;
+  pinned.work_stealing = false;
+  QueryPipeline pinned_pipeline(engine, backend, pinned);
+  QueryPipeline::BatchStats pinned_batch;
+  const auto pinned_results = pinned_pipeline.query_batch(seeds, &pinned_batch);
+  EXPECT_EQ(pinned_batch.stolen_tasks, 0u);
+  EXPECT_EQ(pinned_results[0].stats.threads_used, 1u);
+}
+
+TEST(ServingLayer, BatchStatsAreCoherent) {
+  Rng rng(96);
+  Graph g = graph::barabasi_albert(800, 2, 2, rng);
+  Engine engine(g, small_config());
+  CpuBackend backend(0.85);
+  ShardedBallCache cache(g, 64u << 20);
+  engine.set_shared_ball_cache(&cache);
+
+  // Popular-seed skew: repeats must show up as cache hits.
+  std::vector<graph::NodeId> seeds;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (graph::NodeId s : {5u, 77u, 300u}) seeds.push_back(s);
+  }
+
+  PipelineConfig pcfg;
+  pcfg.threads = 4;
+  QueryPipeline pipeline(engine, backend, pcfg);
+  QueryPipeline::BatchStats batch;
+  const auto results = pipeline.query_batch(seeds, &batch);
+  engine.set_shared_ball_cache(nullptr);
+
+  EXPECT_EQ(batch.queries, seeds.size());
+  EXPECT_GT(batch.wall_seconds, 0.0);
+  std::size_t balls = 0;
+  for (const auto& r : results) balls += r.stats.total_balls();
+  EXPECT_EQ(batch.executed_tasks, balls);
+  // Every extraction went through the cache: hits + misses == balls.
+  EXPECT_EQ(batch.cache_hits + batch.cache_misses, balls);
+  EXPECT_GT(batch.cache_hits, 0u);  // repeated seeds share balls
+  EXPECT_GT(batch.cache_hit_rate(), 0.0);
+  // Per-query stats expose the same counters.
+  std::size_t per_query_hits = 0;
+  for (const auto& r : results) per_query_hits += r.stats.cache_hits();
+  EXPECT_EQ(per_query_hits, batch.cache_hits);
+
+  // A long-lived server reuses one BatchStats across batches: each call
+  // must overwrite, never accumulate.
+  engine.set_shared_ball_cache(&cache);
+  pipeline.query_batch(seeds, &batch);
+  engine.set_shared_ball_cache(nullptr);
+  EXPECT_EQ(batch.queries, seeds.size());
+  EXPECT_EQ(batch.executed_tasks, balls);
+}
+
+TEST(AggregatorPool, LeasesPreferSlotAndReuseArenas) {
+  AggregatorPool pool(3);
+  EXPECT_THROW(AggregatorPool(0), std::invalid_argument);
+  {
+    AggregatorPool::Lease lease = pool.acquire(1);
+    lease->add(7, 0.5);
+    EXPECT_EQ(lease->entries(), 1u);
+  }
+  EXPECT_EQ(pool.acquires(), 1u);
+  EXPECT_EQ(pool.reuses(), 0u);
+  {
+    // Same preferred slot: the arena comes back cleared (warm buckets,
+    // empty content).
+    AggregatorPool::Lease lease = pool.acquire(1);
+    EXPECT_EQ(lease->entries(), 0u);
+  }
+  EXPECT_EQ(pool.reuses(), 1u);
+  {
+    // Distinct concurrent leases never alias.
+    AggregatorPool::Lease a = pool.acquire(0);
+    AggregatorPool::Lease b = pool.acquire(0);  // slot 0 busy → falls back
+    a->add(1, 1.0);
+    EXPECT_EQ(b->entries(), 0u);
+    EXPECT_NE(&*a, &*b);
+  }
+}
+
+TEST(AggregatorPool, ConcurrentAcquireReleaseIsSafe) {
+  AggregatorPool pool(4);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kIters; ++i) {
+        AggregatorPool::Lease lease =
+            pool.acquire(static_cast<std::size_t>(t));
+        lease->add(static_cast<graph::NodeId>(i), 1.0);
+        ASSERT_GE(lease->entries(), 1u);  // exclusive: only our own adds
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(pool.acquires(), static_cast<std::size_t>(kThreads * kIters));
+  EXPECT_GE(pool.reuses(), pool.acquires() - 4);
+}
+
+TEST(ServingLayer, PooledAndUnpooledBatchesMatch) {
+  Rng rng(97);
+  Graph g = graph::barabasi_albert(600, 2, 2, rng);
+  Engine engine(g, small_config());
+  std::vector<graph::NodeId> seeds{3, 99, 250, 3, 99, 512};
+
+  const auto run = [&](bool pooled) {
+    CpuBackend backend(0.85);
+    PipelineConfig pcfg;
+    pcfg.threads = 2;
+    pcfg.pool_aggregators = pooled;
+    pcfg.prefetch = false;
+    QueryPipeline pipeline(engine, backend, pcfg);
+    return pipeline.query_batch(seeds);
+  };
+  const auto with_pool = run(true);
+  const auto without = run(false);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    expect_bit_identical(without[i], with_pool[i]);
+  }
+}
+
+}  // namespace
+}  // namespace meloppr::core

@@ -1,0 +1,246 @@
+// ShardedBallCache: correctness under concurrency — shard contention,
+// eviction under budget pressure, in-flight miss deduplication, pinning —
+// plus the splitmix64 key-hash distribution properties.
+#include "core/sharded_ball_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::core {
+namespace {
+
+using graph::Graph;
+
+TEST(BallKeyHash, NoCollisionsAcrossRootsAndLargeRadii) {
+  // The old `root << 8 ^ radius` scheme collided as soon as radius ≥ 256
+  // spilled into the root bits: (root, 256) aliased (root^1, 0). The
+  // splitmix64 finalizer must keep every key distinct (64-bit space; any
+  // collision among a few hundred thousand keys would be astronomically
+  // unlikely — seeing one means the mixing broke).
+  BallKeyHash hash;
+  std::unordered_set<std::size_t> seen;
+  std::size_t keys = 0;
+  for (graph::NodeId root = 0; root < 20'000; ++root) {
+    for (unsigned radius : {0u, 1u, 3u, 6u, 255u, 256u, 257u, 512u}) {
+      seen.insert(hash(BallKey{root, radius}));
+      ++keys;
+    }
+  }
+  EXPECT_EQ(seen.size(), keys);
+}
+
+TEST(BallKeyHash, OldSchemeCollisionsAreResolved) {
+  // Direct regression pairs for the pre-fix scheme.
+  BallKeyHash hash;
+  EXPECT_NE(hash(BallKey{7, 256}), hash(BallKey{6, 0}));
+  EXPECT_NE(hash(BallKey{0, 256}), hash(BallKey{1, 0}));
+  EXPECT_NE(hash(BallKey{100, 512}), hash(BallKey{102, 0}));
+}
+
+TEST(BallKeyHash, BitsSpreadAcrossShardsAndBuckets) {
+  // Sequential roots with one radius — the serving access pattern — must
+  // spread evenly over both the shard selector (high bits) and a power-of-
+  // two bucket mask (low bits).
+  constexpr std::size_t kBuckets = 16;
+  constexpr std::size_t kKeys = 16'384;
+  std::vector<std::size_t> shard_load(kBuckets, 0);
+  std::vector<std::size_t> bucket_load(kBuckets, 0);
+  for (graph::NodeId root = 0; root < kKeys; ++root) {
+    const std::uint64_t mixed = splitmix64(BallKey{root, 3}.packed());
+    ++shard_load[(mixed >> 40) % kBuckets];
+    ++bucket_load[mixed % kBuckets];
+  }
+  const double expected = static_cast<double>(kKeys) / kBuckets;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(shard_load[b], expected / 2) << "shard " << b;
+    EXPECT_LT(shard_load[b], expected * 2) << "shard " << b;
+    EXPECT_GT(bucket_load[b], expected / 2) << "bucket " << b;
+    EXPECT_LT(bucket_load[b], expected * 2) << "bucket " << b;
+  }
+}
+
+TEST(ShardedBallCache, HitsOnRepeatedKeys) {
+  Graph g = graph::fixtures::cycle(50);
+  ShardedBallCache cache(g, 1 << 20, 4);
+  const auto first = cache.get(5, 3);
+  EXPECT_EQ(cache.misses(), 1u);
+  const auto second = cache.get(5, 3);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.get(), second.get());  // same cached object
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GT(cache.bytes(), 0u);
+}
+
+TEST(ShardedBallCache, DifferentRadiusIsDifferentEntry) {
+  Graph g = graph::fixtures::cycle(50);
+  ShardedBallCache cache(g, 1 << 20, 4);
+  cache.get(5, 2);
+  cache.get(5, 3);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(ShardedBallCache, ZeroBudgetRejected) {
+  Graph g = graph::fixtures::path(4);
+  EXPECT_THROW(ShardedBallCache(g, 0), std::invalid_argument);
+}
+
+TEST(ShardedBallCache, EvictionRespectsPerShardBudget) {
+  Graph g = graph::fixtures::cycle(400);
+  // Probe one ball's footprint (all radius-2 cycle balls are identical).
+  std::size_t one_ball;
+  {
+    ShardedBallCache probe(g, 1 << 20, 1);
+    probe.get(0, 2);
+    one_ball = probe.bytes();
+  }
+  ASSERT_GT(one_ball, 0u);
+  // One shard, room for exactly 3 balls.
+  ShardedBallCache cache(g, 3 * one_ball + one_ball / 2, 1);
+  for (graph::NodeId root : {0u, 10u, 20u, 30u, 40u, 50u}) {
+    cache.get(root, 2);
+  }
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_LE(cache.bytes(), cache.byte_budget());
+  // The three most recent survive; the oldest were evicted.
+  cache.get(50, 2);
+  cache.get(40, 2);
+  cache.get(30, 2);
+  EXPECT_EQ(cache.hits(), 3u);
+  cache.get(0, 2);
+  EXPECT_EQ(cache.misses(), 7u);  // 6 cold + this re-miss
+}
+
+TEST(ShardedBallCache, OversizedBallServedButNotRetained) {
+  Graph g = graph::fixtures::complete(64);
+  ShardedBallCache cache(g, 128, 1);  // far below any ball's footprint
+  const auto ball = cache.get(0, 1);
+  EXPECT_EQ(ball->num_nodes(), 64u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ShardedBallCache, EvictedBallStaysPinnedForReaders) {
+  Graph g = graph::fixtures::cycle(400);
+  std::size_t one_ball;
+  {
+    ShardedBallCache probe(g, 1 << 20, 1);
+    probe.get(0, 2);
+    one_ball = probe.bytes();
+  }
+  ShardedBallCache cache(g, one_ball + one_ball / 2, 1);  // room for one
+  const auto pinned = cache.get(0, 2);
+  cache.get(100, 2);  // evicts node 0's ball from the cache
+  cache.get(200, 2);
+  // The shared_ptr still owns a valid ball even though the cache moved on.
+  EXPECT_EQ(pinned->root_global(), 0u);
+  EXPECT_GT(pinned->num_nodes(), 0u);
+  EXPECT_LE(cache.bytes(), cache.byte_budget());
+}
+
+TEST(ShardedBallCache, PrefetchTrafficDoesNotPolluteDemandHitRate) {
+  Graph g = graph::fixtures::cycle(100);
+  ShardedBallCache cache(g, 1 << 20, 4);
+  cache.fetch(3, 2, ShardedBallCache::FetchKind::kPrefetch);
+  cache.fetch(3, 2, ShardedBallCache::FetchKind::kPrefetch);
+  EXPECT_EQ(cache.prefetch_misses(), 1u);
+  EXPECT_EQ(cache.prefetch_hits(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+  // The demand fetch of a prefetched ball is a demand hit — the point.
+  const auto f = cache.fetch(3, 2);
+  EXPECT_TRUE(f.hit);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ShardedBallCache, ConcurrentSameKeyExtractsOnce) {
+  Rng rng(71);
+  Graph g = graph::barabasi_albert(2000, 2, 2, rng);
+  ShardedBallCache cache(g, 64u << 20, 8);
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      const auto ball = cache.get(42, 3);
+      EXPECT_EQ(ball->root_global(), 42u);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // However the threads interleaved, the BFS ran exactly once: everyone
+  // else hit the entry or joined the in-flight extraction (dedup).
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), static_cast<std::size_t>(kThreads - 1));
+}
+
+TEST(ShardedBallCache, ConcurrentStressUnderBudgetPressure) {
+  Rng rng(72);
+  Graph g = graph::barabasi_albert(3000, 2, 3, rng);
+  // Tight budget: constant eviction while 8 threads hammer 64 hot keys.
+  ShardedBallCache cache(g, 256u << 10, 8);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  std::atomic<std::size_t> serves{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng local(100 + t);
+      for (int i = 0; i < kIters; ++i) {
+        const graph::NodeId root =
+            static_cast<graph::NodeId>(local.below(64) * 47 % 3000);
+        const unsigned radius = 2 + static_cast<unsigned>(local.below(2));
+        const auto ball = cache.get(root, radius);
+        ASSERT_EQ(ball->root_global(), root);
+        ASSERT_EQ(ball->radius(), radius);
+        serves.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(serves.load(), static_cast<std::size_t>(kThreads * kIters));
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::size_t>(kThreads * kIters));
+  EXPECT_LE(cache.bytes(), cache.byte_budget());
+  EXPECT_GT(cache.hits(), 0u);  // hot keys must see reuse even while evicting
+}
+
+TEST(ShardedBallCache, ClearResetsEverything) {
+  Graph g = graph::fixtures::cycle(50);
+  ShardedBallCache cache(g, 1 << 20, 4);
+  cache.get(1, 2);
+  cache.get(1, 2);
+  cache.fetch(2, 2, ShardedBallCache::FetchKind::kPrefetch);
+  cache.clear();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.prefetch_misses(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_DOUBLE_EQ(cache.extraction_seconds(), 0.0);
+}
+
+TEST(ShardedBallCache, TracksExtractionSeconds) {
+  Graph g = graph::fixtures::cycle(100);
+  ShardedBallCache cache(g, 1 << 20, 2);
+  cache.get(3, 3);
+  const double after_miss = cache.extraction_seconds();
+  EXPECT_GT(after_miss, 0.0);
+  cache.get(3, 3);
+  EXPECT_DOUBLE_EQ(cache.extraction_seconds(), after_miss);  // hit is free
+}
+
+}  // namespace
+}  // namespace meloppr::core
