@@ -73,6 +73,10 @@ RunResult run_layer(core::Engine& engine, core::DiffusionBackend& backend,
   core::PipelineConfig pcfg;
   pcfg.threads = threads;
   pcfg.prefetch = layer.prefetch;
+  // This bench measures the lookahead layer itself, so the backend-aware
+  // throttle is off: the CPU-backend table shows what prefetch buys when
+  // cores are genuinely spare, the farm table the throttle's target case.
+  pcfg.prefetch_throttle = false;
   pcfg.work_stealing = layer.stealing;
   pcfg.pool_aggregators = layer.stealing;  // pooled arenas ride along
   core::QueryPipeline pipeline(engine, backend, pcfg);
@@ -254,10 +258,7 @@ int run(bool smoke) {
 }  // namespace meloppr::bench
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+  const bool smoke = meloppr::bench::parse_bench_args(argc, argv);
   if (smoke && meloppr::env_int("MELOPPR_SEEDS", 0) == 0) {
     // Smoke defaults sized for a CI container; env overrides still win.
     setenv("MELOPPR_SCALE", "0.25", /*overwrite=*/0);

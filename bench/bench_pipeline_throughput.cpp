@@ -136,41 +136,67 @@ int run() {
                "count or BFS bandwidth saturates. Wall q/s tracks the model "
                "only when the host has that many real cores.\n\n";
 
-  // --- Aggregator pooling A/B (ROADMAP: aggregator reuse across a batch).
-  // Same stream, repeated to amplify per-query construct/teardown cost;
-  // pooled arenas keep each worker's score-map buckets warm across
-  // queries, so the only difference between the rows is malloc churn.
+  // --- Aggregator pooling & mode A/B (ROADMAP: aggregator reuse across a
+  // batch; top-c·k aggregation in the pipeline). Same stream, repeated to
+  // amplify per-query construct/teardown cost; pooled arenas keep each
+  // worker's storage warm across queries (hash-map buckets for exact,
+  // fixed BRAM slots for bounded), so the exact rows differ only by malloc
+  // churn, and the bounded row shows the c·k memory envelope riding the
+  // same batch path. Deeper bounded A/B (recall, thread sweep, memory
+  // gate) lives in bench_topck_pipeline.
   std::vector<graph::NodeId> repeated;
   repeated.reserve(stream.size() * 4);
   for (int rep = 0; rep < 4; ++rep) {
     repeated.insert(repeated.end(), stream.begin(), stream.end());
   }
-  TablePrinter pool_table(
-      {"aggregators", "threads", "wall (s)", "wall q/s", "arena reuses"});
-  for (const bool pooled : {false, true}) {
+  core::MelopprConfig bounded_cfg = cfg;
+  bounded_cfg.aggregation = core::AggregationMode::kBounded;
+  bounded_cfg.topck_c = paper_setup().c;
+  core::Engine bounded_engine(g, bounded_cfg);
+
+  struct AggRow {
+    const char* name;
+    bool pooled;
+    bool bounded;
+  };
+  const AggRow agg_rows[] = {{"per-query exact", false, false},
+                             {"pooled exact", true, false},
+                             {"pooled bounded c=10", true, true}};
+  TablePrinter pool_table({"aggregators", "threads", "wall (s)", "wall q/s",
+                           "arena reuses", "peak agg entries", "evictions"});
+  for (const AggRow& row : agg_rows) {
     core::CpuBackend cpu(cfg.alpha);
     core::PipelineConfig pcfg;
     pcfg.threads = max_threads;
-    pcfg.pool_aggregators = pooled;
+    pcfg.pool_aggregators = row.pooled;
     pcfg.prefetch = false;  // isolate the aggregator effect
-    core::QueryPipeline pipeline(engine, cpu, pcfg);
+    core::QueryPipeline pipeline(row.bounded ? bounded_engine : engine, cpu,
+                                 pcfg);
+    core::QueryPipeline::BatchStats batch;
     Timer wall;
-    const std::size_t served = pipeline.query_batch(repeated).size();
+    const std::size_t served = pipeline.query_batch(repeated, &batch).size();
     const double seconds = wall.elapsed_seconds();
     pool_table.add_row(
-        {pooled ? "pooled arenas" : "per-query", std::to_string(max_threads),
-         fmt_fixed(seconds, 3),
+        {row.name, std::to_string(max_threads), fmt_fixed(seconds, 3),
          fmt_fixed(static_cast<double>(served) / seconds, 1),
-         pooled ? std::to_string(pipeline.aggregator_pool()->reuses())
-                : "-"});
+         row.pooled ? std::to_string(pipeline.aggregator_pool()->reuses())
+                    : "-",
+         std::to_string(batch.peak_aggregator_entries),
+         row.bounded ? std::to_string(batch.aggregator_evictions) : "-"});
   }
   std::cout << pool_table.ascii() << '\n'
-            << "reading: pooled rows reuse warm hash-map arenas (clear() "
-               "keeps buckets), so the gap is pure allocation churn.\n";
+            << "reading: pooled rows reuse warm arenas (clear() keeps the "
+               "storage), so the exact-row gap is pure allocation churn; "
+               "the bounded row caps every query's score table at c*k "
+               "entries — the paper's BRAM envelope — on the same "
+               "work-stealing batch path.\n";
   return 0;
 }
 
 }  // namespace
 }  // namespace meloppr::bench
 
-int main() { return meloppr::bench::run(); }
+int main(int argc, char** argv) {
+  meloppr::bench::parse_bench_args(argc, argv);
+  return meloppr::bench::run();
+}

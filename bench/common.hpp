@@ -8,6 +8,8 @@
 //   MELOPPR_SCALE     — global graph-size multiplier in (0,1] (default 1)
 #pragma once
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -36,6 +38,24 @@ struct PaperSetup {
 };
 
 inline PaperSetup paper_setup() { return {}; }
+
+/// Scans argv for the shared harness flags: `--seed N` / `--seed=N`
+/// overrides MELOPPR_RNG_SEED (the banner prints the effective seed, so
+/// any failing run replays with one copy-pasted flag). Returns true when
+/// `--smoke` was present; unknown flags are left for the bench to handle.
+inline bool parse_bench_args(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      set_bench_rng_seed(std::strtoull(argv[i] + 7, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      set_bench_rng_seed(std::strtoull(argv[++i], nullptr, 10));
+    }
+  }
+  return smoke;
+}
 
 /// Prints the standard bench banner and returns the base RNG.
 inline Rng banner(const std::string& title) {

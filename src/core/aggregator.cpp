@@ -1,7 +1,9 @@
 #include "core/aggregator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "core/concurrent_topck.hpp"
 #include "util/assert.hpp"
 
 namespace meloppr::core {
@@ -27,50 +29,121 @@ TopCKAggregator::TopCKAggregator(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
     throw std::invalid_argument("TopCKAggregator: capacity must be positive");
   }
+  index_.reserve(capacity);
+  slots_.reserve(capacity);
+  heap_.reserve(2 * capacity);
 }
 
-void TopCKAggregator::erase_index(graph::NodeId node, double score) {
-  auto [lo, hi] = by_score_.equal_range(score);
-  for (auto it = lo; it != hi; ++it) {
-    if (it->second == node) {
-      by_score_.erase(it);
-      return;
-    }
+void TopCKAggregator::rebuild_heap() {
+  heap_.clear();
+  heap_.reserve(2 * capacity_);
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    heap_.push_back({slots_[s].score, s});
   }
-  MELO_CHECK_MSG(false, "TopCKAggregator index out of sync for node " << node);
+  std::make_heap(heap_.begin(), heap_.end(), heap_after);
+}
+
+void TopCKAggregator::push_snapshot(double key, std::uint32_t slot) {
+  // Every snapshot producer funnels through here so the growth guard
+  // catches all churn — in particular long negative-update streams that
+  // never reach settle_min() (the table not full, or drops keeping the
+  // cached minimum valid) must not outgrow the c·k memory envelope.
+  if (heap_.size() > 4 * capacity_ + 8) {
+    rebuild_heap();
+    return;  // the rebuild snapshots every live slot, `slot` included
+  }
+  heap_.push_back({key, slot});
+  std::push_heap(heap_.begin(), heap_.end(), heap_after);
+}
+
+std::uint32_t TopCKAggregator::settle_min() {
+  // Lazy-heap invariant: every live slot always has at least one heap
+  // entry with key ≤ its live score (inserts and negative updates push a
+  // fresh snapshot; positive in-place updates only make old snapshots
+  // stale *low*). Settling in key order therefore meets only stale or
+  // re-tenanted snapshots before the first accurate one, and the first
+  // accurate snapshot is the true minimum.
+  //
+  // ConcurrentTopCKAggregator::pop_min_locked (concurrent_topck.cpp)
+  // carries a per-shard copy of this invariant over atomic scores — a
+  // change to the settle/refresh rule or the growth guard here must be
+  // mirrored there.
+  for (;;) {
+    if (heap_.empty()) rebuild_heap();
+    const HeapEntry e = heap_.front();
+    if (slots_[e.slot].score == e.key) return e.slot;
+    // Stale (score moved since the snapshot) or re-tenanted slot: refresh.
+    std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+    heap_.back() = {slots_[e.slot].score, e.slot};
+    std::push_heap(heap_.begin(), heap_.end(), heap_after);
+  }
+}
+
+void TopCKAggregator::refresh_min() {
+  if (min_valid_) return;
+  min_slot_ = settle_min();
+  min_score_ = slots_[min_slot_].score;
+  min_valid_ = true;
 }
 
 void TopCKAggregator::add(graph::NodeId node, double delta) {
-  auto it = by_node_.find(node);
-  if (it != by_node_.end()) {
-    // In-place BRAM update: always allowed, no eviction.
-    const double old_score = it->second;
-    it->second += delta;
-    erase_index(node, old_score);
-    by_score_.emplace(it->second, node);
+  const auto it = index_.find(node);
+  if (it != index_.end()) {
+    // In-place BRAM update: always allowed, no eviction. Only decreases
+    // need a fresh snapshot (see settle_min); the common positive update
+    // is one addition, no heap traffic.
+    const auto slot = it->second;
+    Slot& entry = slots_[slot];
+    entry.score += delta;
+    if (delta < 0.0) {
+      push_snapshot(entry.score, slot);
+      if (min_valid_ && entry.score < min_score_) {
+        // Sank below the cached minimum — it is the minimum now.
+        min_slot_ = slot;
+        min_score_ = entry.score;
+      } else if (min_valid_ && slot == min_slot_) {
+        min_score_ = entry.score;
+      }
+    } else if (min_valid_ && slot == min_slot_) {
+      // The cached minimum rose; some other slot may be smaller now.
+      min_valid_ = false;
+    }
     return;
   }
-  if (by_node_.size() < capacity_) {
-    by_node_.emplace(node, delta);
-    by_score_.emplace(delta, node);
+  if (slots_.size() < capacity_) {
+    const auto slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back({node, delta});
+    push_snapshot(delta, slot);
+    index_.emplace(node, slot);
+    if (min_valid_ && delta < min_score_) {
+      min_slot_ = slot;
+      min_score_ = delta;
+    }
     return;
   }
   // Full: the new score competes with the current minimum. Contributions
   // smaller than the table minimum are dropped — this is where precision
-  // loss for small c comes from.
-  auto min_it = by_score_.begin();
-  if (delta <= min_it->first) return;
-  by_node_.erase(min_it->second);
-  by_score_.erase(min_it);
+  // loss for small c comes from; a drop leaves the minimum unchanged, so
+  // the cached minimum makes it heap-free. Either way the losing score
+  // feeds the eviction bound, the table's own fidelity certificate.
+  refresh_min();
+  if (delta <= min_score_) {
+    bound_ = std::max(bound_, delta);
+    return;
+  }
+  bound_ = std::max(bound_, min_score_);
   ++evictions_;
-  by_node_.emplace(node, delta);
-  by_score_.emplace(delta, node);
+  index_.erase(slots_[min_slot_].node);
+  slots_[min_slot_] = {node, delta};
+  index_.emplace(node, min_slot_);
+  push_snapshot(delta, min_slot_);
+  min_valid_ = false;  // the old minimum's slot now holds a larger score
 }
 
 std::vector<ScoredNode> TopCKAggregator::top(std::size_t k) const {
   std::vector<ScoredNode> all;
-  all.reserve(by_node_.size());
-  for (const auto& [node, score] : by_node_) all.push_back({node, score});
+  all.reserve(slots_.size());
+  for (const Slot& slot : slots_) all.push_back({slot.node, slot.score});
   return ppr::top_k(std::move(all), k);
 }
 
@@ -82,9 +155,14 @@ std::size_t TopCKAggregator::bytes() const {
 }
 
 void TopCKAggregator::clear() {
-  by_node_.clear();
-  by_score_.clear();
+  // The vectors keep their capacity and the map its buckets, so pooled
+  // arenas (AggregatorPool) reuse warm storage.
+  index_.clear();
+  slots_.clear();
+  heap_.clear();
   evictions_ = 0;
+  min_valid_ = false;
+  bound_ = -std::numeric_limits<double>::infinity();
 }
 
 StripedAggregator::StripedAggregator(std::size_t stripes) {
@@ -144,13 +222,37 @@ void StripedAggregator::clear() {
   }
 }
 
-AggregatorPool::AggregatorPool(std::size_t slots) {
+std::unique_ptr<ScoreAggregator> make_serial_aggregator(AggregationMode mode,
+                                                        std::size_t k,
+                                                        std::size_t c) {
+  if (mode == AggregationMode::kBounded) {
+    return std::make_unique<TopCKAggregator>(std::max<std::size_t>(1, c * k));
+  }
+  return std::make_unique<ExactAggregator>();
+}
+
+std::unique_ptr<ScoreAggregator> make_concurrent_aggregator(
+    AggregationMode mode, std::size_t k, std::size_t c, std::size_t ways) {
+  if (mode == AggregationMode::kBounded) {
+    return std::make_unique<ConcurrentTopCKAggregator>(
+        std::max<std::size_t>(1, c * k), ways);
+  }
+  return std::make_unique<StripedAggregator>(ways == 0 ? 16 : ways);
+}
+
+AggregatorPool::AggregatorPool(std::size_t slots, Factory factory)
+    : factory_(std::move(factory)) {
   if (slots == 0) {
     throw std::invalid_argument("AggregatorPool: need at least one slot");
   }
+  if (!factory_) {
+    factory_ = [] { return std::make_unique<ExactAggregator>(); };
+  }
   slots_.reserve(slots);
   for (std::size_t s = 0; s < slots; ++s) {
-    slots_.push_back(std::make_unique<Slot>());
+    auto slot = std::make_unique<Slot>();
+    slot->aggregator = factory_();
+    slots_.push_back(std::move(slot));
   }
 }
 
@@ -182,8 +284,8 @@ AggregatorPool::Lease AggregatorPool::acquire(std::size_t preferred) {
     slot.used_once = true;
   }
   acquires_.fetch_add(1, std::memory_order_relaxed);
-  // clear() keeps the unordered_map's bucket array — the whole point.
-  slots_[picked]->aggregator.clear();
+  // clear() keeps the arena's storage (buckets / BRAM slots) — the point.
+  slots_[picked]->aggregator->clear();
   return Lease(this, picked);
 }
 
@@ -199,12 +301,12 @@ AggregatorPool::Lease::~Lease() {
   if (pool_ != nullptr) pool_->release(slot_);
 }
 
-ExactAggregator& AggregatorPool::Lease::operator*() const {
-  return pool_->slots_[slot_]->aggregator;
+ScoreAggregator& AggregatorPool::Lease::operator*() const {
+  return *pool_->slots_[slot_]->aggregator;
 }
 
-ExactAggregator* AggregatorPool::Lease::operator->() const {
-  return &pool_->slots_[slot_]->aggregator;
+ScoreAggregator* AggregatorPool::Lease::operator->() const {
+  return pool_->slots_[slot_]->aggregator.get();
 }
 
 }  // namespace meloppr::core

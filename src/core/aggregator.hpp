@@ -15,17 +15,27 @@
 //   StripedAggregator — the QueryPipeline's concurrent path: exact scores
 //                      sharded across mutex-striped maps so worker threads
 //                      add() in parallel with low contention.
+//   ConcurrentTopCKAggregator (concurrent_topck.hpp) — the thread-safe
+//                      bounded table: TopCK's BRAM strategy sharded for
+//                      concurrent add(), with a lock-free fast path for
+//                      resident updates.
+//
+// make_serial_aggregator / make_concurrent_aggregator map an
+// AggregationMode (config.hpp) onto these four.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <map>
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "core/config.hpp"
 #include "ppr/topk.hpp"
 
 namespace meloppr::core {
@@ -51,6 +61,14 @@ class ScoreAggregator {
   [[nodiscard]] virtual std::size_t bytes() const = 0;
 
   virtual void clear() = 0;
+
+  /// Entry capacity of a bounded table; 0 means unbounded (exact modes).
+  [[nodiscard]] virtual std::size_t capacity() const { return 0; }
+
+  /// Min-evictions performed by a bounded table (a fidelity diagnostic:
+  /// zero evictions means bounded behaved exactly like exact). Always 0
+  /// for unbounded aggregators.
+  [[nodiscard]] virtual std::size_t evictions() const { return 0; }
 };
 
 /// Exact hash-map aggregation (CPU mode).
@@ -72,6 +90,17 @@ class ExactAggregator final : public ScoreAggregator {
 /// scores; an insertion into a full table evicts the minimum entry. Updates
 /// to a node already present always succeed (matching the BRAM table, which
 /// updates in place).
+///
+/// Storage is a fixed slot arena plus a lazy min-heap of (score snapshot,
+/// slot) pairs, so the hot path is allocation-free and heap-free: a
+/// positive in-place update is one hash lookup and one addition (its old
+/// snapshots go stale *low*, which lazy eviction tolerates), a negative
+/// update additionally pushes a fresh snapshot (so no live score can ever
+/// sit below every one of its snapshots). Eviction pops snapshots,
+/// refreshing stale ones, until one matches its live score — provably the
+/// true minimum under the invariant above — which keeps min-eviction
+/// exact at amortized O(log cap) while bounded mode keeps pace with the
+/// exact hash map.
 class TopCKAggregator final : public ScoreAggregator {
  public:
   /// capacity = c·k. Throws std::invalid_argument when zero.
@@ -79,23 +108,57 @@ class TopCKAggregator final : public ScoreAggregator {
 
   void add(graph::NodeId node, double delta) override;
   [[nodiscard]] std::vector<ScoredNode> top(std::size_t k) const override;
-  [[nodiscard]] std::size_t entries() const override { return by_node_.size(); }
+  [[nodiscard]] std::size_t entries() const override { return slots_.size(); }
   [[nodiscard]] std::size_t bytes() const override;
   void clear() override;
 
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const override { return capacity_; }
   /// Number of evictions performed (a fidelity diagnostic: zero evictions
   /// means the table behaved exactly like the exact aggregator).
-  [[nodiscard]] std::size_t evictions() const { return evictions_; }
+  [[nodiscard]] std::size_t evictions() const override { return evictions_; }
+
+  /// Largest score ever displaced (evicted entry or dropped delta): any
+  /// node whose every individual contribution exceeds this bound is
+  /// guaranteed resident. -inf while nothing has been displaced.
+  [[nodiscard]] double eviction_bound() const { return bound_; }
 
  private:
-  void erase_index(graph::NodeId node, double score);
+  struct Slot {
+    graph::NodeId node;
+    double score;
+  };
+  /// (score snapshot, slot) — refreshed lazily at eviction time.
+  struct HeapEntry {
+    double key;
+    std::uint32_t slot;
+  };
+  static bool heap_after(const HeapEntry& a, const HeapEntry& b) {
+    return a.key > b.key;
+  }
+  /// Settles the lazy heap until its front is an accurate snapshot and
+  /// returns that slot — the true minimum (the entry stays in the heap).
+  std::uint32_t settle_min();
+  /// Discards every stale snapshot by rebuilding from the live slots,
+  /// O(cap) — the growth guard that keeps the heap (and with it the
+  /// advertised c·k memory envelope) bounded under snapshot churn.
+  void rebuild_heap();
+  /// Pushes a snapshot, rebuilding first when the heap has outgrown a
+  /// small multiple of the capacity.
+  void push_snapshot(double key, std::uint32_t slot);
+  /// Re-validates min_slot_/min_score_ if needed. A cached minimum makes
+  /// the drop path (most full-table adds) entirely heap-free: a drop
+  /// cannot change the minimum, so the cache survives it.
+  void refresh_min();
 
   std::size_t capacity_;
   std::size_t evictions_ = 0;
-  std::unordered_map<graph::NodeId, double> by_node_;
-  /// Score-ordered index for O(log n) min-eviction; multimap tolerates ties.
-  std::multimap<double, graph::NodeId> by_score_;
+  double bound_ = -std::numeric_limits<double>::infinity();
+  bool min_valid_ = false;
+  std::uint32_t min_slot_ = 0;
+  double min_score_ = 0.0;
+  std::unordered_map<graph::NodeId, std::uint32_t> index_;  ///< node → slot
+  std::vector<Slot> slots_;      ///< live entries, dense
+  std::vector<HeapEntry> heap_;  ///< lazy min-heap over live scores
 };
 
 /// Exact aggregation sharded across `stripes` independent score maps, each
@@ -133,18 +196,39 @@ class StripedAggregator final : public ScoreAggregator {
   std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
-/// Per-worker arena of reusable ExactAggregators (ROADMAP: "Aggregator
-/// reuse across a batch"). Constructing and tearing down an ExactAggregator
-/// per query reallocates the score map's bucket array every time; clear()
-/// on a reused instance keeps the buckets, so a worker's second query
-/// aggregates into already-warm memory. acquire(slot) hands out an
-/// exclusive lease on one aggregator, cleared and ready; the preferred slot
-/// is the worker index, so within one batch there is no contention at all —
-/// the locking only matters when several batches share a pipeline.
+/// Builds the aggregator for a serial reduction schedule (Engine::query's
+/// DFS drain, the pipeline's deterministic task-order reduction, and the
+/// per-query replay of the stealing batch): an exact map, or the bounded
+/// c·k table whose results are bit-identical to the serial engine for the
+/// same operation order.
+[[nodiscard]] std::unique_ptr<ScoreAggregator> make_serial_aggregator(
+    AggregationMode mode, std::size_t k, std::size_t c);
+
+/// Builds the aggregator for concurrent streaming add() from many worker
+/// threads (the pipeline's non-deterministic reduction): mutex-striped
+/// exact maps, or the sharded concurrent bounded table. `ways` is the
+/// stripe/shard count (0 → implementation default).
+[[nodiscard]] std::unique_ptr<ScoreAggregator> make_concurrent_aggregator(
+    AggregationMode mode, std::size_t k, std::size_t c, std::size_t ways);
+
+/// Per-worker arena of reusable serial aggregators (ROADMAP: "Aggregator
+/// reuse across a batch"). Constructing and tearing down an aggregator per
+/// query reallocates its table every time; clear() on a reused instance
+/// keeps the storage (hash-map buckets for exact arenas, the fixed BRAM
+/// slots for bounded ones), so a worker's second query aggregates into
+/// already-warm memory. acquire(slot) hands out an exclusive lease on one
+/// aggregator, cleared and ready; the preferred slot is the worker index,
+/// so within one batch there is no contention at all — the locking only
+/// matters when several batches share a pipeline.
 class AggregatorPool {
  public:
-  /// Throws std::invalid_argument when `slots` is zero.
-  explicit AggregatorPool(std::size_t slots);
+  using Factory = std::function<std::unique_ptr<ScoreAggregator>()>;
+
+  /// `factory` builds every slot's arena eagerly at construction
+  /// (default: exact arenas) — an oversized pool pays its full storage up
+  /// front, bounded arenas included. Throws std::invalid_argument when
+  /// `slots` is zero.
+  explicit AggregatorPool(std::size_t slots, Factory factory = {});
 
   /// Exclusive lease; releases the slot on destruction. The aggregator
   /// reference stays valid for the lease's lifetime only.
@@ -159,8 +243,8 @@ class AggregatorPool {
     Lease& operator=(Lease&&) = delete;
     ~Lease();
 
-    [[nodiscard]] ExactAggregator& operator*() const;
-    [[nodiscard]] ExactAggregator* operator->() const;
+    [[nodiscard]] ScoreAggregator& operator*() const;
+    [[nodiscard]] ScoreAggregator* operator->() const;
 
    private:
     friend class AggregatorPool;
@@ -185,12 +269,13 @@ class AggregatorPool {
 
  private:
   struct Slot {
-    ExactAggregator aggregator;
+    std::unique_ptr<ScoreAggregator> aggregator;  ///< built by factory_
     bool busy = false;       ///< guarded by mu_
     bool used_once = false;  ///< guarded by mu_
   };
   void release(std::size_t slot);
 
+  Factory factory_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::mutex mu_;
   std::condition_variable slot_free_;

@@ -71,6 +71,14 @@ class DiffusionBackend {
   [[nodiscard]] virtual std::size_t max_concurrent_runs() const {
     return std::numeric_limits<std::size_t>::max();
   }
+
+  /// True when run() executes the diffusion off the host CPU (an
+  /// accelerator or accelerator farm), so dispatching threads block while
+  /// the device computes and host cores sit idle. The pipeline's
+  /// backend-aware prefetch throttle only spawns lookahead BFS threads for
+  /// offloading backends — against a CPU backend they would oversubscribe
+  /// the very cores the workers compute on.
+  [[nodiscard]] virtual bool offloads_compute() const { return false; }
 };
 
 /// Host-CPU backend: wall-clock-measured ppr::diffuse.

@@ -1,0 +1,223 @@
+#include "core/concurrent_topck.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/ball_cache.hpp"  // splitmix64
+#include "ppr/topk.hpp"
+
+namespace meloppr::core {
+
+namespace {
+
+constexpr double kNoBound = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ConcurrentTopCKAggregator::ConcurrentTopCKAggregator(std::size_t capacity,
+                                                     std::size_t shards)
+    : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument(
+        "ConcurrentTopCKAggregator: capacity must be positive");
+  }
+  if (shards == 0) shards = 8;
+  shards = std::min(shards, capacity);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Σ shard capacities == capacity exactly, so the total entry bound is
+    // the BRAM budget even when capacity % shards != 0.
+    shard->cap = capacity / shards + (s < capacity % shards ? 1 : 0);
+    shard->slots = std::make_unique<Slot[]>(shard->cap);
+    shard->index.reserve(shard->cap);
+    shard->bound = kNoBound;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void ConcurrentTopCKAggregator::rebuild_heap_locked(Shard& shard) {
+  shard.heap.clear();
+  shard.heap.reserve(2 * shard.cap);
+  for (std::uint32_t s = 0; s < shard.size; ++s) {
+    shard.heap.push_back(
+        {shard.slots[s].score.load(std::memory_order_relaxed), s});
+  }
+  std::make_heap(shard.heap.begin(), shard.heap.end(), heap_after);
+}
+
+void ConcurrentTopCKAggregator::push_snapshot_locked(Shard& shard, double key,
+                                                     std::uint32_t slot) {
+  if (shard.heap.size() > 4 * shard.cap + 8) {
+    rebuild_heap_locked(shard);
+    return;  // the rebuild snapshots every live slot, `slot` included
+  }
+  shard.heap.push_back({key, slot});
+  std::push_heap(shard.heap.begin(), shard.heap.end(), heap_after);
+}
+
+ConcurrentTopCKAggregator::Shard& ConcurrentTopCKAggregator::shard_for(
+    graph::NodeId node) const {
+  // High bits pick the shard; the index's hash consumes the low bits, so
+  // the two uses stay decorrelated (same scheme as ShardedBallCache).
+  return *shards_[(splitmix64(node) >> 40) % shards_.size()];
+}
+
+void ConcurrentTopCKAggregator::add(graph::NodeId node, double delta) {
+  Shard& shard = shard_for(node);
+  if (delta >= 0.0) {
+    // Fast path: resident node, in-place BRAM update. The shared lock only
+    // fences out structural changes; concurrent resident updates all
+    // proceed here in parallel, ordered by the atomic fetch_add. Positive
+    // updates leave their heap snapshots stale *low*, which lazy eviction
+    // tolerates (pop_min_locked refreshes them), so no heap traffic here.
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.index.find(node);
+    if (it != shard.index.end()) {
+      shard.slots[it->second].score.fetch_add(delta,
+                                              std::memory_order_relaxed);
+      fast_adds_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.index.find(node);
+  if (it != shard.index.end()) {
+    // Resident, but either we lost an insert race or the delta is negative.
+    // A decrease must leave a fresh snapshot behind, or the lazy heap could
+    // lose track of the true minimum (see pop_min_locked).
+    const auto slot = it->second;
+    const double updated =
+        shard.slots[slot].score.fetch_add(delta, std::memory_order_relaxed) +
+        delta;
+    if (delta < 0.0) {
+      push_snapshot_locked(shard, updated, slot);
+    }
+    return;
+  }
+  insert_locked(shard, node, delta);
+}
+
+std::uint32_t ConcurrentTopCKAggregator::pop_min_locked(Shard& shard) {
+  // Lazy heap: positive fetch_adds never touch it, so keys go stale *low*
+  // and slots may have been re-tenanted since a key was pushed; decreases
+  // push a fresh snapshot (add()'s structural path), so no live score ever
+  // sits below every one of its snapshots. Popping in key order therefore
+  // meets only stale snapshots before the first accurate one — which is
+  // the true shard minimum at this instant. Under the exclusive lock live
+  // scores are stable, so refreshing a popped entry with its live score
+  // terminates: a refreshed entry matches when popped again.
+  //
+  // TopCKAggregator::settle_min (aggregator.cpp) carries the serial copy
+  // of this invariant over plain scores — a change to the settle/refresh
+  // rule or the growth guard there must be mirrored here.
+  for (;;) {
+    if (shard.heap.size() > 4 * shard.cap + 8 || shard.heap.empty()) {
+      // Growth guard (refresh churn) and cold start.
+      rebuild_heap_locked(shard);
+    }
+    std::pop_heap(shard.heap.begin(), shard.heap.end(), heap_after);
+    const HeapEntry e = shard.heap.back();
+    shard.heap.pop_back();
+    const double live =
+        shard.slots[e.slot].score.load(std::memory_order_relaxed);
+    if (live == e.key) return e.slot;
+    shard.heap.push_back({live, e.slot});
+    std::push_heap(shard.heap.begin(), shard.heap.end(), heap_after);
+  }
+}
+
+void ConcurrentTopCKAggregator::insert_locked(Shard& shard,
+                                              graph::NodeId node,
+                                              double delta) {
+  if (shard.size < shard.cap) {
+    const auto slot = static_cast<std::uint32_t>(shard.size++);
+    shard.slots[slot].node = node;
+    shard.slots[slot].score.store(delta, std::memory_order_relaxed);
+    shard.index.emplace(node, slot);
+    push_snapshot_locked(shard, delta, slot);
+    return;
+  }
+  // Full: the new score competes with the shard minimum, mirroring the
+  // serial table (whose minimum is global — the per-shard boundary is the
+  // documented divergence).
+  const std::uint32_t victim = pop_min_locked(shard);
+  const double victim_score =
+      shard.slots[victim].score.load(std::memory_order_relaxed);
+  if (delta <= victim_score) {
+    // Dropped — the precision cost of small c. The popped entry is still
+    // live; push it back.
+    shard.bound = std::max(shard.bound, delta);
+    push_snapshot_locked(shard, victim_score, victim);
+    return;
+  }
+  shard.bound = std::max(shard.bound, victim_score);
+  ++shard.evictions;
+  shard.index.erase(shard.slots[victim].node);
+  shard.slots[victim].node = node;
+  shard.slots[victim].score.store(delta, std::memory_order_relaxed);
+  shard.index.emplace(node, victim);
+  push_snapshot_locked(shard, delta, victim);
+}
+
+std::vector<ScoredNode> ConcurrentTopCKAggregator::top(std::size_t k) const {
+  std::vector<ScoredNode> all;
+  all.reserve(entries());
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    for (std::size_t s = 0; s < shard->size; ++s) {
+      all.push_back({shard->slots[s].node,
+                     shard->slots[s].score.load(std::memory_order_relaxed)});
+    }
+  }
+  return ppr::top_k(std::move(all), k);
+}
+
+std::size_t ConcurrentTopCKAggregator::entries() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    n += shard->size;
+  }
+  return n;
+}
+
+std::size_t ConcurrentTopCKAggregator::bytes() const {
+  // Same fixed BRAM model as TopCKAggregator: `capacity` slots of
+  // (node id, 32-bit score), regardless of occupancy.
+  return capacity_ * (sizeof(graph::NodeId) + sizeof(std::uint32_t));
+}
+
+std::size_t ConcurrentTopCKAggregator::evictions() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    n += shard->evictions;
+  }
+  return n;
+}
+
+double ConcurrentTopCKAggregator::eviction_bound() const {
+  double bound = kNoBound;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    bound = std::max(bound, shard->bound);
+  }
+  return bound;
+}
+
+void ConcurrentTopCKAggregator::clear() {
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    shard->index.clear();
+    shard->heap.clear();
+    shard->size = 0;
+    shard->evictions = 0;
+    shard->bound = kNoBound;
+  }
+  fast_adds_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace meloppr::core

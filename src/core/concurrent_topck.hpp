@@ -1,0 +1,145 @@
+// Thread-safe bounded top-c·k score table — the FPGA's BRAM aggregation
+// strategy (Sec. V-B) made safe for the QueryPipeline's concurrent paths.
+//
+// The serial TopCKAggregator keeps the c·k best scores and evicts the
+// minimum on overflow; it is what the accelerator's on-chip table does, but
+// it cannot accept add() from several worker threads. This class is the
+// concurrent counterpart:
+//
+//   * Sharding. The capacity is split across N shards (node → shard by a
+//     splitmix64 mix), each with its own fixed slot arena, index, and
+//     min-eviction state, so threads contend only within a shard. The
+//     entry bound is enforced per shard (Σ shard capacities = capacity),
+//     which means the eviction boundary is a per-shard minimum rather than
+//     the global one — the memory bound is identical, the set of survivors
+//     near the boundary can differ from the serial table's.
+//
+//   * Lock-free fast path. Positive updates to an already-resident node —
+//     the common case once the table is warm, and the BRAM table's
+//     in-place update — take a shared (never exclusive) lock and
+//     fetch_add an atomic score: concurrent resident updates proceed in
+//     parallel with no mutual exclusion and no heap traffic. Structural
+//     changes (insert, eviction, clear) and the rare negative update
+//     (Eq. 8's correction term, which must leave a heap snapshot behind)
+//     take the shard's lock exclusively.
+//
+//   * Lazy min-heap eviction. Each shard keeps a min-heap of (score
+//     snapshot, slot) pairs. Positive in-place fetch_adds leave snapshots
+//     stale low; an eviction pops entries, refreshing stale ones, until a
+//     snapshot matches its live score — by the push-on-decrease invariant
+//     that entry is the true shard minimum — at amortized O(log cap),
+//     with a rebuild guard that bounds heap growth at a small multiple of
+//     the capacity.
+//
+// Determinism: a single thread draining adds in a fixed order always
+// produces the same table. Under concurrent adds the admit/evict decisions
+// depend on arrival order (scheduling), exactly like the striped exact
+// aggregator's floating-point jitter — so the pipeline uses this class
+// only on its concurrent streaming path. The bit-exact bounded path
+// (query_batch) replays the serial DFS reduction order into a serial
+// TopCKAggregator arena instead; see pipeline.hpp.
+//
+// Read-side contract (top/entries/bytes/evictions/clear): callers must not
+// race add() bursts they still await — the same contract as
+// StripedAggregator and ShardedBallCache.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aggregator.hpp"
+
+namespace meloppr::core {
+
+class ConcurrentTopCKAggregator final : public ScoreAggregator {
+ public:
+  /// capacity = c·k entries total, split across `shards` sub-tables
+  /// (shards is clamped to [1, capacity]; 0 picks a default of 8).
+  /// Throws std::invalid_argument when capacity is zero.
+  explicit ConcurrentTopCKAggregator(std::size_t capacity,
+                                     std::size_t shards = 0);
+
+  /// Thread-safe. Positive deltas to resident nodes take the lock-free
+  /// fast path (shared lock + atomic fetch_add); inserts, evictions, and
+  /// negative deltas serialize per shard.
+  void add(graph::NodeId node, double delta) override;
+
+  [[nodiscard]] std::vector<ScoredNode> top(std::size_t k) const override;
+  [[nodiscard]] std::size_t entries() const override;
+  /// Fixed BRAM-model footprint, like TopCKAggregator: capacity × 8 bytes.
+  [[nodiscard]] std::size_t bytes() const override;
+  void clear() override;
+
+  [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+  [[nodiscard]] std::size_t evictions() const override;
+
+  /// Largest score ever displaced: the max over all evicted entries and
+  /// dropped deltas. Any node whose every individual contribution exceeds
+  /// this bound is guaranteed resident (see the property tests). Negative
+  /// infinity while nothing has been displaced.
+  [[nodiscard]] double eviction_bound() const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// add() calls that took the lock-free resident-update path.
+  [[nodiscard]] std::size_t fast_path_adds() const {
+    return fast_adds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One resident entry. `score` is atomic so the fast path can fetch_add
+  /// under a shared lock; `node` only changes under the exclusive lock.
+  struct Slot {
+    graph::NodeId node = graph::kInvalidNode;
+    std::atomic<double> score{0.0};
+  };
+
+  /// (score snapshot, slot) — refreshed lazily at eviction time.
+  struct HeapEntry {
+    double key;
+    std::uint32_t slot;
+  };
+  /// Min-heap ordering for std::push_heap/pop_heap (which build max-heaps):
+  /// greater key sinks, so the heap front is the smallest snapshot.
+  static bool heap_after(const HeapEntry& a, const HeapEntry& b) {
+    return a.key > b.key;
+  }
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<graph::NodeId, std::uint32_t> index;  ///< node → slot
+    std::unique_ptr<Slot[]> slots;  ///< `cap` fixed slots (the BRAM arena)
+    std::size_t cap = 0;
+    std::size_t size = 0;           ///< live slots, dense in [0, size)
+    std::vector<HeapEntry> heap;    ///< lazy min-heap over live scores
+    std::size_t evictions = 0;
+    double bound;                   ///< max displaced score (init -inf)
+  };
+
+  [[nodiscard]] Shard& shard_for(graph::NodeId node) const;
+  /// Exclusive-lock path: insert `delta` for a non-resident `node`,
+  /// evicting the shard minimum when full. Returns without inserting when
+  /// the delta loses to the current minimum (the drop that costs precision
+  /// for small c).
+  static void insert_locked(Shard& shard, graph::NodeId node, double delta);
+  /// Pops the shard's lazy heap down to a trustworthy minimum slot.
+  static std::uint32_t pop_min_locked(Shard& shard);
+  /// Discards stale snapshots by rebuilding from the live slots, O(cap).
+  static void rebuild_heap_locked(Shard& shard);
+  /// Pushes a snapshot, rebuilding first when the heap has outgrown a
+  /// small multiple of the shard capacity — keeps the heap (and the c·k
+  /// memory envelope) bounded under negative-update churn that never
+  /// reaches pop_min_locked.
+  static void push_snapshot_locked(Shard& shard, double key,
+                                   std::uint32_t slot);
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> fast_adds_{0};
+};
+
+}  // namespace meloppr::core

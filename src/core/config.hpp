@@ -15,6 +15,19 @@
 
 namespace meloppr::core {
 
+/// How per-ball score contributions are summed into the global score view
+/// (Sec. V-B "Data Transfer Reduction").
+enum class AggregationMode {
+  /// Full hash map of every touched node — exact, O(G_L(s)) footprint
+  /// (the CPU implementation's strategy).
+  kExact,
+  /// Fixed c·k-entry table with min-eviction — the FPGA's BRAM strategy:
+  /// bounded memory, small precision loss for small c. Serial schedules
+  /// use TopCKAggregator; concurrent streaming uses
+  /// ConcurrentTopCKAggregator (per-shard eviction boundary).
+  kBounded,
+};
+
 /// Concurrency surface of the QueryPipeline (core/pipeline.hpp): how many
 /// workers, and how their score contributions are reduced.
 struct PipelineConfig {
@@ -30,8 +43,12 @@ struct PipelineConfig {
   ///         scheduling-dependent (~1e-15 relative jitter between runs).
   bool deterministic_reduction = true;
 
-  /// Stripe count for the concurrent aggregation path.
+  /// Stripe count for the concurrent exact aggregation path.
   std::size_t aggregator_stripes = 16;
+
+  /// Shard count for the concurrent bounded (top-c·k) aggregation path;
+  /// 0 → one shard per worker thread.
+  std::size_t topck_shards = 0;
 
   /// Stage-lookahead BFS prefetch. When the engine has a shared
   /// (ShardedBallCache) ball cache installed, each finished stage task's
@@ -45,6 +62,17 @@ struct PipelineConfig {
   /// are in addition to the worker pool: workers blocked on a busy device
   /// farm leave exactly this many cores for lookahead BFS.
   std::size_t prefetch_threads = 0;
+
+  /// Backend-aware prefetch throttle (ROADMAP "Prefetch throttling"). When
+  /// true (default), lookahead BFS threads only run for backends that
+  /// offload diffusion off the host (a device or device farm) — that is,
+  /// exactly when dispatchers block on the farm and leave cores idle. On a
+  /// CPU-only backend the workers themselves occupy every core, so
+  /// prefetch threads would only oversubscribe; the throttle keeps them
+  /// unspawned. Set false to force lookahead regardless of backend (e.g.
+  /// to measure the layer in isolation, or when the host has known-idle
+  /// cores).
+  bool prefetch_throttle = true;
 
   /// query_batch scheduling. true → per-stage tasks of every query go into
   /// per-worker deques and idle workers steal from the busiest tails, so
@@ -84,6 +112,15 @@ struct MelopprConfig {
   std::size_t k = 200;                       ///< top-k query size
   Selection selection = Selection::top_ratio(0.05);  ///< next-stage policy
 
+  /// Global score aggregation strategy (exact map vs bounded c·k table).
+  AggregationMode aggregation = AggregationMode::kExact;
+  /// Bounded-table multiplier: the table holds c·k entries (paper default
+  /// c=10, the <0.2% precision-loss point). Ignored in exact mode.
+  std::size_t topck_c = 10;
+
+  /// Bounded-table capacity, c·k entries.
+  [[nodiscard]] std::size_t table_capacity() const { return topck_c * k; }
+
   /// Total diffusion length L = Σ stage lengths.
   [[nodiscard]] unsigned total_length() const {
     unsigned sum = 0;
@@ -111,6 +148,9 @@ struct MelopprConfig {
     }
     if (k == 0) {
       throw std::invalid_argument("MelopprConfig: k must be positive");
+    }
+    if (topck_c == 0) {
+      throw std::invalid_argument("MelopprConfig: topck_c must be positive");
     }
     selection.validate();
   }

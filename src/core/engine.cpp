@@ -16,8 +16,9 @@ Engine::Engine(const graph::Graph& g, MelopprConfig config)
 
 QueryResult Engine::query(graph::NodeId seed) const {
   CpuBackend backend(config_.alpha);
-  ExactAggregator aggregator;
-  return query(seed, backend, aggregator);
+  const std::unique_ptr<ScoreAggregator> aggregator = make_serial_aggregator(
+      config_.aggregation, config_.k, config_.topck_c);
+  return query(seed, backend, *aggregator);
 }
 
 QueryResult Engine::query(graph::NodeId seed, DiffusionBackend& backend,
@@ -71,6 +72,8 @@ QueryResult Engine::query(graph::NodeId seed, DiffusionBackend& backend,
   result.stats.threads_used = 1;
 
   result.stats.aggregator_bytes = aggregator.bytes();
+  result.stats.aggregator_entries = aggregator.entries();
+  result.stats.aggregator_evictions = aggregator.evictions();
   result.stats.peak_bytes = meter.peak_bytes();
   return result;
 }

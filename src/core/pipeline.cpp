@@ -17,7 +17,8 @@ QueryPipeline::QueryPipeline(const Engine& engine, DiffusionBackend& backend,
                              PipelineConfig config)
     : engine_(&engine),
       config_(config),
-      threads_(config.resolved_threads()) {
+      threads_(config.resolved_threads()),
+      backend_offloads_(backend.offloads_compute()) {
   config_.validate();
   if (backend.thread_safe()) {
     shared_backend_ = &backend;
@@ -28,7 +29,13 @@ QueryPipeline::QueryPipeline(const Engine& engine, DiffusionBackend& backend,
     }
   }
   if (config_.pool_aggregators) {
-    agg_pool_ = std::make_unique<AggregatorPool>(threads_);
+    // Arenas follow the engine's aggregation mode: exact maps, or bounded
+    // c·k tables whose clear() keeps the fixed slots warm.
+    const MelopprConfig& ecfg = engine_->config();
+    agg_pool_ = std::make_unique<AggregatorPool>(
+        threads_, [mode = ecfg.aggregation, k = ecfg.k, c = ecfg.topck_c] {
+          return make_serial_aggregator(mode, k, c);
+        });
   }
   workers_.reserve(threads_);
   for (std::size_t w = 0; w < threads_; ++w) {
@@ -47,6 +54,11 @@ QueryPipeline::~QueryPipeline() {
 
 ShardedBallCache* QueryPipeline::activate_lookahead() {
   if (!config_.prefetch) return nullptr;
+  // Backend-aware throttle: lookahead BFS threads only pay off while
+  // dispatchers block on an offloading backend (farm/device). Against a
+  // CPU backend the workers already occupy every core, so prefetch
+  // threads would oversubscribe — the demand path fetches instead.
+  if (config_.prefetch_throttle && !backend_offloads_) return nullptr;
   ShardedBallCache* cache = engine_->shared_ball_cache();
   if (cache == nullptr) return nullptr;
   // Lazy: a pipeline that never sees a shared cache never pays for
@@ -133,18 +145,25 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
       prefetcher_ != nullptr ? prefetcher_->hidden_seconds() : 0.0;
 
   const bool deterministic = config_.deterministic_reduction;
+  const MelopprConfig& ecfg = engine_->config();
   std::optional<AggregatorPool::Lease> lease;
   std::unique_ptr<ScoreAggregator> owned_aggregator;
   ScoreAggregator* aggregator_ptr;
   if (deterministic && agg_pool_ != nullptr) {
     lease.emplace(agg_pool_->acquire(0));
     aggregator_ptr = &**lease;
-  } else {
+  } else if (deterministic) {
     owned_aggregator =
-        deterministic
-            ? static_cast<std::unique_ptr<ScoreAggregator>>(
-                  std::make_unique<ExactAggregator>())
-            : std::make_unique<StripedAggregator>(config_.aggregator_stripes);
+        make_serial_aggregator(ecfg.aggregation, ecfg.k, ecfg.topck_c);
+    aggregator_ptr = owned_aggregator.get();
+  } else {
+    // Concurrent streaming reduction: striped exact maps, or the sharded
+    // bounded table (one shard per worker by default).
+    owned_aggregator = make_concurrent_aggregator(
+        ecfg.aggregation, ecfg.k, ecfg.topck_c,
+        ecfg.aggregation == AggregationMode::kBounded
+            ? (config_.topck_shards != 0 ? config_.topck_shards : threads_)
+            : config_.aggregator_stripes);
     aggregator_ptr = owned_aggregator.get();
   }
   ScoreAggregator& aggregator = *aggregator_ptr;
@@ -228,6 +247,8 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
       *std::max_element(busy_seconds.begin(), busy_seconds.end()),
       result.stats.diffusion_serial_seconds / static_cast<double>(slots));
   result.stats.aggregator_bytes = aggregator.bytes();
+  result.stats.aggregator_entries = aggregator.entries();
+  result.stats.aggregator_evictions = aggregator.evictions();
   if (lookahead != nullptr) {
     // Quiesce so no prefetch thread touches the cache after we return and
     // the hidden-seconds delta is complete. Approximate under concurrent
@@ -278,8 +299,10 @@ std::vector<QueryResult> QueryPipeline::query_batch(
         AggregatorPool::Lease lease = agg_pool_->acquire(w);
         results[i] = engine_->query(seeds[i], backend_for(w), *lease);
       } else {
-        ExactAggregator aggregator;
-        results[i] = engine_->query(seeds[i], backend_for(w), aggregator);
+        const MelopprConfig& ecfg = engine_->config();
+        const std::unique_ptr<ScoreAggregator> aggregator =
+            make_serial_aggregator(ecfg.aggregation, ecfg.k, ecfg.topck_c);
+        results[i] = engine_->query(seeds[i], backend_for(w), *aggregator);
       }
     });
   }
@@ -301,6 +324,9 @@ std::vector<QueryResult> QueryPipeline::query_batch(
       batch_stats->demand_bfs_seconds += r.stats.bfs_seconds();
       batch_stats->peak_bytes =
           std::max(batch_stats->peak_bytes, r.stats.peak_bytes);
+      batch_stats->aggregator_evictions += r.stats.aggregator_evictions;
+      batch_stats->peak_aggregator_entries = std::max(
+          batch_stats->peak_aggregator_entries, r.stats.aggregator_entries);
     }
     if (cache != nullptr) {
       batch_stats->dedup_hits = cache->dedup_hits() - dedup_before;
@@ -419,14 +445,15 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
 
   const auto finalize_query = [&](BatchQuery& q, std::size_t self) {
     std::optional<AggregatorPool::Lease> lease;
-    std::optional<ExactAggregator> local;
-    ExactAggregator* aggregator;
+    std::unique_ptr<ScoreAggregator> local;
+    ScoreAggregator* aggregator;
     if (agg_pool_ != nullptr) {
       lease.emplace(agg_pool_->acquire(self));
       aggregator = &**lease;
     } else {
-      local.emplace();
-      aggregator = &*local;
+      const MelopprConfig& ecfg = engine_->config();
+      local = make_serial_aggregator(ecfg.aggregation, ecfg.k, ecfg.topck_c);
+      aggregator = local.get();
     }
 
     QueryResult r;
@@ -448,6 +475,8 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
     r.stats.threads_used = distinct_workers;
     r.stats.stolen_tasks = q.stolen.load(std::memory_order_relaxed);
     r.stats.aggregator_bytes = aggregator->bytes();
+    r.stats.aggregator_entries = aggregator->entries();
+    r.stats.aggregator_evictions = aggregator->evictions();
     // Retained footprint: the outcome tree coexists with the aggregator at
     // reduction time. The transient ball/device footprints live in the
     // per-worker meters and are folded into every query's peak once the

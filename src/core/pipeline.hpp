@@ -24,6 +24,17 @@
 //                        Engine::query. With work_stealing off, queries
 //                        are pinned whole to workers (the PR 1 scheduler).
 //
+// Aggregation (MelopprConfig::aggregation) is orthogonal to scheduling:
+// in bounded mode every per-query reduction runs through a c·k-entry
+// TopCK arena instead of an exact map — and because both batch scheduling
+// modes replay the serial DFS operation order per query, query_batch in
+// bounded mode is bit-identical to Engine::query with a TopCKAggregator
+// at any thread count (the paper's BRAM memory envelope with the serial
+// table's exact semantics). Only the stage-parallel query() with
+// deterministic_reduction off streams adds concurrently, through the
+// sharded ConcurrentTopCKAggregator, whose admit/evict boundary is
+// scheduling-dependent (concurrent_topck.hpp).
+//
 // Host/device overlap: when the engine carries a ShardedBallCache, the
 // pipeline runs a stage-lookahead prefetcher — the moment a task's
 // children are selected, dedicated host threads extract their (next-stage)
@@ -85,6 +96,11 @@ class QueryPipeline {
     /// mode every query's peak folds in all workers' transient ball/device
     /// footprints, since tasks of any query may run on any worker).
     std::size_t peak_bytes = 0;
+    /// Σ bounded-table min-evictions across the batch (0 in exact mode).
+    std::size_t aggregator_evictions = 0;
+    /// Largest per-query score-table occupancy — in bounded mode never
+    /// exceeds c·k, the paper's BRAM envelope per in-flight query.
+    std::size_t peak_aggregator_entries = 0;
     [[nodiscard]] double cache_hit_rate() const {
       const std::size_t total = cache_hits + cache_misses;
       return total == 0 ? 0.0
@@ -124,8 +140,10 @@ class QueryPipeline {
 
   /// The stage-lookahead prefetcher. Created lazily by the first query
   /// that finds a ShardedBallCache on the engine (threads are pointless
-  /// without one), so this is nullptr until then and always when
-  /// config.prefetch is off.
+  /// without one), so this is nullptr until then — and permanently when
+  /// config.prefetch is off or the backend-aware throttle suppresses
+  /// lookahead (config.prefetch_throttle with a backend that computes on
+  /// the host's own cores).
   [[nodiscard]] const BallPrefetcher* prefetcher() const {
     return prefetcher_.get();
   }
@@ -167,6 +185,9 @@ class QueryPipeline {
   const Engine* engine_;
   PipelineConfig config_;
   std::size_t threads_;
+  /// Whether the backend runs diffusions off the host (farm/device) — the
+  /// signal the backend-aware prefetch throttle keys on.
+  bool backend_offloads_ = false;
 
   /// Exactly one of these is used: the shared thread-safe backend, or one
   /// clone per worker.

@@ -62,6 +62,14 @@ struct QueryStats {
   /// Aggregator footprint at the end of the query.
   std::size_t aggregator_bytes = 0;
 
+  /// Score-table occupancy at the end of the query (for a bounded table,
+  /// ≤ its c·k capacity — the Table II memory story; for exact
+  /// aggregation, the number of touched nodes).
+  std::size_t aggregator_entries = 0;
+  /// Min-evictions a bounded score table performed (always 0 for exact
+  /// aggregation). Zero evictions certify the bounded result equals exact.
+  std::size_t aggregator_evictions = 0;
+
   double total_seconds = 0.0;  ///< end-to-end query latency
 
   /// Serial-sum view of the diffusion work: Σ over all balls of

@@ -58,6 +58,9 @@ class FpgaFarm final : public core::DiffusionBackend {
   [[nodiscard]] std::size_t max_concurrent_runs() const override {
     return devices_.size();
   }
+  /// Dispatchers block on busy devices — the window the stage-lookahead
+  /// prefetcher fills with host BFS (the backend-aware throttle's signal).
+  [[nodiscard]] bool offloads_compute() const override { return true; }
 
   [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
 

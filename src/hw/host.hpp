@@ -34,6 +34,10 @@ class FpgaBackend final : public core::DiffusionBackend {
   /// thread-safe; the pipeline clones one per worker.
   [[nodiscard]] std::unique_ptr<core::DiffusionBackend> clone() const override;
 
+  /// Diffusion runs on the (simulated) PL, not host cores: the host only
+  /// waits, which is exactly when lookahead BFS is free.
+  [[nodiscard]] bool offloads_compute() const override { return true; }
+
   /// Cumulative cycle breakdown since construction / reset_counters().
   /// Data-movement cycles are the *visible* (non-overlapped) residue: the
   /// streaming interface double-buffers, so a ball's transfer hides behind

@@ -47,8 +47,19 @@ std::size_t bench_seed_count(std::size_t dflt) {
   return v <= 0 ? dflt : static_cast<std::size_t>(v);
 }
 
+namespace {
+bool seed_overridden = false;
+std::uint64_t seed_override = 0;
+}  // namespace
+
 std::uint64_t bench_rng_seed() {
+  if (seed_overridden) return seed_override;
   return static_cast<std::uint64_t>(env_int("MELOPPR_RNG_SEED", 42));
+}
+
+void set_bench_rng_seed(std::uint64_t seed) {
+  seed_overridden = true;
+  seed_override = seed;
 }
 
 }  // namespace meloppr

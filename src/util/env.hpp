@@ -27,4 +27,9 @@ std::size_t bench_seed_count(std::size_t dflt);
 /// Global RNG seed for benches (MELOPPR_RNG_SEED, default 42).
 std::uint64_t bench_rng_seed();
 
+/// Process-wide override for bench_rng_seed() — the `--seed N` flag of the
+/// bench harnesses. Wins over MELOPPR_RNG_SEED so a printed seed replays
+/// exactly with one copy-pasted flag.
+void set_bench_rng_seed(std::uint64_t seed);
+
 }  // namespace meloppr

@@ -10,6 +10,7 @@
 #include "core/pipeline.hpp"
 #include "core/sharded_ball_cache.hpp"
 #include "graph/generators.hpp"
+#include "hw/farm.hpp"
 #include "util/rng.hpp"
 
 namespace meloppr::core {
@@ -92,6 +93,9 @@ TEST(ServingLayer, PrefetchOnOffScoresIdentical) {
     PipelineConfig pcfg;
     pcfg.threads = 4;
     pcfg.prefetch = prefetch;
+    // Un-throttled so the CPU backend actually exercises lookahead (the
+    // equivalence under test is prefetch-on vs prefetch-off numerics).
+    pcfg.prefetch_throttle = false;
     pcfg.work_stealing = stealing;
     QueryPipeline pipeline(engine, backend, pcfg);
     auto results = pipeline.query_batch(seeds);
@@ -123,6 +127,9 @@ TEST(ServingLayer, StageParallelQueryPrefetchesLookahead) {
   pcfg.threads = 2;
   pcfg.prefetch = true;
   pcfg.prefetch_threads = 2;
+  // CPU backend: the backend-aware throttle would keep lookahead off; this
+  // test measures the lookahead mechanism itself, so force it on.
+  pcfg.prefetch_throttle = false;
   QueryPipeline pipeline(engine, backend, pcfg);
   // Lazy: prefetch threads spawn on the first query that sees the cache.
   EXPECT_EQ(pipeline.prefetcher(), nullptr);
@@ -142,6 +149,68 @@ TEST(ServingLayer, StageParallelQueryPrefetchesLookahead) {
   QueryPipeline plain(engine, backend, no_pf);
   expect_bit_identical(plain.query(11), with_prefetch);
   engine.set_shared_ball_cache(nullptr);
+}
+
+TEST(ServingLayer, PrefetchThrottleKeepsCpuBackendUnoversubscribed) {
+  // ROADMAP "Prefetch throttling": on a CPU-only backend the workers
+  // compute on the host's own cores, so lookahead threads would only
+  // oversubscribe. With the default backend-aware throttle the pipeline
+  // must never spawn them — the regression this test pins down.
+  Rng rng(98);
+  Graph g = graph::barabasi_albert(700, 2, 2, rng);
+  Engine engine(g, small_config());
+  CpuBackend backend(0.85);
+  ShardedBallCache cache(g, 64u << 20);
+  engine.set_shared_ball_cache(&cache);
+
+  PipelineConfig pcfg;  // prefetch on, prefetch_throttle on (defaults)
+  pcfg.threads = 4;
+  ASSERT_TRUE(pcfg.prefetch);
+  ASSERT_TRUE(pcfg.prefetch_throttle);
+  QueryPipeline pipeline(engine, backend, pcfg);
+
+  const QueryResult single = pipeline.query(9);
+  QueryPipeline::BatchStats batch;
+  const std::vector<graph::NodeId> seeds{9, 42, 9, 300};
+  const auto results = pipeline.query_batch(seeds, &batch);
+  engine.set_shared_ball_cache(nullptr);
+
+  // No extraction threads were ever spawned, and no lookahead was issued:
+  // every core stays with the demand path.
+  EXPECT_EQ(pipeline.prefetcher(), nullptr);
+  EXPECT_EQ(batch.prefetch_issued, 0u);
+  EXPECT_EQ(single.stats.prefetch_hidden_seconds, 0.0);
+  // Scores are unaffected — the throttle changes scheduling only.
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    expect_bit_identical(engine.query(seeds[i]), results[i]);
+  }
+}
+
+TEST(ServingLayer, PrefetchThrottleAdmitsOffloadingBackend) {
+  // The same default configuration against a device farm must prefetch:
+  // dispatchers block on busy devices, which is exactly the window the
+  // lookahead threads fill with host BFS.
+  Rng rng(99);
+  Graph g = graph::barabasi_albert(700, 2, 2, rng);
+  MelopprConfig cfg = small_config();
+  cfg.selection = Selection::top_count(16);
+  Engine engine(g, cfg);
+  hw::AcceleratorConfig acfg;
+  acfg.parallelism = 4;
+  hw::FpgaFarm farm(2, acfg, hw::Quantizer(0.85, 10, 50'000'000));
+  ASSERT_TRUE(farm.offloads_compute());
+  ASSERT_FALSE(CpuBackend(0.85).offloads_compute());
+  ShardedBallCache cache(g, 64u << 20);
+  engine.set_shared_ball_cache(&cache);
+
+  PipelineConfig pcfg;  // defaults again — only the backend differs
+  pcfg.threads = 4;
+  QueryPipeline pipeline(engine, farm, pcfg);
+  const QueryResult r = pipeline.query(9);
+  engine.set_shared_ball_cache(nullptr);
+
+  ASSERT_NE(pipeline.prefetcher(), nullptr);
+  EXPECT_EQ(pipeline.prefetcher()->issued(), r.stats.stages[1].balls);
 }
 
 TEST(ServingLayer, WorkStealingSpreadsHeavyQuery) {

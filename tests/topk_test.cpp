@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "test_support.hpp"
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace meloppr::ppr {
 namespace {
@@ -51,6 +56,67 @@ TEST(TopK, DeterministicUnderPermutation) {
   EXPECT_EQ(ta[1].node, 2u);
 }
 
+// --- randomized property tests (seed via --seed / MELOPPR_TEST_SEED) ---
+
+TEST(TopKProperty, AgreesWithFullSortOnRandomInputs) {
+  Rng base(meloppr::test::test_seed());
+  const std::size_t rounds = meloppr::test::stress_iters(50);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    Rng rng = base.fork(round);
+    const std::size_t n = 1 + rng.below(400);
+    std::vector<ScoredNode> scores;
+    scores.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Pinning 30% of scores at 0.5 forces the tie-breaking path.
+      scores.push_back({static_cast<graph::NodeId>(rng.below(n)),
+                        rng.uniform(0.0, 1.0) < 0.3
+                            ? 0.5
+                            : rng.uniform(-1.0, 1.0)});
+    }
+    std::vector<ScoredNode> reference = scores;
+    std::sort(reference.begin(), reference.end(),
+              [](const ScoredNode& a, const ScoredNode& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.node < b.node;
+              });
+    const std::size_t k = 1 + rng.below(n + 8);
+    const auto got = top_k(scores, k);
+    ASSERT_EQ(got.size(), std::min(k, n)) << "seed round " << round;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].node, reference[i].node)
+          << "rank " << i << " in round " << round;
+      ASSERT_EQ(got[i].score, reference[i].score)
+          << "rank " << i << " in round " << round;
+    }
+  }
+}
+
+TEST(TopKProperty, SmallerKIsAPrefixOfLargerK) {
+  // Rank stability: top_k(k1) must be exactly the first k1 rows of
+  // top_k(k2) for k1 < k2 — the property the bounded-table comparisons
+  // (and every precision measurement) lean on.
+  Rng base(meloppr::test::test_seed() ^ 0x70b);
+  const std::size_t rounds = meloppr::test::stress_iters(30);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    Rng rng = base.fork(round);
+    const std::size_t n = 2 + rng.below(300);
+    std::vector<ScoredNode> scores;
+    for (std::size_t i = 0; i < n; ++i) {
+      scores.push_back({static_cast<graph::NodeId>(i),
+                        rng.chance(0.25) ? 0.25 : rng.uniform(0.0, 1.0)});
+    }
+    const std::size_t k2 = 1 + rng.below(n);
+    const std::size_t k1 = 1 + rng.below(k2);
+    const auto big = top_k(scores, k2);
+    const auto small = top_k(scores, k1);
+    ASSERT_EQ(small.size(), std::min(k1, n));
+    for (std::size_t i = 0; i < small.size(); ++i) {
+      ASSERT_EQ(small[i].node, big[i].node) << "round " << round;
+      ASSERT_EQ(small[i].score, big[i].score) << "round " << round;
+    }
+  }
+}
+
 TEST(Precision, ExactMatchIsOne) {
   std::vector<ScoredNode> truth = {{1, 0.9}, {2, 0.8}, {3, 0.7}};
   EXPECT_DOUBLE_EQ(precision_at_k(truth, truth, 3), 1.0);
@@ -88,3 +154,9 @@ TEST(Precision, ZeroKThrows) {
 
 }  // namespace
 }  // namespace meloppr::ppr
+
+// Custom main: --seed flag + failure reproduction line for the property
+// tests above.
+int main(int argc, char** argv) {
+  return meloppr::test::run_all_tests(argc, argv);
+}
