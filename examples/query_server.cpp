@@ -23,6 +23,7 @@
 // the paper's c·k BRAM strategy, now served through the same concurrent
 // batch path instead of being exact-only.
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/ball_cache.hpp"
@@ -128,8 +129,11 @@ int main() {
   bounded_cfg.topck_c = 10;
   core::Engine bounded_engine(g, bounded_cfg);
 
+  std::vector<std::string> serving_notes;
   const auto serve_pipeline = [&](std::size_t threads, bool serving_stack,
-                                  bool bounded) {
+                                  bool bounded,
+                                  core::CacheAdmission admission =
+                                      core::CacheAdmission::kAlways) {
     core::Engine& eng = bounded ? bounded_engine : engine;
     core::CpuBackend backend(cfg.alpha);
     core::PipelineConfig pcfg;
@@ -141,7 +145,7 @@ int main() {
     // on the cache alone.
     pcfg.prefetch_throttle = false;
     pcfg.work_stealing = serving_stack;
-    core::ShardedBallCache shared_cache(g, 64u << 20);
+    core::ShardedBallCache shared_cache(g, 64u << 20, 0, admission);
     if (serving_stack) eng.set_shared_ball_cache(&shared_cache);
     core::QueryPipeline pipeline(eng, backend, pcfg);
     core::QueryPipeline::BatchStats batch;
@@ -161,7 +165,15 @@ int main() {
     const std::string label =
         (bounded ? "bounded c=10 stack, "
                  : serving_stack ? "serving stack, " : "pipeline, ") +
-        std::to_string(threads) + " workers";
+        std::to_string(threads) + " workers" +
+        (admission == core::CacheAdmission::kTinyLFU ? " +TinyLFU" : "");
+    if (serving_stack) {
+      serving_notes.push_back(
+          label + ": root prefetches " +
+          std::to_string(batch.root_prefetch_issued) +
+          ", admission rejects " +
+          std::to_string(batch.cache_admission_rejects));
+    }
     add_row(label, latency_ms, wall_s, bfs_s, total_s,
             serving_stack ? fmt_percent(batch.cache_hit_rate()) : "-",
             serving_stack
@@ -182,11 +194,20 @@ int main() {
   for (const std::size_t threads : {2u, 4u, 8u}) {
     serve_pipeline(threads, /*serving_stack=*/true, /*bounded=*/false);
   }
+  // TinyLFU admission on top of the full stack: same stream, but hub balls
+  // are protected from the uniform tail's one-shot seeds.
+  serve_pipeline(8, /*serving_stack=*/true, /*bounded=*/false,
+                 core::CacheAdmission::kTinyLFU);
   for (const std::size_t threads : {4u, 8u}) {
     serve_pipeline(threads, /*serving_stack=*/true, /*bounded=*/true);
   }
 
-  std::cout << report.ascii() << '\n'
+  std::cout << report.ascii() << '\n';
+  std::cout << "serving-layer lookahead/admission detail:\n";
+  for (const std::string& note : serving_notes) {
+    std::cout << "  " << note << '\n';
+  }
+  std::cout << '\n'
             << "reading: the cache converts the BFS share of repeated "
                "queries into memory; the pipeline converts idle cores into "
                "throughput at identical scores; the serving stack combines "

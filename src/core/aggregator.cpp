@@ -1,6 +1,7 @@
 #include "core/aggregator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/concurrent_topck.hpp"
@@ -25,9 +26,14 @@ std::size_t ExactAggregator::bytes() const {
          scores_.size() * per_entry;
 }
 
-TopCKAggregator::TopCKAggregator(std::size_t capacity) : capacity_(capacity) {
+TopCKAggregator::TopCKAggregator(std::size_t capacity, double admit_epsilon)
+    : capacity_(capacity), epsilon_(admit_epsilon) {
   if (capacity == 0) {
     throw std::invalid_argument("TopCKAggregator: capacity must be positive");
+  }
+  if (!(admit_epsilon >= 0.0)) {  // rejects negatives and NaN
+    throw std::invalid_argument(
+        "TopCKAggregator: admit_epsilon must be non-negative");
   }
   index_.reserve(capacity);
   slots_.reserve(capacity);
@@ -122,13 +128,16 @@ void TopCKAggregator::add(graph::NodeId node, double delta) {
     return;
   }
   // Full: the new score competes with the current minimum. Contributions
-  // smaller than the table minimum are dropped — this is where precision
-  // loss for small c comes from; a drop leaves the minimum unchanged, so
-  // the cached minimum makes it heap-free. Either way the losing score
-  // feeds the eviction bound, the table's own fidelity certificate.
+  // smaller than the table minimum — or inside the ε·|min| hysteresis
+  // margin above it — are dropped: this is where precision loss for small
+  // c comes from, and where the margin suppresses evict/readmit churn on
+  // boundary noise. A drop leaves the minimum unchanged, so the cached
+  // minimum makes it heap-free. Either way the losing score feeds the
+  // eviction bound, the table's own fidelity certificate.
   refresh_min();
-  if (delta <= min_score_) {
+  if (delta <= min_score_ + epsilon_ * std::abs(min_score_)) {
     bound_ = std::max(bound_, delta);
+    if (delta > min_score_) ++margin_drops_;
     return;
   }
   bound_ = std::max(bound_, min_score_);
@@ -161,6 +170,7 @@ void TopCKAggregator::clear() {
   slots_.clear();
   heap_.clear();
   evictions_ = 0;
+  margin_drops_ = 0;
   min_valid_ = false;
   bound_ = -std::numeric_limits<double>::infinity();
 }
@@ -224,18 +234,21 @@ void StripedAggregator::clear() {
 
 std::unique_ptr<ScoreAggregator> make_serial_aggregator(AggregationMode mode,
                                                         std::size_t k,
-                                                        std::size_t c) {
+                                                        std::size_t c,
+                                                        double epsilon) {
   if (mode == AggregationMode::kBounded) {
-    return std::make_unique<TopCKAggregator>(std::max<std::size_t>(1, c * k));
+    return std::make_unique<TopCKAggregator>(std::max<std::size_t>(1, c * k),
+                                             epsilon);
   }
   return std::make_unique<ExactAggregator>();
 }
 
 std::unique_ptr<ScoreAggregator> make_concurrent_aggregator(
-    AggregationMode mode, std::size_t k, std::size_t c, std::size_t ways) {
+    AggregationMode mode, std::size_t k, std::size_t c, std::size_t ways,
+    double epsilon) {
   if (mode == AggregationMode::kBounded) {
     return std::make_unique<ConcurrentTopCKAggregator>(
-        std::max<std::size_t>(1, c * k), ways);
+        std::max<std::size_t>(1, c * k), ways, epsilon);
   }
   return std::make_unique<StripedAggregator>(ways == 0 ? 16 : ways);
 }

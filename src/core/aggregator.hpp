@@ -103,8 +103,15 @@ class ExactAggregator final : public ScoreAggregator {
 /// exact hash map.
 class TopCKAggregator final : public ScoreAggregator {
  public:
-  /// capacity = c·k. Throws std::invalid_argument when zero.
-  explicit TopCKAggregator(std::size_t capacity);
+  /// capacity = c·k. `admit_epsilon` is the eviction hysteresis margin
+  /// (MelopprConfig::topck_epsilon): a full table evicts its minimum only
+  /// when the challenger beats it by more than ε·|min|; challengers inside
+  /// the margin are dropped (counted by margin_drops(), fed into
+  /// eviction_bound()), which cuts evict/readmit churn on scores within
+  /// noise of each other. ε = 0 (default) is strict min-eviction,
+  /// bit-identical to the pre-hysteresis table. Throws
+  /// std::invalid_argument when capacity is zero or ε is negative/NaN.
+  explicit TopCKAggregator(std::size_t capacity, double admit_epsilon = 0.0);
 
   void add(graph::NodeId node, double delta) override;
   [[nodiscard]] std::vector<ScoredNode> top(std::size_t k) const override;
@@ -119,8 +126,17 @@ class TopCKAggregator final : public ScoreAggregator {
 
   /// Largest score ever displaced (evicted entry or dropped delta): any
   /// node whose every individual contribution exceeds this bound is
-  /// guaranteed resident. -inf while nothing has been displaced.
+  /// guaranteed resident. -inf while nothing has been displaced. The
+  /// certificate holds at any ε — a challenger dropped inside the
+  /// hysteresis margin is recorded here at its own (possibly above-min)
+  /// value, so the bound still dominates everything ever displaced.
   [[nodiscard]] double eviction_bound() const { return bound_; }
+
+  /// Challengers that beat the minimum but fell inside the ε margin and
+  /// were dropped instead of evicting (always 0 when ε = 0) — the churn
+  /// the hysteresis removed.
+  [[nodiscard]] std::size_t margin_drops() const { return margin_drops_; }
+  [[nodiscard]] double admit_epsilon() const { return epsilon_; }
 
  private:
   struct Slot {
@@ -151,7 +167,9 @@ class TopCKAggregator final : public ScoreAggregator {
   void refresh_min();
 
   std::size_t capacity_;
+  double epsilon_;
   std::size_t evictions_ = 0;
+  std::size_t margin_drops_ = 0;
   double bound_ = -std::numeric_limits<double>::infinity();
   bool min_valid_ = false;
   std::uint32_t min_slot_ = 0;
@@ -200,16 +218,20 @@ class StripedAggregator final : public ScoreAggregator {
 /// DFS drain, the pipeline's deterministic task-order reduction, and the
 /// per-query replay of the stealing batch): an exact map, or the bounded
 /// c·k table whose results are bit-identical to the serial engine for the
-/// same operation order.
+/// same operation order. `epsilon` is the bounded table's eviction
+/// hysteresis (MelopprConfig::topck_epsilon; ignored in exact mode).
 [[nodiscard]] std::unique_ptr<ScoreAggregator> make_serial_aggregator(
-    AggregationMode mode, std::size_t k, std::size_t c);
+    AggregationMode mode, std::size_t k, std::size_t c,
+    double epsilon = 0.0);
 
 /// Builds the aggregator for concurrent streaming add() from many worker
 /// threads (the pipeline's non-deterministic reduction): mutex-striped
 /// exact maps, or the sharded concurrent bounded table. `ways` is the
-/// stripe/shard count (0 → implementation default).
+/// stripe/shard count (0 → implementation default); `epsilon` the bounded
+/// table's eviction hysteresis (ignored in exact mode).
 [[nodiscard]] std::unique_ptr<ScoreAggregator> make_concurrent_aggregator(
-    AggregationMode mode, std::size_t k, std::size_t c, std::size_t ways);
+    AggregationMode mode, std::size_t k, std::size_t c, std::size_t ways,
+    double epsilon = 0.0);
 
 /// Per-worker arena of reusable serial aggregators (ROADMAP: "Aggregator
 /// reuse across a batch"). Constructing and tearing down an aggregator per

@@ -1,6 +1,7 @@
 #include "core/concurrent_topck.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <mutex>
 #include <stdexcept>
@@ -17,11 +18,16 @@ constexpr double kNoBound = -std::numeric_limits<double>::infinity();
 }  // namespace
 
 ConcurrentTopCKAggregator::ConcurrentTopCKAggregator(std::size_t capacity,
-                                                     std::size_t shards)
-    : capacity_(capacity) {
+                                                     std::size_t shards,
+                                                     double admit_epsilon)
+    : capacity_(capacity), epsilon_(admit_epsilon) {
   if (capacity == 0) {
     throw std::invalid_argument(
         "ConcurrentTopCKAggregator: capacity must be positive");
+  }
+  if (!(admit_epsilon >= 0.0)) {  // rejects negatives and NaN
+    throw std::invalid_argument(
+        "ConcurrentTopCKAggregator: admit_epsilon must be non-negative");
   }
   if (shards == 0) shards = 8;
   shards = std::min(shards, capacity);
@@ -146,10 +152,12 @@ void ConcurrentTopCKAggregator::insert_locked(Shard& shard,
   const std::uint32_t victim = pop_min_locked(shard);
   const double victim_score =
       shard.slots[victim].score.load(std::memory_order_relaxed);
-  if (delta <= victim_score) {
-    // Dropped — the precision cost of small c. The popped entry is still
+  if (delta <= victim_score + epsilon_ * std::abs(victim_score)) {
+    // Dropped — the precision cost of small c, or (inside the ε margin)
+    // the churn the hysteresis suppresses. The popped entry is still
     // live; push it back.
     shard.bound = std::max(shard.bound, delta);
+    if (delta > victim_score) ++shard.margin_drops;
     push_snapshot_locked(shard, victim_score, victim);
     return;
   }
@@ -199,6 +207,15 @@ std::size_t ConcurrentTopCKAggregator::evictions() const {
   return n;
 }
 
+std::size_t ConcurrentTopCKAggregator::margin_drops() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    n += shard->margin_drops;
+  }
+  return n;
+}
+
 double ConcurrentTopCKAggregator::eviction_bound() const {
   double bound = kNoBound;
   for (const auto& shard : shards_) {
@@ -215,6 +232,7 @@ void ConcurrentTopCKAggregator::clear() {
     shard->heap.clear();
     shard->size = 0;
     shard->evictions = 0;
+    shard->margin_drops = 0;
     shard->bound = kNoBound;
   }
   fast_adds_.store(0, std::memory_order_relaxed);

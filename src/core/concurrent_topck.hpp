@@ -60,9 +60,15 @@ class ConcurrentTopCKAggregator final : public ScoreAggregator {
  public:
   /// capacity = c·k entries total, split across `shards` sub-tables
   /// (shards is clamped to [1, capacity]; 0 picks a default of 8).
-  /// Throws std::invalid_argument when capacity is zero.
+  /// `admit_epsilon` is the per-shard eviction hysteresis
+  /// (MelopprConfig::topck_epsilon): a full shard evicts its minimum only
+  /// when the challenger beats it by more than ε·|min|; nearer challengers
+  /// are dropped (margin_drops()), cutting boundary churn. ε = 0 (default)
+  /// is strict per-shard min-eviction. Throws std::invalid_argument when
+  /// capacity is zero or ε is negative/NaN.
   explicit ConcurrentTopCKAggregator(std::size_t capacity,
-                                     std::size_t shards = 0);
+                                     std::size_t shards = 0,
+                                     double admit_epsilon = 0.0);
 
   /// Thread-safe. Positive deltas to resident nodes take the lock-free
   /// fast path (shared lock + atomic fetch_add); inserts, evictions, and
@@ -79,10 +85,24 @@ class ConcurrentTopCKAggregator final : public ScoreAggregator {
   [[nodiscard]] std::size_t evictions() const override;
 
   /// Largest score ever displaced: the max over all evicted entries and
-  /// dropped deltas. Any node whose every individual contribution exceeds
-  /// this bound is guaranteed resident (see the property tests). Negative
-  /// infinity while nothing has been displaced.
+  /// dropped deltas. Negative infinity while nothing has been displaced.
+  ///
+  /// This is the table's *fidelity certificate* (see the property tests):
+  /// any node whose every individual contribution strictly exceeds this
+  /// bound is guaranteed resident, because a contribution can only be
+  /// displaced — dropped at insert, dropped inside the ε margin, or
+  /// evicted later — at a moment when its running score was ≤ the value
+  /// recorded here. Zero evictions() plus a -inf bound certify the bounded
+  /// result equals the exact aggregation; a finite bound tells the caller
+  /// exactly how large a contribution could have been lost. Holds at any
+  /// shard count and any ε, because every displacement path records the
+  /// displaced score before discarding it.
   [[nodiscard]] double eviction_bound() const;
+
+  /// Challengers that beat a shard minimum but fell inside the ε margin
+  /// and were dropped instead of evicting (always 0 when ε = 0).
+  [[nodiscard]] std::size_t margin_drops() const;
+  [[nodiscard]] double admit_epsilon() const { return epsilon_; }
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   /// add() calls that took the lock-free resident-update path.
@@ -117,15 +137,16 @@ class ConcurrentTopCKAggregator final : public ScoreAggregator {
     std::size_t size = 0;           ///< live slots, dense in [0, size)
     std::vector<HeapEntry> heap;    ///< lazy min-heap over live scores
     std::size_t evictions = 0;
+    std::size_t margin_drops = 0;
     double bound;                   ///< max displaced score (init -inf)
   };
 
   [[nodiscard]] Shard& shard_for(graph::NodeId node) const;
   /// Exclusive-lock path: insert `delta` for a non-resident `node`,
   /// evicting the shard minimum when full. Returns without inserting when
-  /// the delta loses to the current minimum (the drop that costs precision
-  /// for small c).
-  static void insert_locked(Shard& shard, graph::NodeId node, double delta);
+  /// the delta loses to the current minimum plus the ε margin (the drop
+  /// that costs precision for small c).
+  void insert_locked(Shard& shard, graph::NodeId node, double delta);
   /// Pops the shard's lazy heap down to a trustworthy minimum slot.
   static std::uint32_t pop_min_locked(Shard& shard);
   /// Discards stale snapshots by rebuilding from the live slots, O(cap).
@@ -138,6 +159,7 @@ class ConcurrentTopCKAggregator final : public ScoreAggregator {
                                    std::uint32_t slot);
 
   std::size_t capacity_;
+  double epsilon_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::size_t> fast_adds_{0};
 };

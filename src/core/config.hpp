@@ -28,6 +28,24 @@ enum class AggregationMode {
   kBounded,
 };
 
+/// Admission policy of the sharded ball cache (sharded_ball_cache.hpp):
+/// whether a freshly extracted ball may displace resident ones.
+enum class CacheAdmission {
+  /// Plain LRU: every ball that fits its shard's budget is retained,
+  /// evicting least-recently-used entries to make room. Simple, but a
+  /// burst of unpopular seeds (a scan) flushes the hot hub balls the
+  /// whole serving pipeline depends on.
+  kAlways,
+  /// TinyLFU-style frequency gate: each shard keeps a 4-bit count-min
+  /// sketch (periodically halved, so estimates age) of ball access
+  /// frequency. When inserting would require eviction, the candidate is
+  /// admitted only if its estimated frequency strictly beats that of
+  /// every LRU victim it would displace — one-shot scan traffic can
+  /// never evict a frequently-hit ball. Rejected balls are still served,
+  /// just not retained (ShardedBallCache::admission_rejects counts them).
+  kTinyLFU,
+};
+
 /// Concurrency surface of the QueryPipeline (core/pipeline.hpp): how many
 /// workers, and how their score contributions are reduced.
 struct PipelineConfig {
@@ -74,6 +92,36 @@ struct PipelineConfig {
   /// cores).
   bool prefetch_throttle = true;
 
+  /// Cross-query root lookahead (ROADMAP "Cross-query root prefetch"): in a
+  /// work-stealing batch the scheduler knows every upcoming seed, so the
+  /// stage-0 balls of the next `root_prefetch_window` unclaimed queries are
+  /// handed to the prefetch threads while earlier queries still run — the
+  /// cold-start BFS of a fresh query becomes a cache hit. The window is
+  /// additionally throttled by the shared cache's spare byte budget
+  /// (speculative roots may consume spare capacity, or at most ~1/8 of a
+  /// full cache), so a small cache is never churned to warm queries that
+  /// are far away. 0 disables. Requires prefetch + a shared cache, like
+  /// stage lookahead; never affects scores. Interaction with kTinyLFU
+  /// admission: under eviction pressure a prefetched *cold* seed's ball
+  /// can be served-but-rejected, in which case the claiming worker pays
+  /// the BFS again unless it joins the extraction in flight — on
+  /// cold-heavy streams the combination trades host CPU for warmth
+  /// (bench_cache_admission shows both sides; ROADMAP "Pinned prefetch
+  /// handoff" is the planned fix).
+  std::size_t root_prefetch_window = 4;
+
+  /// Farm-wait prefetch meter (ROADMAP "Per-moment farm-wait throttling").
+  /// The backend-aware throttle above is binary per backend; this meters
+  /// lookahead at run time: prefetch threads pause (requests queue up)
+  /// whenever a shared offloading backend reports zero active dispatches —
+  /// an idle farm means no worker is blocked on a device, so host cores
+  /// belong to the demand path and lookahead BFS would oversubscribe them.
+  /// The moment a dispatch enters the farm, lookahead resumes. Only
+  /// applies to shared thread-safe offloading backends (FpgaFarm); ignored
+  /// elsewhere. Never affects scores — paused lookahead just means the
+  /// demand fetch pays its own BFS.
+  bool prefetch_wait_meter = true;
+
   /// query_batch scheduling. true → per-stage tasks of every query go into
   /// per-worker deques and idle workers steal from the busiest tails, so
   /// one query with a huge stage-2 fan-out cannot idle the pool; scores
@@ -118,6 +166,16 @@ struct MelopprConfig {
   /// c=10, the <0.2% precision-loss point). Ignored in exact mode.
   std::size_t topck_c = 10;
 
+  /// Bounded-table admission hysteresis ε (ROADMAP "Bounded-table admission
+  /// hysteresis"). Near the c·k boundary, challengers within floating-point
+  /// noise of the table minimum churn evict/readmit cycles; with ε > 0 a
+  /// full table evicts only when the challenger beats the minimum by more
+  /// than ε·|min| — closer scores are dropped instead (they still feed
+  /// eviction_bound(), so the fidelity certificate stays honest, and
+  /// margin_drops() counts them). 0 (default) reproduces strict
+  /// min-eviction bit-for-bit. Ignored in exact mode.
+  double topck_epsilon = 0.0;
+
   /// Bounded-table capacity, c·k entries.
   [[nodiscard]] std::size_t table_capacity() const { return topck_c * k; }
 
@@ -151,6 +209,10 @@ struct MelopprConfig {
     }
     if (topck_c == 0) {
       throw std::invalid_argument("MelopprConfig: topck_c must be positive");
+    }
+    if (!(topck_epsilon >= 0.0)) {  // rejects negatives and NaN
+      throw std::invalid_argument(
+          "MelopprConfig: topck_epsilon must be non-negative");
     }
     selection.validate();
   }

@@ -17,7 +17,8 @@ Engine::Engine(const graph::Graph& g, MelopprConfig config)
 QueryResult Engine::query(graph::NodeId seed) const {
   CpuBackend backend(config_.alpha);
   const std::unique_ptr<ScoreAggregator> aggregator = make_serial_aggregator(
-      config_.aggregation, config_.k, config_.topck_c);
+      config_.aggregation, config_.k, config_.topck_c,
+      config_.topck_epsilon);
   return query(seed, backend, *aggregator);
 }
 

@@ -33,8 +33,9 @@ QueryPipeline::QueryPipeline(const Engine& engine, DiffusionBackend& backend,
     // c·k tables whose clear() keeps the fixed slots warm.
     const MelopprConfig& ecfg = engine_->config();
     agg_pool_ = std::make_unique<AggregatorPool>(
-        threads_, [mode = ecfg.aggregation, k = ecfg.k, c = ecfg.topck_c] {
-          return make_serial_aggregator(mode, k, c);
+        threads_, [mode = ecfg.aggregation, k = ecfg.k, c = ecfg.topck_c,
+                   eps = ecfg.topck_epsilon] {
+          return make_serial_aggregator(mode, k, c, eps);
         });
   }
   workers_.reserve(threads_);
@@ -64,8 +65,19 @@ ShardedBallCache* QueryPipeline::activate_lookahead() {
   // Lazy: a pipeline that never sees a shared cache never pays for
   // prefetch threads (they could do no work anyway).
   std::call_once(prefetcher_once_, [this] {
+    // Farm-wait meter: pause lookahead while the shared offloading
+    // backend is momentarily idle (no dispatcher inside run() means host
+    // cores carry the demand path alone). Only a shared backend has an
+    // aggregate live signal — per-worker clones cannot be polled as one.
+    std::function<bool()> pause;
+    if (config_.prefetch_wait_meter && backend_offloads_ &&
+        shared_backend_ != nullptr) {
+      pause = [backend = shared_backend_] {
+        return backend->active_dispatches() == 0;
+      };
+    }
     prefetcher_ = std::make_unique<BallPrefetcher>(
-        config_.resolved_prefetch_threads());
+        config_.resolved_prefetch_threads(), std::move(pause));
   });
   return cache;
 }
@@ -153,8 +165,8 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
     lease.emplace(agg_pool_->acquire(0));
     aggregator_ptr = &**lease;
   } else if (deterministic) {
-    owned_aggregator =
-        make_serial_aggregator(ecfg.aggregation, ecfg.k, ecfg.topck_c);
+    owned_aggregator = make_serial_aggregator(
+        ecfg.aggregation, ecfg.k, ecfg.topck_c, ecfg.topck_epsilon);
     aggregator_ptr = owned_aggregator.get();
   } else {
     // Concurrent streaming reduction: striped exact maps, or the sharded
@@ -163,7 +175,8 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
         ecfg.aggregation, ecfg.k, ecfg.topck_c,
         ecfg.aggregation == AggregationMode::kBounded
             ? (config_.topck_shards != 0 ? config_.topck_shards : threads_)
-            : config_.aggregator_stripes);
+            : config_.aggregator_stripes,
+        ecfg.topck_epsilon);
     aggregator_ptr = owned_aggregator.get();
   }
   ScoreAggregator& aggregator = *aggregator_ptr;
@@ -280,6 +293,8 @@ std::vector<QueryResult> QueryPipeline::query_batch(
   // Serving-layer counters, measured as deltas around the batch.
   ShardedBallCache* cache = engine_->shared_ball_cache();
   const std::size_t dedup_before = cache != nullptr ? cache->dedup_hits() : 0;
+  const std::size_t rejects_before =
+      cache != nullptr ? cache->admission_rejects() : 0;
   const std::size_t issued_before =
       prefetcher_ != nullptr ? prefetcher_->issued() : 0;
   const std::size_t fetched_before =
@@ -287,9 +302,10 @@ std::vector<QueryResult> QueryPipeline::query_batch(
   const double hidden_before =
       prefetcher_ != nullptr ? prefetcher_->hidden_seconds() : 0.0;
 
+  std::size_t root_prefetches = 0;
   std::vector<QueryResult> results(seeds.size());
   if (config_.work_stealing && threads_ > 1 && seeds.size() > 1) {
-    run_stealing_batch(seeds, results);
+    run_stealing_batch(seeds, results, &root_prefetches);
   } else {
     run_jobs(seeds.size(), [&](std::size_t i, std::size_t w) {
       // Query-pinned scheduling: each query keeps the serial depth-first
@@ -301,7 +317,8 @@ std::vector<QueryResult> QueryPipeline::query_batch(
       } else {
         const MelopprConfig& ecfg = engine_->config();
         const std::unique_ptr<ScoreAggregator> aggregator =
-            make_serial_aggregator(ecfg.aggregation, ecfg.k, ecfg.topck_c);
+            make_serial_aggregator(ecfg.aggregation, ecfg.k, ecfg.topck_c,
+                                   ecfg.topck_epsilon);
         results[i] = engine_->query(seeds[i], backend_for(w), *aggregator);
       }
     });
@@ -330,6 +347,8 @@ std::vector<QueryResult> QueryPipeline::query_batch(
     }
     if (cache != nullptr) {
       batch_stats->dedup_hits = cache->dedup_hits() - dedup_before;
+      batch_stats->cache_admission_rejects =
+          cache->admission_rejects() - rejects_before;
     }
     if (prefetcher_ != nullptr) {
       batch_stats->prefetch_issued = prefetcher_->issued() - issued_before;
@@ -337,6 +356,7 @@ std::vector<QueryResult> QueryPipeline::query_batch(
           prefetcher_->balls_fetched() - fetched_before;
       batch_stats->prefetch_hidden_seconds =
           prefetcher_->hidden_seconds() - hidden_before;
+      batch_stats->root_prefetch_issued = root_prefetches;
     }
   }
   return results;
@@ -406,10 +426,60 @@ std::size_t tree_bytes(const TreeNode& node) {
 }  // namespace
 
 void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
-                                       std::vector<QueryResult>& results) {
+                                       std::vector<QueryResult>& results,
+                                       std::size_t* root_prefetches) {
   const std::size_t n = seeds.size();
   ShardedBallCache* lookahead = activate_lookahead();
   const std::size_t mask_words = (threads_ + 63) / 64;
+
+  // --- Cross-query root lookahead (ROADMAP "Cross-query root prefetch").
+  // Unlike stage lookahead (which only knows children once a parent
+  // finishes), the batch knows every upcoming seed up front: the stage-0
+  // balls of the next `root_prefetch_window` unclaimed queries are fed to
+  // the prefetch threads, so a freshly claimed query starts on a warm
+  // ball instead of paying cold-start BFS. `root_horizon` marks how far
+  // into the stream lookahead has been issued — an atomic max so each
+  // seed is enqueued once however many workers claim concurrently. The
+  // window is throttled by the cache's spare byte budget (speculation may
+  // use spare capacity, or at most ~1/8 of a full cache, measured in mean
+  // resident ball sizes) so a small cache is never churned to warm
+  // queries that are far away; correctness never depends on it — an
+  // unprefetched root just pays its own BFS, and the cache's in-flight
+  // dedup absorbs any race with the claiming worker.
+  std::atomic<std::size_t> root_horizon{0};
+  std::atomic<std::size_t> roots_issued{0};
+  const unsigned root_radius = engine_->config().stage_lengths.front();
+  const auto root_lookahead = [&](std::size_t next_unclaimed) {
+    if (lookahead == nullptr || config_.root_prefetch_window == 0) return;
+    std::size_t window = config_.root_prefetch_window;
+    const std::size_t entries = lookahead->entries();
+    if (entries > 0) {
+      const std::size_t bytes = lookahead->bytes();
+      const std::size_t budget = lookahead->byte_budget();
+      const std::size_t mean_ball = std::max<std::size_t>(1, bytes / entries);
+      const std::size_t spare = budget > bytes ? budget - bytes : 0;
+      window = std::min(window, std::max(spare, budget / 8) / mean_ball);
+    }
+    const std::size_t to = std::min(n, next_unclaimed + window);
+    std::size_t from = root_horizon.load(std::memory_order_relaxed);
+    while (from < to && !root_horizon.compare_exchange_weak(
+                            from, to, std::memory_order_relaxed)) {
+    }
+    if (from >= to) return;  // another worker already covered this span
+    for (std::size_t i = from; i < to; ++i) {
+      prefetcher_->enqueue(*lookahead, seeds[i], root_radius);
+    }
+    roots_issued.fetch_add(to - from, std::memory_order_relaxed);
+  };
+  // Queue the head of the stream up front. Against a CPU-style backend
+  // (no wait meter) these run immediately, before the workers' first
+  // claims; under the farm-wait meter they sit queued until the first
+  // dispatch enters the farm — by the meter's own logic the host cores
+  // belong to the workers' initial stage-0 BFS until then — and warm the
+  // rest of the window the moment device time starts flowing. Either way
+  // the cache's in-flight dedup keeps a racing demand fetch from
+  // duplicating the BFS.
+  root_lookahead(0);
 
   std::vector<std::unique_ptr<BatchQuery>> queries;
   queries.reserve(n);
@@ -452,7 +522,8 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
       aggregator = &**lease;
     } else {
       const MelopprConfig& ecfg = engine_->config();
-      local = make_serial_aggregator(ecfg.aggregation, ecfg.k, ecfg.topck_c);
+      local = make_serial_aggregator(ecfg.aggregation, ecfg.k, ecfg.topck_c,
+                                     ecfg.topck_epsilon);
       aggregator = local.get();
     }
 
@@ -568,6 +639,8 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
           q.root->task = {seeds[r], 1.0, 0};
           task = {&q, q.root.get()};
           have = true;
+          // Slide the root-lookahead window past the seed just claimed.
+          root_lookahead(r + 1);
         }
       }
       if (!have) {  // 3. steal, FIFO — the victim's oldest (biggest) subtree
@@ -611,6 +684,9 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
 
   if (first_error != nullptr) std::rethrow_exception(first_error);
   MELO_CHECK(live.load() == 0);
+  if (root_prefetches != nullptr) {
+    *root_prefetches = roots_issued.load(std::memory_order_relaxed);
+  }
 
   // Fold the workers' transient ball/device peaks into every query's peak:
   // summed worker peaks never under-report the true simultaneous footprint

@@ -45,6 +45,18 @@
 // affects scores; a missed prefetch just means the demand fetch pays the
 // BFS itself.
 //
+// The same prefetch threads serve two further lookahead refinements:
+//   * Cross-query root prefetch (root_prefetch_window) — the stealing
+//     batch knows every upcoming seed, so the stage-0 balls of the next W
+//     unclaimed queries stream into the cache ahead of their claim,
+//     hiding cold-start BFS. Bounded by the cache's spare byte budget so
+//     a small cache is never thrashed by speculation.
+//   * Farm-wait metering (prefetch_wait_meter) — lookahead pauses while a
+//     shared offloading backend reports zero active dispatches: an idle
+//     farm means no worker is blocked device-side, so the host's cores
+//     belong to the demand path and extra BFS threads would oversubscribe
+//     them. Resumes the moment a dispatch enters the farm.
+//
 // Backend policy: a thread_safe() backend (CpuBackend, FpgaFarm) is shared
 // by all workers — the farm then receives genuinely concurrent dispatches,
 // its devices filling with independent same-stage balls. A non-thread-safe
@@ -90,6 +102,13 @@ class QueryPipeline {
     std::size_t dedup_hits = 0;      ///< joins of an in-flight extraction
     std::size_t prefetch_issued = 0;
     std::size_t prefetched_balls = 0;  ///< lookahead BFS actually performed
+    /// Of prefetch_issued, the requests raised by the cross-query root
+    /// prefetcher (stage-0 balls of upcoming seeds) rather than stage
+    /// lookahead. Only the stealing batch scheduler issues these.
+    std::size_t root_prefetch_issued = 0;
+    /// Balls the cache served but declined to retain because a resident
+    /// victim was estimated hotter (CacheAdmission::kTinyLFU only).
+    std::size_t cache_admission_rejects = 0;
     double prefetch_hidden_seconds = 0.0;  ///< BFS time moved off demand path
     double demand_bfs_seconds = 0.0;       ///< BFS time still paid by workers
     /// Largest per-query peak_bytes in the batch (upper bound; in stealing
@@ -165,9 +184,11 @@ class QueryPipeline {
 
   /// The work-stealing batch scheduler (config.work_stealing, threads > 1).
   /// Fills `results` positionally; serving-layer deltas are taken by the
-  /// caller around this call.
+  /// caller around this call. `root_prefetches` (optional) receives the
+  /// number of cross-query root lookahead requests issued.
   void run_stealing_batch(std::span<const graph::NodeId> seeds,
-                          std::vector<QueryResult>& results);
+                          std::vector<QueryResult>& results,
+                          std::size_t* root_prefetches = nullptr);
 
   [[nodiscard]] DiffusionBackend& backend_for(std::size_t worker_id) {
     return shared_backend_ != nullptr ? *shared_backend_

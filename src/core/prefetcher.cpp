@@ -1,10 +1,13 @@
 #include "core/prefetcher.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace meloppr::core {
 
-BallPrefetcher::BallPrefetcher(std::size_t threads) {
+BallPrefetcher::BallPrefetcher(std::size_t threads,
+                               std::function<bool()> pause)
+    : pause_(std::move(pause)) {
   const std::size_t n = std::max<std::size_t>(1, threads);
   workers_.reserve(n);
   for (std::size_t t = 0; t < n; ++t) {
@@ -56,6 +59,17 @@ void BallPrefetcher::worker_loop() {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_) return;  // pending requests are best-effort; drop on stop
+      if (pause_ && pause_()) {
+        // Farm-wait meter: the device side is idle, so host cores belong
+        // to the demand path. Leave the request queued and re-check soon
+        // (a dispatch entering the farm flips the gate without notifying).
+        // This poll loop is bounded to mid-batch idle windows: every
+        // query()/query_batch() quiesces before returning, which empties
+        // the queue and parks workers back on the condition variable.
+        lock.unlock();
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
       req = queue_.front();
       queue_.pop_front();
       ++in_flight_;

@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -33,7 +34,19 @@ namespace meloppr::core {
 class BallPrefetcher {
  public:
   /// Spawns `threads` dedicated BFS threads (≥ 1 enforced).
-  explicit BallPrefetcher(std::size_t threads);
+  ///
+  /// `pause` (optional) is the farm-wait meter's gate: while it returns
+  /// true, workers leave queued requests untouched and re-check every few
+  /// hundred microseconds (pause-state changes carry no notification).
+  /// The pipeline passes "shared offloading backend reports zero active
+  /// dispatches" here, so lookahead BFS yields the host's cores to the
+  /// demand path whenever nobody is blocked on the device side. The
+  /// predicate must be callable from any prefetch thread without locks
+  /// held (it is invoked under the queue mutex) and must outlive the
+  /// prefetcher. Pausing never drops requests — enqueue/quiesce semantics
+  /// are unchanged.
+  explicit BallPrefetcher(std::size_t threads,
+                          std::function<bool()> pause = {});
   BallPrefetcher(const BallPrefetcher&) = delete;
   BallPrefetcher& operator=(const BallPrefetcher&) = delete;
   ~BallPrefetcher();
@@ -76,6 +89,7 @@ class BallPrefetcher {
 
   void worker_loop();
 
+  std::function<bool()> pause_;  ///< farm-wait meter gate (may be empty)
   std::deque<Request> queue_;
   mutable std::mutex mu_;
   std::condition_variable work_available_;

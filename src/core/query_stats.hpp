@@ -24,7 +24,12 @@ struct StageStats {
   std::uint64_t edge_ops = 0;
   /// Ball-cache outcomes for this stage's extractions (both zero when no
   /// cache is installed). A hit means the BFS was skipped — either the ball
-  /// was resident or a prefetch/concurrent extraction was joined.
+  /// was resident or a prefetch/concurrent extraction was joined. These are
+  /// per-task attributions counted by the worker that ran the task, so they
+  /// can never race a cache-wide counter reset; cache-wide rates (which
+  /// fold in other queries sharing the cache, prefetch traffic, and
+  /// admission decisions) come from ShardedBallCache::stats(), whose
+  /// snapshot is taken as one consistent unit.
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
 
@@ -67,7 +72,10 @@ struct QueryStats {
   /// aggregation, the number of touched nodes).
   std::size_t aggregator_entries = 0;
   /// Min-evictions a bounded score table performed (always 0 for exact
-  /// aggregation). Zero evictions certify the bounded result equals exact.
+  /// aggregation). Zero evictions certify the bounded result equals exact;
+  /// with an ε admission margin (MelopprConfig::topck_epsilon) boundary
+  /// challengers are dropped instead of evicting, so this count shrinks at
+  /// equal capacity — the churn the hysteresis removes.
   std::size_t aggregator_evictions = 0;
 
   double total_seconds = 0.0;  ///< end-to-end query latency

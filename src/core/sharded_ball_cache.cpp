@@ -1,5 +1,6 @@
 #include "core/sharded_ball_cache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -9,10 +10,46 @@
 
 namespace meloppr::core {
 
+void ShardedBallCache::FrequencySketch::record(std::uint64_t mixed) {
+  for (std::size_t row = 0; row < kRows; ++row) {
+    std::uint8_t& counter = table_[row][index(mixed, row)];
+    if (counter < kMaxCount) ++counter;
+  }
+  if (++records_ >= kSamplePeriod) {
+    // Aging (the "reset" of TinyLFU): halving keeps the *relative* order
+    // of hot vs cold keys while bounding how long stale popularity can
+    // veto admission.
+    for (auto& row : table_) {
+      for (std::uint8_t& counter : row) counter >>= 1;
+    }
+    records_ = 0;
+  }
+}
+
+std::uint32_t ShardedBallCache::FrequencySketch::estimate(
+    std::uint64_t mixed) const {
+  std::uint32_t freq = kMaxCount;
+  for (std::size_t row = 0; row < kRows; ++row) {
+    freq = std::min<std::uint32_t>(freq, table_[row][index(mixed, row)]);
+  }
+  return freq;
+}
+
+std::size_t ShardedBallCache::FrequencySketch::index(std::uint64_t mixed,
+                                                     std::size_t row) {
+  // Each row re-mixes with its own odd constant so the rows' collision
+  // patterns are independent (the count-min guarantee needs pairwise
+  // independent rows, not just shifted views of one hash).
+  return static_cast<std::size_t>(
+             splitmix64(mixed ^ (0x9e3779b97f4a7c15ULL * (row + 1)))) %
+         kCounters;
+}
+
 ShardedBallCache::ShardedBallCache(const graph::Graph& g,
                                    std::size_t byte_budget,
-                                   std::size_t shards)
-    : graph_(&g), budget_(byte_budget) {
+                                   std::size_t shards,
+                                   CacheAdmission admission)
+    : graph_(&g), budget_(byte_budget), admission_(admission) {
   if (byte_budget == 0) {
     throw std::invalid_argument(
         "ShardedBallCache: byte budget must be positive");
@@ -23,6 +60,9 @@ ShardedBallCache::ShardedBallCache(const graph::Graph& g,
   shards_.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
     shards_.push_back(std::make_unique<Shard>());
+    if (admission_ == CacheAdmission::kTinyLFU) {
+      shards_.back()->sketch = std::make_unique<FrequencySketch>();
+    }
   }
 }
 
@@ -52,6 +92,10 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
   std::promise<BallPtr> promise;
   {
     std::unique_lock<std::mutex> lock(shard.mu);
+    // Every access (hit, miss, prefetch) feeds the frequency estimate —
+    // admission later compares these counts, so prefetch traffic for a
+    // seed about to be queried legitimately raises its standing.
+    if (shard.sketch != nullptr) shard.sketch->record(splitmix64(key.packed()));
     if (const auto it = shard.map.find(key); it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // → MRU
       count_hit(kind, /*deduped=*/false);
@@ -103,8 +147,8 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
     // clear() may have raced ahead of this insertion; re-check the map in
     // case another extraction of the same key landed first (possible only
     // across a clear()).
-    if (incoming <= shard_budget_ && shard.map.find(key) == shard.map.end()) {
-      evict_until_fits(shard, incoming);
+    if (incoming <= shard_budget_ && shard.map.find(key) == shard.map.end() &&
+        admit(shard, key, incoming)) {
       shard.lru.push_front(Entry{key, ball, incoming});
       shard.map.emplace(key, shard.lru.begin());
       shard.bytes += incoming;
@@ -114,6 +158,33 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
   return {std::move(ball), /*hit=*/false, /*deduped=*/false, extract_seconds};
 }
 
+bool ShardedBallCache::admit(Shard& shard, const BallKey& key,
+                             std::size_t incoming) {
+  if (shard.sketch != nullptr && shard.bytes + incoming > shard_budget_) {
+    // TinyLFU gate, decided before touching the LRU: walk would-be victims
+    // from the cold end and reject the candidate outright if any of them
+    // is estimated at least as hot (ties keep the resident — one-shot
+    // scan keys all estimate ~1 and can never displace a ball that has
+    // been hit repeatedly). Rejecting before evicting means a lost duel
+    // costs nothing: the shard is left exactly as it was.
+    const std::uint32_t candidate =
+        shard.sketch->estimate(splitmix64(key.packed()));
+    std::size_t reclaimed = 0;
+    for (auto it = shard.lru.rbegin();
+         it != shard.lru.rend() && shard.bytes - reclaimed + incoming >
+                                       shard_budget_;
+         ++it) {
+      if (shard.sketch->estimate(splitmix64(it->key.packed())) >= candidate) {
+        admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      reclaimed += it->ball_bytes;
+    }
+  }
+  evict_until_fits(shard, incoming);
+  return true;
+}
+
 void ShardedBallCache::evict_until_fits(Shard& shard, std::size_t incoming) {
   while (!shard.lru.empty() && shard.bytes + incoming > shard_budget_) {
     const Entry& victim = shard.lru.back();
@@ -121,15 +192,22 @@ void ShardedBallCache::evict_until_fits(Shard& shard, std::size_t incoming) {
     total_bytes_.fetch_sub(victim.ball_bytes, std::memory_order_relaxed);
     shard.map.erase(victim.key);
     shard.lru.pop_back();  // pinned readers keep the ball alive via BallPtr
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   MELO_CHECK(shard.bytes + incoming <= shard_budget_);
 }
 
-double ShardedBallCache::hit_rate() const {
-  const std::size_t h = hits_.load();
-  const std::size_t total = h + misses_.load();
-  return total == 0 ? 0.0
-                    : static_cast<double>(h) / static_cast<double>(total);
+ShardedBallCache::Stats ShardedBallCache::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+  s.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  s.prefetch_misses = prefetch_misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::size_t ShardedBallCache::entries() const {
@@ -160,11 +238,17 @@ void ShardedBallCache::clear() {
     shard->extraction_seconds = 0.0;
     // in_flight is left alone: those extractions complete normally.
   }
+  // Zero the counters as one unit: stats() holds the same mutex, so a
+  // snapshot sees either the pre-reset or the post-reset world, never a
+  // mix (the hit-rate race this fixes).
+  std::lock_guard<std::mutex> lock(stats_mu_);
   hits_.store(0);
   misses_.store(0);
   dedup_hits_.store(0);
   prefetch_hits_.store(0);
   prefetch_misses_.store(0);
+  evictions_.store(0);
+  admission_rejects_.store(0);
 }
 
 }  // namespace meloppr::core

@@ -27,6 +27,15 @@
 //     do not pollute the demand hit rate: a prefetched ball that a query
 //     later reads is a demand hit (the entire point); the prefetch fetch
 //     itself is tallied under prefetch_hits/prefetch_misses.
+//
+//   * Frequency-aware admission (CacheAdmission::kTinyLFU). Each shard
+//     carries a 4-bit count-min sketch of ball access frequency (every
+//     fetch records its key; the sketch is halved periodically so history
+//     ages out). When retaining a new ball would evict residents, the
+//     candidate must be estimated strictly hotter than every LRU victim it
+//     displaces, or it is served without being retained — so a one-pass
+//     scan of cold seeds can never flush the hot hub balls the serving
+//     pipeline depends on. kAlways (the default) is plain LRU.
 #pragma once
 
 #include <atomic>
@@ -40,6 +49,7 @@
 #include <vector>
 
 #include "core/ball_cache.hpp"
+#include "core/config.hpp"
 #include "graph/graph.hpp"
 #include "graph/subgraph.hpp"
 
@@ -66,9 +76,13 @@ class ShardedBallCache {
 
   /// `byte_budget` is split evenly across `shards` (0 → kDefaultShards).
   /// A ball larger than its shard's budget is served but never retained.
+  /// `admission` selects the retention policy (see CacheAdmission in
+  /// config.hpp); kTinyLFU costs ~4 KiB of sketch per shard and one sketch
+  /// update per fetch, both under the shard lock the fetch already holds.
   /// Throws std::invalid_argument on a zero budget.
   ShardedBallCache(const graph::Graph& g, std::size_t byte_budget,
-                   std::size_t shards = 0);
+                   std::size_t shards = 0,
+                   CacheAdmission admission = CacheAdmission::kAlways);
 
   /// Returns the ball around `root` with the given radius, extracting it on
   /// a miss (or waiting for a concurrent extraction of the same key). Safe
@@ -83,7 +97,31 @@ class ShardedBallCache {
 
   static constexpr std::size_t kDefaultShards = 16;
 
+  /// One coherent view of the cache-wide counters. Taken as a unit so a
+  /// concurrent clear() can never split a reader's view (e.g. hits read
+  /// before the reset, misses after — which made hit_rate() transiently
+  /// report nonsense). Individual counters keep incrementing lock-free
+  /// while a snapshot is taken; only reset vs read is serialized.
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t dedup_hits = 0;
+    std::size_t prefetch_hits = 0;
+    std::size_t prefetch_misses = 0;
+    std::size_t evictions = 0;          ///< residents displaced for room
+    std::size_t admission_rejects = 0;  ///< TinyLFU: served, not retained
+    /// Demand hit rate (prefetch traffic excluded).
+    [[nodiscard]] double hit_rate() const {
+      const std::size_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
   // --- statistics (atomic; safe to read while serving) ---
+  /// Consistent snapshot of every counter (serialized against clear()).
+  [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t hits() const { return hits_.load(); }
   [[nodiscard]] std::size_t misses() const { return misses_.load(); }
   /// Demand fetches that piggybacked on another thread's in-flight
@@ -95,8 +133,16 @@ class ShardedBallCache {
   [[nodiscard]] std::size_t prefetch_misses() const {
     return prefetch_misses_.load();
   }
-  /// Demand hit rate (prefetch traffic excluded).
-  [[nodiscard]] double hit_rate() const;
+  /// Entries evicted to make room (both admission modes).
+  [[nodiscard]] std::size_t evictions() const { return evictions_.load(); }
+  /// Balls served but not retained because a resident victim was estimated
+  /// hotter (kTinyLFU only; always 0 under kAlways).
+  [[nodiscard]] std::size_t admission_rejects() const {
+    return admission_rejects_.load();
+  }
+  [[nodiscard]] CacheAdmission admission() const { return admission_; }
+  /// Demand hit rate (prefetch traffic excluded); stats().hit_rate().
+  [[nodiscard]] double hit_rate() const { return stats().hit_rate(); }
 
   /// Current cached footprint across all shards (Subgraph::bytes() sums).
   /// Lock-free (an atomic total maintained on insert/evict): safe to poll
@@ -122,6 +168,33 @@ class ShardedBallCache {
     BallPtr ball;
     std::size_t ball_bytes = 0;
   };
+
+  /// TinyLFU's frequency estimator: a count-min sketch of 4-bit saturating
+  /// counters, halved every `kSamplePeriod` records so estimates decay and
+  /// yesterday's hot set cannot veto today's. Guarded by the owning
+  /// shard's mutex — no internal synchronization.
+  class FrequencySketch {
+   public:
+    /// Saturating increment of `mixed`'s counters in every row.
+    void record(std::uint64_t mixed);
+    /// Frequency estimate: the minimum counter across rows (classic
+    /// count-min — overestimates only, never underestimates).
+    [[nodiscard]] std::uint32_t estimate(std::uint64_t mixed) const;
+
+   private:
+    static constexpr std::size_t kRows = 4;
+    static constexpr std::size_t kCounters = 1024;  ///< per row, power of 2
+    static constexpr std::uint8_t kMaxCount = 15;   ///< 4-bit saturation
+    /// Aging horizon: after this many records, every counter is halved.
+    static constexpr std::size_t kSamplePeriod = 8 * kCounters;
+
+    [[nodiscard]] static std::size_t index(std::uint64_t mixed,
+                                           std::size_t row);
+
+    std::uint8_t table_[kRows][kCounters] = {};
+    std::size_t records_ = 0;
+  };
+
   struct Shard {
     std::mutex mu;
     std::list<Entry> lru;  ///< MRU at front
@@ -131,6 +204,8 @@ class ShardedBallCache {
         in_flight;
     std::size_t bytes = 0;
     double extraction_seconds = 0.0;  ///< guarded by mu
+    /// Ball access frequencies (kTinyLFU only); guarded by mu.
+    std::unique_ptr<FrequencySketch> sketch;
   };
 
   [[nodiscard]] Shard& shard_for(const BallKey& key) {
@@ -145,9 +220,16 @@ class ShardedBallCache {
   /// Must hold `shard.mu`. Evicts LRU entries until `incoming` fits.
   void evict_until_fits(Shard& shard, std::size_t incoming);
 
+  /// Must hold `shard.mu`. Applies the admission policy for a ball of
+  /// `incoming` bytes keyed `key`: evicts victims and returns true when
+  /// the ball should be retained, or returns false (TinyLFU reject —
+  /// nothing evicted) when a needed victim is estimated hotter.
+  bool admit(Shard& shard, const BallKey& key, std::size_t incoming);
+
   const graph::Graph* graph_;
   std::size_t budget_;
   std::size_t shard_budget_;
+  CacheAdmission admission_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<std::size_t> hits_{0};
@@ -155,8 +237,14 @@ class ShardedBallCache {
   std::atomic<std::size_t> dedup_hits_{0};
   std::atomic<std::size_t> prefetch_hits_{0};
   std::atomic<std::size_t> prefetch_misses_{0};
+  std::atomic<std::size_t> evictions_{0};
+  std::atomic<std::size_t> admission_rejects_{0};
   /// Sum of per-shard bytes, updated under the owning shard's mutex.
   std::atomic<std::size_t> total_bytes_{0};
+  /// Serializes counter *resets* against stats() snapshots. Increments are
+  /// lock-free; without this a snapshot interleaving with clear() could
+  /// pair pre-reset hits with post-reset misses.
+  mutable std::mutex stats_mu_;
 };
 
 }  // namespace meloppr::core

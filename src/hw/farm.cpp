@@ -28,6 +28,20 @@ core::BackendResult FpgaFarm::run(const graph::Subgraph& ball, double mass,
   // Greedy list scheduling: the next independent diffusion goes to the
   // least-loaded device that is currently free. Checkout is serialized;
   // the diffusion itself runs unlocked, so up to D run concurrently.
+  //
+  // The active-dispatch gauge counts this thread for the whole call —
+  // waiting for a device is as strong an "offload in progress" signal as
+  // running one, and it is exactly the window the prefetch meter wants to
+  // fill with lookahead BFS. RAII so a throwing diffusion (MELO_CHECK on
+  // bad inputs, allocation failure) cannot leave the gauge inflated and
+  // silently pin the prefetch meter open.
+  struct DispatchGauge {
+    std::atomic<std::size_t>& gauge;
+    explicit DispatchGauge(std::atomic<std::size_t>& g) : gauge(g) {
+      gauge.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~DispatchGauge() { gauge.fetch_sub(1, std::memory_order_relaxed); }
+  } gauge(active_dispatches_);
   std::size_t device = 0;
   {
     Timer wait_timer;

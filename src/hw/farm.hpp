@@ -20,6 +20,7 @@
 // simulated diffusions themselves run outside it, in parallel.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -61,6 +62,12 @@ class FpgaFarm final : public core::DiffusionBackend {
   /// Dispatchers block on busy devices — the window the stage-lookahead
   /// prefetcher fills with host BFS (the backend-aware throttle's signal).
   [[nodiscard]] bool offloads_compute() const override { return true; }
+  /// Live count of threads inside run() (running a device or blocked on
+  /// checkout). 0 means the farm is momentarily idle — the signal the
+  /// pipeline's farm-wait prefetch meter pauses lookahead on. Lock-free.
+  [[nodiscard]] std::size_t active_dispatches() const override {
+    return active_dispatches_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
 
@@ -99,6 +106,9 @@ class FpgaFarm final : public core::DiffusionBackend {
   std::size_t runs_ = 0;               ///< guarded by mu_
   double wait_seconds_ = 0.0;          ///< guarded by mu_
   std::size_t peak_in_use_ = 0;        ///< guarded by mu_
+
+  /// Threads currently inside run(); see active_dispatches().
+  std::atomic<std::size_t> active_dispatches_{0};
 
   mutable std::mutex mu_;
   std::condition_variable device_free_;

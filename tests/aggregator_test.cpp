@@ -153,5 +153,80 @@ TEST(TopCK, ClearResetsEvictions) {
   EXPECT_EQ(table.entries(), 0u);
 }
 
+TEST(TopCK, RejectsNegativeMargin) {
+  EXPECT_THROW(TopCKAggregator(4, -0.1), std::invalid_argument);
+}
+
+TEST(TopCK, AdmissionMarginDropsNearBoundaryChallengers) {
+  // ε hysteresis (MelopprConfig::topck_epsilon): a full table evicts only
+  // when the challenger beats the minimum by more than ε·|min| — closer
+  // scores are dropped, but still feed the eviction-bound certificate.
+  TopCKAggregator strict(4);
+  TopCKAggregator margin(4, 0.5);
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    strict.add(v, 1.0 + static_cast<double>(v));  // scores 1..4
+    margin.add(v, 1.0 + static_cast<double>(v));
+  }
+  strict.add(10, 1.2);  // beats min 1.0 → strict eviction
+  margin.add(10, 1.2);  // inside 1.0·(1+ε) = 1.5 → dropped
+  EXPECT_EQ(strict.evictions(), 1u);
+  EXPECT_EQ(margin.evictions(), 0u);
+  EXPECT_EQ(margin.margin_drops(), 1u);
+  EXPECT_GE(margin.eviction_bound(), 1.2);  // the drop is on the record
+  margin.add(11, 1.6);  // decisively better → evicts even with margin
+  EXPECT_EQ(margin.evictions(), 1u);
+  EXPECT_EQ(margin.margin_drops(), 1u);
+  margin.clear();
+  EXPECT_EQ(margin.margin_drops(), 0u);
+}
+
+TEST(TopCK, AdmissionMarginCutsAlternatingBoundaryChurn) {
+  // The churn scenario the hysteresis exists for: a stream of challengers
+  // within floating-point noise of the minimum evicts on every add with
+  // ε = 0 but never with a small ε — at identical top-1 results.
+  TopCKAggregator strict(2);
+  TopCKAggregator margin(2, 0.1);
+  for (TopCKAggregator* table : {&strict, &margin}) {
+    table->add(1, 1.0);
+    table->add(2, 2.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const double noisy = 1.0 + 1e-9 * static_cast<double>(i + 1);
+    strict.add(static_cast<graph::NodeId>(100 + i), noisy);
+    margin.add(static_cast<graph::NodeId>(100 + i), noisy);
+  }
+  EXPECT_EQ(strict.evictions(), 10u);   // every noisy add displaced the min
+  EXPECT_EQ(margin.evictions(), 0u);    // hysteresis absorbed the churn
+  EXPECT_EQ(margin.margin_drops(), 10u);
+  const auto strict_top = strict.top(1);
+  const auto margin_top = margin.top(1);
+  ASSERT_EQ(strict_top.size(), 1u);
+  EXPECT_EQ(strict_top[0].node, margin_top[0].node);  // winner unaffected
+}
+
+TEST(TopCK, ZeroMarginIsBitIdenticalToLegacyEviction) {
+  // ε = 0 must reproduce the strict table's admissions operation for
+  // operation — the serial bit-identity contract of bounded batches.
+  Rng rng(515);
+  TopCKAggregator legacy(16);
+  TopCKAggregator zero_margin(16, 0.0);
+  for (int i = 0; i < 2000; ++i) {
+    const auto node = static_cast<graph::NodeId>(rng.below(64));
+    const double delta =
+        (rng.uniform() - 0.2) * (rng.chance(0.5) ? 1.0 : 1e-6);
+    legacy.add(node, delta);
+    zero_margin.add(node, delta);
+  }
+  const auto a = legacy.top(16);
+  const auto b = zero_margin.top(16);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].score, b[i].score);  // bit-identical, not merely near
+  }
+  EXPECT_EQ(legacy.evictions(), zero_margin.evictions());
+  EXPECT_EQ(zero_margin.margin_drops(), 0u);
+}
+
 }  // namespace
 }  // namespace meloppr::core

@@ -131,6 +131,29 @@ TEST(ConcurrentTopCK, NegativeDeltasUpdateInPlace) {
   EXPECT_NEAR(top[0].score, 0.3, 1e-15);
 }
 
+TEST(ConcurrentTopCK, RejectsNegativeMargin) {
+  EXPECT_THROW(ConcurrentTopCKAggregator(4, 1, -0.5),
+               std::invalid_argument);
+}
+
+TEST(ConcurrentTopCK, AdmissionMarginDropsNearBoundaryChallengers) {
+  // Same ε hysteresis as the serial table, applied per shard (one shard
+  // here so the boundary is global and the test deterministic).
+  ConcurrentTopCKAggregator margin(4, 1, 0.5);
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    margin.add(v, 1.0 + static_cast<double>(v));  // scores 1..4
+  }
+  margin.add(10, 1.2);  // inside 1.0·(1+ε) = 1.5 → dropped
+  EXPECT_EQ(margin.evictions(), 0u);
+  EXPECT_EQ(margin.margin_drops(), 1u);
+  EXPECT_GE(margin.eviction_bound(), 1.2);  // certificate records the drop
+  margin.add(11, 1.6);  // beats the margin → evicts
+  EXPECT_EQ(margin.evictions(), 1u);
+  EXPECT_EQ(margin.entries(), 4u);
+  margin.clear();
+  EXPECT_EQ(margin.margin_drops(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Property: the eviction bound is a fidelity certificate. For streams with
 // one contribution per node, any node whose contribution exceeds

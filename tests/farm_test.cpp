@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -33,6 +34,22 @@ TEST(FpgaFarm, NameAndCounts) {
   FpgaFarm farm = make_farm(4, 8);
   EXPECT_EQ(farm.device_count(), 4u);
   EXPECT_EQ(farm.name(), "farm(4x fpga(P=8))");
+}
+
+TEST(FpgaFarm, ActiveDispatchGaugeIdlesAtRestAndAfterRuns) {
+  // The farm-wait prefetch meter keys on this gauge: 0 exactly when no
+  // caller is inside run(). A generic backend without a live signal
+  // reports "unknown" (max), which the meter treats as never-pause.
+  Rng rng(75);
+  Graph g = graph::barabasi_albert(300, 2, 2, rng);
+  FpgaFarm farm = make_farm(2);
+  EXPECT_EQ(farm.active_dispatches(), 0u);
+  const graph::Subgraph ball = graph::extract_ball(g, 3, 2);
+  farm.run(ball, 1.0, 2);
+  EXPECT_EQ(farm.active_dispatches(), 0u);  // returns to idle after runs
+  core::CpuBackend cpu(0.85);
+  EXPECT_EQ(cpu.active_dispatches(),
+            std::numeric_limits<std::size_t>::max());
 }
 
 TEST(FpgaFarm, NumericsMatchSingleBackend) {

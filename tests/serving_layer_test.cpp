@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -211,6 +214,110 @@ TEST(ServingLayer, PrefetchThrottleAdmitsOffloadingBackend) {
 
   ASSERT_NE(pipeline.prefetcher(), nullptr);
   EXPECT_EQ(pipeline.prefetcher()->issued(), r.stats.stages[1].balls);
+}
+
+TEST(ServingLayer, CrossQueryRootPrefetchWarmsUpcomingSeeds) {
+  // ROADMAP "Cross-query root prefetch": the stealing batch knows every
+  // upcoming seed; their stage-0 balls must reach the prefetcher (bounded
+  // by the window), and scores must stay bit-identical — root lookahead
+  // changes cache temperature only.
+  Rng rng(101);
+  Graph g = graph::barabasi_albert(900, 2, 2, rng);
+  Engine engine(g, small_config());
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId s = 0; s < 12; ++s) seeds.push_back(s * 71 % 900);
+
+  const auto serve = [&](std::size_t window) {
+    CpuBackend backend(0.85);
+    ShardedBallCache cache(g, 128u << 20);
+    engine.set_shared_ball_cache(&cache);
+    PipelineConfig pcfg;
+    pcfg.threads = 4;
+    pcfg.prefetch = true;
+    pcfg.prefetch_throttle = false;  // CPU backend; exercise the mechanism
+    pcfg.work_stealing = true;
+    pcfg.root_prefetch_window = window;
+    QueryPipeline pipeline(engine, backend, pcfg);
+    QueryPipeline::BatchStats batch;
+    const auto results = pipeline.query_batch(seeds, &batch);
+    engine.set_shared_ball_cache(nullptr);
+    return std::pair{results, batch};
+  };
+
+  const auto [with_roots, batch] = serve(4);
+  // The pre-batch warm-up alone issues the first window, and every seed is
+  // issued at most once however many workers claim concurrently.
+  EXPECT_GT(batch.root_prefetch_issued, 0u);
+  EXPECT_LE(batch.root_prefetch_issued, seeds.size());
+  EXPECT_GE(batch.prefetch_issued, batch.root_prefetch_issued);
+
+  const auto [without, batch_off] = serve(0);
+  EXPECT_EQ(batch_off.root_prefetch_issued, 0u);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    expect_bit_identical(engine.query(seeds[i]), with_roots[i]);
+    expect_bit_identical(without[i], with_roots[i]);
+  }
+}
+
+TEST(ServingLayer, PrefetcherPauseGateHoldsAndReleasesWork) {
+  // The farm-wait meter's mechanism in isolation: while the pause gate is
+  // closed, queued requests are not touched; opening it drains them.
+  Rng rng(102);
+  Graph g = graph::barabasi_albert(500, 2, 2, rng);
+  ShardedBallCache cache(g, 64u << 20, 4);
+  std::atomic<bool> paused{true};
+  BallPrefetcher prefetcher(2, [&paused] { return paused.load(); });
+  prefetcher.enqueue(cache, 3, 2);
+  prefetcher.enqueue(cache, 99, 2);
+  EXPECT_EQ(prefetcher.issued(), 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(prefetcher.completed(), 0u);  // gate closed: nothing ran
+  EXPECT_EQ(cache.entries(), 0u);
+  paused.store(false);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (prefetcher.completed() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(prefetcher.completed(), 2u);  // gate open: queue drained
+  EXPECT_EQ(prefetcher.balls_fetched(), 2u);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(ServingLayer, FarmWaitMeterKeepsScoresIdentical) {
+  // Integration: the default farm-wait meter (prefetch_wait_meter) against
+  // a real farm — lookahead pauses and resumes with farm occupancy, and
+  // none of it may touch numerics.
+  Rng rng(103);
+  Graph g = graph::barabasi_albert(700, 2, 2, rng);
+  MelopprConfig cfg = small_config();
+  cfg.selection = Selection::top_count(16);
+  Engine engine(g, cfg);
+  hw::AcceleratorConfig acfg;
+  acfg.parallelism = 4;
+  hw::FpgaFarm farm(2, acfg, hw::Quantizer(0.85, 10, 50'000'000));
+  EXPECT_EQ(farm.active_dispatches(), 0u);  // idle farm reports zero
+  ShardedBallCache cache(g, 64u << 20);
+  engine.set_shared_ball_cache(&cache);
+
+  PipelineConfig pcfg;  // prefetch, throttle, and wait meter all default-on
+  pcfg.threads = 4;
+  ASSERT_TRUE(pcfg.prefetch_wait_meter);
+  QueryPipeline pipeline(engine, farm, pcfg);
+  const std::vector<graph::NodeId> seeds{9, 42, 9, 300};
+  const auto results = pipeline.query_batch(seeds);
+  engine.set_shared_ball_cache(nullptr);
+  EXPECT_EQ(farm.active_dispatches(), 0u);  // gauge returns to idle
+
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::unique_ptr<ScoreAggregator> agg =
+        make_serial_aggregator(cfg.aggregation, cfg.k, cfg.topck_c);
+    // Reference through the same farm numerics (FPGA quantization differs
+    // from CPU): serial engine + a fresh farm clone.
+    const auto clone = farm.clone();
+    expect_bit_identical(engine.query(seeds[i], *clone, *agg), results[i]);
+  }
 }
 
 TEST(ServingLayer, WorkStealingSpreadsHeavyQuery) {

@@ -232,6 +232,41 @@ TEST(ShardedBallCache, ClearResetsEverything) {
   EXPECT_DOUBLE_EQ(cache.extraction_seconds(), 0.0);
 }
 
+TEST(ShardedBallCache, StatsSnapshotNeverMixesResetState) {
+  // Regression: hit_rate() used to read hits and misses as two separate
+  // atomic loads, so a concurrent clear() between them produced a mixed
+  // view (pre-reset hits over post-reset misses — a transient 100% hit
+  // rate from thin air). stats() must hand back either the fully
+  // populated or the fully reset counters, never a blend.
+  Graph g = graph::fixtures::cycle(100);
+  ShardedBallCache cache(g, 1 << 20, 2);
+  const int rounds = 100;
+  for (int round = 0; round < rounds; ++round) {
+    // Known pattern: 3 misses (cold keys) + 5 hits, no concurrent fetches.
+    for (graph::NodeId root : {1u, 2u, 3u}) cache.get(root, 2);
+    for (int i = 0; i < 5; ++i) cache.get(1, 2);
+    std::atomic<bool> cleared{false};
+    std::thread clearer([&] {
+      cache.clear();
+      cleared.store(true);
+    });
+    while (!cleared.load()) {
+      const ShardedBallCache::Stats s = cache.stats();
+      const bool populated = s.hits == 5 && s.misses == 3;
+      const bool reset = s.hits == 0 && s.misses == 0;
+      ASSERT_TRUE(populated || reset)
+          << "mixed snapshot: hits=" << s.hits << " misses=" << s.misses;
+      const double rate = cache.hit_rate();
+      ASSERT_TRUE(rate == 0.0 || rate == 5.0 / 8.0)
+          << "mixed hit rate " << rate;
+    }
+    clearer.join();
+    const ShardedBallCache::Stats final_stats = cache.stats();
+    EXPECT_EQ(final_stats.hits, 0u);
+    EXPECT_EQ(final_stats.misses, 0u);
+  }
+}
+
 TEST(ShardedBallCache, TracksExtractionSeconds) {
   Graph g = graph::fixtures::cycle(100);
   ShardedBallCache cache(g, 1 << 20, 2);

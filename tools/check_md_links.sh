@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Fails (exit 1) on Markdown links whose repo-relative target does not
+# exist. External links (http/https/mailto) and pure #anchors are skipped;
+# a target's own "#section" suffix is stripped before the existence check.
+# Run from anywhere; scans every *.md in the repo except build trees.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+
+while IFS= read -r -d '' md; do
+  dir="$(dirname "$md")"
+  # Inline links: capture the (target) of every [text](target).
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    path="${target%%#*}"   # drop any #anchor suffix
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "broken link in ${md#"$root"/}: ($target)"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" \
+             | sed -E 's/^\]\((.*)\)$/\1/' \
+             | grep -vE '^(https?:|mailto:|#)' || true)
+done < <(find "$root" -name '*.md' \
+           -not -path '*/build*/*' -not -path '*/.git/*' -print0)
+
+if [ "$fail" -eq 0 ]; then
+  echo "all relative Markdown links resolve"
+fi
+exit "$fail"
