@@ -1,0 +1,384 @@
+// Adaptive root-prefetch window + pinned prefetch handoff A/B — the
+// self-tuning serving-stack knobs that replace PR 4's fixed window.
+//
+// PR 4's cross-query root prefetch had one fixed knob (window = 4) and one
+// failure mode (a TinyLFU retention rejection throws away the prefetch
+// BFS). This bench exercises both replacements:
+//
+//   * Adaptive window (PipelineConfig::adaptive_root_prefetch): the width
+//     is derived per claim from the prefetch threads' smoothed idle
+//     fraction and the EWMA of recently extracted ball bytes, bounded by
+//     the (corrected) spare-budget throttle min(spare, budget/8). Idle
+//     lookahead capacity widens the window toward max; saturation narrows
+//     it to 1; a full cache stops speculation entirely.
+//   * Pinned handoff (PipelineConfig::root_prefetch_pinning): every
+//     root-prefetched ball is held in the cache's bounded pinned
+//     side-table until its seed is claimed, so an admission rejection (or
+//     an eviction racing the claim) can no longer force the claiming
+//     worker to re-run the BFS.
+//
+// Two streams:
+//
+//   mixed skew  — hot head cycled for warmth, then an interleave of hot
+//                 repeats and distinct cold seeds under a roomy always-
+//                 admit cache: hit rate is decided by lookahead coverage
+//                 alone. Root-prefetch off vs fixed window vs adaptive.
+//   pressured   — the same interleave under a tight TinyLFU cache sized
+//                 to ~1.5x the hot set: cold root prefetches lose their
+//                 admission duels, the regime the pinned handoff exists
+//                 for. Pinning off vs on.
+//
+// Scores are asserted bit-identical to the serial engine in every cell —
+// lookahead and pinning change cache temperature, never numerics.
+//
+//   --smoke          CI mode: small sizes + hard assertions (exit 1 when
+//                    the adaptive window's mixed-stream hit rate falls
+//                    below the fixed window's, when any pinned
+//                    configuration re-extracts a root-prefetched ball,
+//                    or when any score diverges)
+//   MELOPPR_SEEDS    cold seeds in the mixed stream (default 96; smoke 48)
+//   MELOPPR_SCALE    graph-size multiplier          (default 1)
+//   MELOPPR_THREADS  worker threads                 (default 4)
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common.hpp"
+#include "core/pipeline.hpp"
+#include "core/sharded_ball_cache.hpp"
+
+namespace meloppr::bench {
+namespace {
+
+constexpr std::size_t kShards = 8;
+constexpr std::size_t kHot = 8;
+
+struct WindowConfig {
+  std::string name;
+  std::size_t fixed_window = 0;  ///< 0 disables root lookahead
+  bool adaptive = false;
+  bool pinning = true;
+};
+
+core::PipelineConfig pipeline_config(const WindowConfig& wcfg,
+                                     std::size_t threads) {
+  core::PipelineConfig pcfg;
+  pcfg.threads = threads;
+  pcfg.work_stealing = true;
+  pcfg.prefetch = true;
+  // CPU backend: opt out of the backend-aware throttle so lookahead runs
+  // (this harness's cores are otherwise idle; a production CPU-only
+  // server keeps the default).
+  pcfg.prefetch_throttle = false;
+  pcfg.prefetch_threads = threads;  // ample lookahead capacity
+  pcfg.root_prefetch_window = wcfg.fixed_window;
+  pcfg.adaptive_root_prefetch = wcfg.adaptive;
+  pcfg.root_prefetch_pinning = wcfg.pinning;
+  return pcfg;
+}
+
+bool scores_match_serial(
+    const std::unordered_map<graph::NodeId, std::vector<ppr::ScoredNode>>&
+        reference,
+    std::span<const graph::NodeId> stream,
+    const std::vector<core::QueryResult>& results) {
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto& want = reference.at(stream[i]);
+    if (want.size() != results[i].top.size()) return false;
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      if (want[j].node != results[i].top[j].node ||
+          want[j].score != results[i].top[j].score) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct StreamResult {
+  double wall_seconds = 0.0;
+  std::size_t mixed_hits = 0;      ///< demand hits over the mixed phase
+  std::size_t mixed_accesses = 0;  ///< demand accesses over the mixed phase
+  /// Stage-0 (query-root) fetch outcomes over the mixed phase — the slice
+  /// root prefetch exists to warm; stages >= 1 are stage lookahead's job.
+  std::size_t root_hits = 0;
+  std::size_t root_accesses = 0;
+  core::ShardedBallCache::Stats cache;
+  core::QueryPipeline::BatchStats batch;  ///< the mixed phase's accounting
+  std::size_t last_window = 0;
+  double idle_fraction = 0.0;
+  bool identical = true;
+  [[nodiscard]] double mixed_hit_rate() const {
+    return mixed_accesses == 0 ? 0.0
+                               : static_cast<double>(mixed_hits) /
+                                     static_cast<double>(mixed_accesses);
+  }
+};
+
+int run(bool smoke) {
+  Rng rng = banner("adaptive root-prefetch window + pinned handoff");
+  graph::Graph g = build_graph(graph::PaperGraphId::kG3Pubmed, rng);
+
+  core::MelopprConfig cfg = default_config(/*k=*/100);
+  cfg.selection = core::Selection::top_ratio(0.03);
+  core::Engine engine(g, cfg);
+
+  const std::size_t threads = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env_int("MELOPPR_THREADS", 4)));
+
+  // --- streams -----------------------------------------------------------
+  // Hot head: kHot seeds cycled to warm the cache (and the sketch).
+  std::vector<graph::NodeId> hot;
+  std::unordered_set<graph::NodeId> taken;
+  while (hot.size() < kHot) {
+    const graph::NodeId s = graph::random_seed_node(g, rng);
+    if (taken.insert(s).second) hot.push_back(s);
+  }
+  std::vector<graph::NodeId> warm;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    warm.insert(warm.end(), hot.begin(), hot.end());
+  }
+  // Mixed phase: distinct cold seeds interleaved 1:1 with hot repeats —
+  // the cold half's hit rate is pure lookahead coverage.
+  const std::size_t cold_count = bench_seed_count(smoke ? 48 : 96);
+  std::vector<graph::NodeId> mixed;
+  mixed.reserve(2 * cold_count);
+  std::size_t cold_added = 0;
+  while (cold_added < cold_count) {
+    const graph::NodeId s = graph::random_seed_node(g, rng);
+    if (!taken.insert(s).second) continue;
+    mixed.push_back(s);
+    mixed.push_back(hot[cold_added % hot.size()]);
+    ++cold_added;
+  }
+
+  // --- serial references (the bit-identity contract) ---------------------
+  std::unordered_map<graph::NodeId, std::vector<ppr::ScoredNode>> reference;
+  const auto remember = [&](std::span<const graph::NodeId> stream) {
+    for (graph::NodeId seed : stream) {
+      if (reference.find(seed) == reference.end()) {
+        reference.emplace(seed, engine.query(seed).top);
+      }
+    }
+  };
+  remember(warm);
+  remember(mixed);
+
+  // --- cache sizing ------------------------------------------------------
+  std::size_t hot_bytes = 0;
+  std::size_t all_bytes = 0;
+  {
+    core::ShardedBallCache probe(g, std::size_t{1} << 30, kShards);
+    engine.set_shared_ball_cache(&probe);
+    core::CpuBackend backend(cfg.alpha);
+    core::QueryPipeline pipeline(
+        engine, backend, pipeline_config({"probe", 0, false, false}, threads));
+    pipeline.query_batch(warm);
+    hot_bytes = probe.bytes();
+    pipeline.query_batch(mixed);
+    all_bytes = probe.bytes();
+    engine.set_shared_ball_cache(nullptr);
+  }
+  // Roomy: everything fits (hit rate isolates lookahead coverage).
+  const std::size_t roomy = 2 * all_bytes + (kShards << 16);
+  // Tight: ~1.5x the hot set — cold admissions must duel hot residents.
+  const std::size_t tight =
+      std::max<std::size_t>(hot_bytes + hot_bytes / 2, kShards * (32u << 10));
+  std::cout << "hot set " << (hot_bytes >> 10) << " KiB, full stream "
+            << (all_bytes >> 10) << " KiB -> roomy budget " << (roomy >> 10)
+            << " KiB, tight budget " << (tight >> 10) << " KiB (" << kShards
+            << " shards)\n\n";
+
+  // --- harness -----------------------------------------------------------
+  const auto serve = [&](const WindowConfig& wcfg, std::size_t budget,
+                         core::CacheAdmission admission) {
+    StreamResult r;
+    core::ShardedBallCache cache(g, budget, kShards, admission);
+    engine.set_shared_ball_cache(&cache);
+    core::CpuBackend backend(cfg.alpha);
+    core::QueryPipeline pipeline(engine, backend,
+                                 pipeline_config(wcfg, threads));
+    Timer wall;
+    core::QueryPipeline::BatchStats batch;
+    const std::vector<core::QueryResult> warm_results =
+        pipeline.query_batch(warm, &batch);
+    r.identical = scores_match_serial(reference, warm, warm_results);
+
+    const core::ShardedBallCache::Stats before = cache.stats();
+    const std::vector<core::QueryResult> results =
+        pipeline.query_batch(mixed, &batch);
+    r.wall_seconds = wall.elapsed_seconds();
+    const core::ShardedBallCache::Stats after = cache.stats();
+    r.identical =
+        r.identical && scores_match_serial(reference, mixed, results);
+    r.mixed_hits = after.hits - before.hits;
+    r.mixed_accesses = r.mixed_hits + (after.misses - before.misses);
+    for (const core::QueryResult& qr : results) {
+      r.root_hits += qr.stats.stages.front().cache_hits;
+      r.root_accesses += qr.stats.stages.front().cache_hits +
+                         qr.stats.stages.front().cache_misses;
+    }
+    r.batch = batch;  // the mixed phase's accounting (last assignment wins)
+    r.cache = cache.stats();
+    r.last_window = batch.last_root_prefetch_window;
+    r.idle_fraction = batch.prefetch_idle_fraction;
+    engine.set_shared_ball_cache(nullptr);
+    return r;
+  };
+
+  // --- mixed skew stream: window policy A/B ------------------------------
+  // Interleaved repetitions: whether a cold claim's root prefetch STARTED
+  // before the claim is scheduler jitter worth a query or two per run, so
+  // the fixed-vs-adaptive comparison aggregates hit COUNTS across kReps
+  // alternating runs and the gate carries a one-query tolerance.
+  const std::vector<WindowConfig> window_configs = {
+      {"no root prefetch", 0, false, true},
+      {"fixed window 4", 4, false, true},
+      {"adaptive (max 32)", 4, true, true},
+  };
+  const std::size_t reps = smoke ? 5 : 3;
+  TablePrinter mixed_table({"configuration", "wall (s)", "q/s",
+                            "mixed hit rate", "root hit rate", "root pf",
+                            "last window", "pf idle", "BFS hidden (s)"});
+  std::vector<StreamResult> totals(window_configs.size());
+  bool all_identical = true;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t cidx = 0; cidx < window_configs.size(); ++cidx) {
+      if (cidx == 0 && rep > 0) continue;  // the baseline needs one run
+      const StreamResult r =
+          serve(window_configs[cidx], roomy, core::CacheAdmission::kAlways);
+      all_identical = all_identical && r.identical;
+      StreamResult& t = totals[cidx];
+      t.mixed_hits += r.mixed_hits;
+      t.mixed_accesses += r.mixed_accesses;
+      t.root_hits += r.root_hits;
+      t.root_accesses += r.root_accesses;
+      t.wall_seconds += r.wall_seconds;
+      t.batch.root_prefetch_issued += r.batch.root_prefetch_issued;
+      t.batch.prefetch_hidden_seconds += r.batch.prefetch_hidden_seconds;
+      t.last_window = r.last_window;
+      t.idle_fraction = r.idle_fraction;
+    }
+  }
+  for (std::size_t cidx = 0; cidx < window_configs.size(); ++cidx) {
+    const StreamResult& t = totals[cidx];
+    const std::size_t runs = cidx == 0 ? 1 : reps;
+    mixed_table.add_row(
+        {window_configs[cidx].name,
+         fmt_fixed(t.wall_seconds / static_cast<double>(runs), 3),
+         fmt_fixed(static_cast<double>(runs * mixed.size()) / t.wall_seconds,
+                   1),
+         fmt_percent(t.mixed_hit_rate()),
+         fmt_percent(t.root_accesses == 0
+                         ? 0.0
+                         : static_cast<double>(t.root_hits) /
+                               static_cast<double>(t.root_accesses)),
+         std::to_string(t.batch.root_prefetch_issued / runs),
+         std::to_string(t.last_window), fmt_percent(t.idle_fraction),
+         fmt_fixed(t.batch.prefetch_hidden_seconds /
+                       static_cast<double>(runs),
+                   3)});
+  }
+  std::cout << "mixed skew stream (" << mixed.size() << " queries, "
+            << "1:1 cold:hot, roomy always-admit cache, mean of " << reps
+            << " interleaved reps):\n"
+            << mixed_table.ascii() << '\n';
+  const auto root_rate = [&](const StreamResult& t) {
+    return t.root_accesses == 0 ? 0.0
+                                : static_cast<double>(t.root_hits) /
+                                      static_cast<double>(t.root_accesses);
+  };
+  const double baseline_root_rate = root_rate(totals[0]);
+  const double fixed_root_rate = root_rate(totals[1]);
+  const double adaptive_root_rate = root_rate(totals[2]);
+
+  // --- pressured stream: pinned handoff A/B ------------------------------
+  TablePrinter pin_table({"configuration", "wall (s)", "mixed hit rate",
+                          "root pf", "rejected", "pins", "pin hits",
+                          "re-extracted"});
+  std::size_t pinned_reextractions = 0;
+  std::size_t unpinned_reextractions = 0;
+  std::size_t pinned_pin_hits = 0;
+  const std::vector<WindowConfig> pin_configs = {
+      {"adaptive, unpinned", 4, true, false},
+      {"adaptive, pinned", 4, true, true},
+  };
+  for (const WindowConfig& wcfg : pin_configs) {
+    const StreamResult r =
+        serve(wcfg, tight, core::CacheAdmission::kTinyLFU);
+    all_identical = all_identical && r.identical;
+    if (wcfg.pinning) {
+      pinned_reextractions = r.cache.root_reextractions;
+      pinned_pin_hits = r.cache.pin_hits;
+    } else {
+      unpinned_reextractions = r.cache.root_reextractions;
+    }
+    pin_table.add_row({wcfg.name, fmt_fixed(r.wall_seconds, 3),
+                       fmt_percent(r.mixed_hit_rate()),
+                       std::to_string(r.batch.root_prefetch_issued),
+                       std::to_string(r.cache.admission_rejects),
+                       std::to_string(r.cache.pins_installed),
+                       std::to_string(r.cache.pin_hits),
+                       std::to_string(r.cache.root_reextractions)});
+  }
+  std::cout << "pressured stream (tight TinyLFU cache, ~1.5x hot set):\n"
+            << pin_table.ascii() << '\n'
+            << "reading: the adaptive window matches or beats the fixed "
+               "knob without tuning (idle lookahead widens it, a full "
+               "cache closes it); pinning makes every root-prefetch BFS "
+               "serve its claim even when admission rejected retention — "
+               "scores bit-identical throughout.\n";
+
+  // --- loud checks (CI smoke gate) ---------------------------------------
+  bool ok = true;
+  const auto check = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::cout << "CHECK FAILED: " << what << "\n";
+      ok = false;
+    }
+  };
+  // Invariants that hold at ANY parameters.
+  check(all_identical,
+        "scores bit-identical to serial Engine::query in every "
+        "configuration and stream");
+  check(pinned_reextractions == 0,
+        "pinned handoff leaves zero root-prefetched balls re-extracted "
+        "by claiming workers");
+  if (smoke) {
+    // Workload-shaped gates for the CI sizes. Root prefetch warms the
+    // stage-0 balls, so the fixed-vs-adaptive gate compares stage-0 hit
+    // counts (stages >= 1 belong to stage lookahead and only add noise),
+    // summed over the interleaved reps with a one-query tolerance — the
+    // granularity of a single scheduling coin flip (whether one cold
+    // claim's prefetch had started).
+    check(totals[2].root_hits + 1 >= totals[1].root_hits,
+          "adaptive window stage-0 hit rate >= fixed window on the mixed "
+          "skew stream (one-query tolerance over all reps)");
+    check(adaptive_root_rate > baseline_root_rate,
+          "adaptive root prefetch beats no root prefetch on stage-0 hit "
+          "rate");
+  }
+  std::cout << (ok ? "OK" : "FAILED") << ": adaptive-prefetch checks ("
+            << (smoke ? "smoke" : "full") << " mode), stage-0 hit rate "
+            << fmt_percent(baseline_root_rate) << " (no root pf) vs "
+            << fmt_percent(fixed_root_rate) << " (fixed) vs "
+            << fmt_percent(adaptive_root_rate)
+            << " (adaptive); re-extractions " << unpinned_reextractions
+            << " (unpinned) vs " << pinned_reextractions << " (pinned, "
+            << pinned_pin_hits << " pin hits)\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace meloppr::bench
+
+int main(int argc, char** argv) {
+  const bool smoke = meloppr::bench::parse_bench_args(argc, argv);
+  if (smoke && meloppr::env_int("MELOPPR_SEEDS", 0) == 0) {
+    // Smoke defaults sized for a CI container; env overrides still win.
+    setenv("MELOPPR_SCALE", "0.25", /*overwrite=*/0);
+  }
+  return meloppr::bench::run(smoke);
+}

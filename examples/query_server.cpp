@@ -170,7 +170,12 @@ int main() {
     if (serving_stack) {
       serving_notes.push_back(
           label + ": root prefetches " +
-          std::to_string(batch.root_prefetch_issued) +
+          std::to_string(batch.root_prefetch_issued) + " (window " +
+          std::to_string(batch.last_root_prefetch_window) +
+          ", prefetch idle " + fmt_percent(batch.prefetch_idle_fraction) +
+          "), pin hits " + std::to_string(batch.root_prefetch_pin_hits) +
+          ", root re-extractions " +
+          std::to_string(batch.root_reextractions) +
           ", admission rejects " +
           std::to_string(batch.cache_admission_rejects));
     }

@@ -1,0 +1,60 @@
+#include "core/adaptive_window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace meloppr::core {
+
+AdaptiveWindowController::AdaptiveWindowController(std::size_t min_window,
+                                                   std::size_t max_window)
+    : min_window_(std::max<std::size_t>(1, min_window)),
+      max_window_(std::max(max_window, std::max<std::size_t>(1, min_window))) {
+}
+
+std::size_t AdaptiveWindowController::window(double busy_seconds,
+                                             double wall_seconds,
+                                             std::size_t prefetch_threads,
+                                             std::size_t ewma_ball_bytes,
+                                             std::size_t cap_bytes) {
+  std::size_t desired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double dt = wall_seconds - last_wall_seconds_;
+    if (dt >= kMinIntervalSeconds && prefetch_threads > 0) {
+      // Busy seconds accumulate across all prefetch threads, so the
+      // available capacity of the interval is threads · dt. Clamp: timer
+      // skew between the two clocks can push the raw ratio out of [0, 1].
+      const double busy_dt =
+          std::max(0.0, busy_seconds - last_busy_seconds_);
+      const double instant = std::clamp(
+          1.0 - busy_dt / (static_cast<double>(prefetch_threads) * dt), 0.0,
+          1.0);
+      idle_ += kIdleSmoothing * (instant - idle_);
+      last_wall_seconds_ = wall_seconds;
+      last_busy_seconds_ = busy_seconds;
+    }
+    desired = min_window_ +
+              static_cast<std::size_t>(std::llround(
+                  idle_ * static_cast<double>(max_window_ - min_window_)));
+  }
+  // The spare-budget throttle always wins over the idle signal. With no
+  // ball-size estimate yet (a cache that has never completed an
+  // extraction) the byte cap cannot be converted to a seed count, so the
+  // cold start is held at the floor — the static knob's burst — rather
+  // than opened to max_window into a cache whose capacity per ball is
+  // unknown: the speculative balls churn it the moment they land.
+  if (ewma_ball_bytes > 0) {
+    desired = std::min(desired, cap_bytes / ewma_ball_bytes);
+  } else {
+    desired = std::min(desired, min_window_);
+  }
+  last_window_.store(desired, std::memory_order_relaxed);
+  return desired;
+}
+
+double AdaptiveWindowController::idle_fraction() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_;
+}
+
+}  // namespace meloppr::core

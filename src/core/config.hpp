@@ -94,21 +94,49 @@ struct PipelineConfig {
 
   /// Cross-query root lookahead (ROADMAP "Cross-query root prefetch"): in a
   /// work-stealing batch the scheduler knows every upcoming seed, so the
-  /// stage-0 balls of the next `root_prefetch_window` unclaimed queries are
-  /// handed to the prefetch threads while earlier queries still run — the
-  /// cold-start BFS of a fresh query becomes a cache hit. The window is
-  /// additionally throttled by the shared cache's spare byte budget
-  /// (speculative roots may consume spare capacity, or at most ~1/8 of a
-  /// full cache), so a small cache is never churned to warm queries that
-  /// are far away. 0 disables. Requires prefetch + a shared cache, like
-  /// stage lookahead; never affects scores. Interaction with kTinyLFU
-  /// admission: under eviction pressure a prefetched *cold* seed's ball
-  /// can be served-but-rejected, in which case the claiming worker pays
-  /// the BFS again unless it joins the extraction in flight — on
-  /// cold-heavy streams the combination trades host CPU for warmth
-  /// (bench_cache_admission shows both sides; ROADMAP "Pinned prefetch
-  /// handoff" is the planned fix).
+  /// stage-0 balls of upcoming unclaimed queries are handed to the prefetch
+  /// threads while earlier queries still run — the cold-start BFS of a
+  /// fresh query becomes a cache hit. The window is always throttled by the
+  /// shared cache's spare byte budget (speculative roots may consume spare
+  /// capacity, up to at most ~1/8 of the budget — a full cache stops
+  /// speculating entirely), so a small cache is never churned to warm
+  /// queries that are far away. 0 disables root lookahead in both modes;
+  /// with `adaptive_root_prefetch` (the default) any positive value merely
+  /// enables it and the width is chosen by the controller; with the
+  /// adaptive controller off this is the fixed window width (the PR 4
+  /// knob). Requires prefetch + a shared cache, like stage lookahead;
+  /// never affects scores.
   std::size_t root_prefetch_window = 4;
+
+  /// Adaptive root-prefetch window (ROADMAP "Adaptive root-prefetch
+  /// window"). When true (default) the window width self-tunes per claim
+  /// from two live signals instead of staying at the fixed knob above:
+  /// the EWMA of recently extracted ball bytes (how much speculation the
+  /// spare budget can absorb) and the prefetch threads' idle fraction
+  /// (how much lookahead capacity is going unused — idle threads widen
+  /// the window toward root_prefetch_max_window, saturated threads let it
+  /// fall back to the configured floor). The width never drops below
+  /// `root_prefetch_window` — narrowing issuance protects nothing; cache
+  /// churn protection is the spare-budget byte throttle, which always
+  /// wins and closes the window entirely on a full cache. Set false to
+  /// reproduce the fixed `root_prefetch_window` exactly.
+  bool adaptive_root_prefetch = true;
+
+  /// Upper bound of the adaptive controller's window, in seeds. The
+  /// controller reaches it only when the prefetch threads are idle and the
+  /// cache has spare budget for that many EWMA-sized balls.
+  std::size_t root_prefetch_max_window = 32;
+
+  /// Pinned prefetch handoff (ROADMAP "Pinned prefetch handoff"). When
+  /// true (default), every root-prefetched ball is additionally held in
+  /// the cache's bounded pinned side-table (keyed by seed) until its seed
+  /// is claimed or the batch ends — so a TinyLFU retention rejection can
+  /// no longer waste the prefetch BFS: the claiming worker is served from
+  /// the pin even when the ball was never retained (and can no longer be
+  /// hurt by an eviction racing the claim). Scan resistance is unchanged;
+  /// pins live outside the LRU and expire with the batch. Set false for
+  /// the PR 4 behavior (served-but-rejected prefetches are re-extracted).
+  bool root_prefetch_pinning = true;
 
   /// Farm-wait prefetch meter (ROADMAP "Per-moment farm-wait throttling").
   /// The backend-aware throttle above is binary per backend; this meters
@@ -150,6 +178,12 @@ struct PipelineConfig {
     if (aggregator_stripes == 0) {
       throw std::invalid_argument(
           "PipelineConfig: aggregator_stripes must be positive");
+    }
+    if (adaptive_root_prefetch && root_prefetch_window > 0 &&
+        root_prefetch_max_window == 0) {
+      throw std::invalid_argument(
+          "PipelineConfig: root_prefetch_max_window must be positive when "
+          "the adaptive controller is on and root lookahead is enabled");
     }
   }
 };

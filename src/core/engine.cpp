@@ -103,6 +103,7 @@ StageOutcome Engine::run_task(const StageTask& task, DiffusionBackend& backend,
   if (shared_cache_ != nullptr) {
     ShardedBallCache::Fetch fetch = shared_cache_->fetch(task.root, length);
     fetch.hit ? ++st.cache_hits : ++st.cache_misses;
+    if (fetch.pinned) ++st.cache_pin_hits;
     pinned = std::move(fetch.ball);
     ball_ptr = pinned.get();
     meter.set("ball_cache", shared_cache_->bytes());

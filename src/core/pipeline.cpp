@@ -78,6 +78,23 @@ ShardedBallCache* QueryPipeline::activate_lookahead() {
     }
     prefetcher_ = std::make_unique<BallPrefetcher>(
         config_.resolved_prefetch_threads(), std::move(pause));
+    if (config_.root_prefetch_window > 0) {
+      // Root-prefetch width: the configured window is the floor (the
+      // controller never does worse than the static knob); with adaptive
+      // mode on, idle prefetch threads widen it toward max_window. Fixed
+      // mode is the degenerate min == max window, routed through the same
+      // controller so both modes share one byte-cap conversion. Either
+      // way the cache's spare-budget throttle closes the window entirely
+      // on a full cache — churn protection is the byte cap, not narrowed
+      // issuance.
+      const std::size_t floor = config_.root_prefetch_window;
+      const std::size_t ceiling =
+          config_.adaptive_root_prefetch
+              ? std::max(config_.root_prefetch_max_window, floor)
+              : floor;
+      window_controller_ =
+          std::make_unique<AdaptiveWindowController>(floor, ceiling);
+    }
   });
   return cache;
 }
@@ -138,6 +155,42 @@ void QueryPipeline::run_jobs(
   if (latch->error != nullptr) std::rethrow_exception(latch->error);
 }
 
+namespace {
+
+/// Scope guard: the lookahead contract ("no prefetch thread touches any
+/// cache passed earlier after query()/query_batch() returns", pins expire
+/// with the batch) must hold on the throw path too — a caller that tears
+/// the cache down after catching a batch error would otherwise race live
+/// prefetch threads. Quiesce is idempotent (the success paths still
+/// quiesce explicitly before reading their stat deltas). drop_pins() is
+/// cache-global, so it only runs when the LAST concurrent batch on this
+/// pipeline drains — one batch finishing must not discard a still-running
+/// batch's live pins.
+class LookaheadDrain {
+ public:
+  LookaheadDrain(BallPrefetcher* prefetcher, ShardedBallCache* cache,
+                 std::atomic<std::size_t>* active_batches)
+      : prefetcher_(prefetcher),
+        cache_(cache),
+        active_batches_(active_batches) {}
+  LookaheadDrain(const LookaheadDrain&) = delete;
+  LookaheadDrain& operator=(const LookaheadDrain&) = delete;
+  ~LookaheadDrain() {
+    if (prefetcher_ != nullptr) prefetcher_->quiesce();
+    if (cache_ != nullptr &&
+        active_batches_->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      cache_->drop_pins();
+    }
+  }
+
+ private:
+  BallPrefetcher* prefetcher_;
+  ShardedBallCache* cache_;
+  std::atomic<std::size_t>* active_batches_;
+};
+
+}  // namespace
+
 QueryResult QueryPipeline::query(graph::NodeId seed) {
   check_cache_free();
   QueryResult result;
@@ -155,6 +208,9 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
   ShardedBallCache* lookahead = activate_lookahead();
   const double hidden_before =
       prefetcher_ != nullptr ? prefetcher_->hidden_seconds() : 0.0;
+  LookaheadDrain drain(lookahead != nullptr ? prefetcher_.get() : nullptr,
+                       /*cache=*/nullptr,  // query() installs no pins
+                       /*active_batches=*/nullptr);
 
   const bool deterministic = config_.deterministic_reduction;
   const MelopprConfig& ecfg = engine_->config();
@@ -289,12 +345,20 @@ std::vector<QueryResult> QueryPipeline::query_batch(
   Timer wall;
   // Spawn prefetch threads (when eligible) before the delta snapshot.
   ShardedBallCache* lookahead = activate_lookahead();
+  if (lookahead != nullptr) {
+    active_batches_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  LookaheadDrain drain(lookahead != nullptr ? prefetcher_.get() : nullptr,
+                       lookahead, &active_batches_);
 
   // Serving-layer counters, measured as deltas around the batch.
   ShardedBallCache* cache = engine_->shared_ball_cache();
   const std::size_t dedup_before = cache != nullptr ? cache->dedup_hits() : 0;
   const std::size_t rejects_before =
       cache != nullptr ? cache->admission_rejects() : 0;
+  const std::size_t pin_hits_before = cache != nullptr ? cache->pin_hits() : 0;
+  const std::size_t reextract_before =
+      cache != nullptr ? cache->root_reextractions() : 0;
   const std::size_t issued_before =
       prefetcher_ != nullptr ? prefetcher_->issued() : 0;
   const std::size_t fetched_before =
@@ -302,10 +366,10 @@ std::vector<QueryResult> QueryPipeline::query_batch(
   const double hidden_before =
       prefetcher_ != nullptr ? prefetcher_->hidden_seconds() : 0.0;
 
-  std::size_t root_prefetches = 0;
+  RootPrefetchTelemetry root_telemetry;
   std::vector<QueryResult> results(seeds.size());
   if (config_.work_stealing && threads_ > 1 && seeds.size() > 1) {
-    run_stealing_batch(seeds, results, &root_prefetches);
+    run_stealing_batch(seeds, results, &root_telemetry);
   } else {
     run_jobs(seeds.size(), [&](std::size_t i, std::size_t w) {
       // Query-pinned scheduling: each query keeps the serial depth-first
@@ -326,7 +390,10 @@ std::vector<QueryResult> QueryPipeline::query_batch(
 
   // Quiesce before reading deltas (and before the caller may tear the
   // cache down): queued lookahead from the batch's tail would otherwise
-  // keep prefetch threads touching the cache after we return.
+  // keep prefetch threads touching the cache after we return. Unclaimed
+  // pins expire when the last concurrent batch drains (LookaheadDrain) —
+  // their speculation did not pay off, and holding them across batches
+  // would leak footprint.
   if (lookahead != nullptr) prefetcher_->quiesce();
 
   if (batch_stats != nullptr) {
@@ -349,6 +416,10 @@ std::vector<QueryResult> QueryPipeline::query_batch(
       batch_stats->dedup_hits = cache->dedup_hits() - dedup_before;
       batch_stats->cache_admission_rejects =
           cache->admission_rejects() - rejects_before;
+      batch_stats->root_prefetch_pin_hits =
+          cache->pin_hits() - pin_hits_before;
+      batch_stats->root_reextractions =
+          cache->root_reextractions() - reextract_before;
     }
     if (prefetcher_ != nullptr) {
       batch_stats->prefetch_issued = prefetcher_->issued() - issued_before;
@@ -356,8 +427,10 @@ std::vector<QueryResult> QueryPipeline::query_batch(
           prefetcher_->balls_fetched() - fetched_before;
       batch_stats->prefetch_hidden_seconds =
           prefetcher_->hidden_seconds() - hidden_before;
-      batch_stats->root_prefetch_issued = root_prefetches;
+      batch_stats->root_prefetch_issued = root_telemetry.issued;
     }
+    batch_stats->last_root_prefetch_window = root_telemetry.last_window;
+    batch_stats->prefetch_idle_fraction = root_telemetry.idle_fraction;
   }
   return results;
 }
@@ -427,7 +500,7 @@ std::size_t tree_bytes(const TreeNode& node) {
 
 void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
                                        std::vector<QueryResult>& results,
-                                       std::size_t* root_prefetches) {
+                                       RootPrefetchTelemetry* telemetry) {
   const std::size_t n = seeds.size();
   ShardedBallCache* lookahead = activate_lookahead();
   const std::size_t mask_words = (threads_ + 63) / 64;
@@ -435,39 +508,58 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
   // --- Cross-query root lookahead (ROADMAP "Cross-query root prefetch").
   // Unlike stage lookahead (which only knows children once a parent
   // finishes), the batch knows every upcoming seed up front: the stage-0
-  // balls of the next `root_prefetch_window` unclaimed queries are fed to
-  // the prefetch threads, so a freshly claimed query starts on a warm
-  // ball instead of paying cold-start BFS. `root_horizon` marks how far
-  // into the stream lookahead has been issued — an atomic max so each
-  // seed is enqueued once however many workers claim concurrently. The
-  // window is throttled by the cache's spare byte budget (speculation may
-  // use spare capacity, or at most ~1/8 of a full cache, measured in mean
-  // resident ball sizes) so a small cache is never churned to warm
-  // queries that are far away; correctness never depends on it — an
-  // unprefetched root just pays its own BFS, and the cache's in-flight
-  // dedup absorbs any race with the claiming worker.
+  // balls of the next W unclaimed queries are fed to the prefetch
+  // threads, so a freshly claimed query starts on a warm ball instead of
+  // paying cold-start BFS. `root_horizon` marks how far into the stream
+  // lookahead has been issued — an atomic max so each seed is enqueued
+  // once however many workers claim concurrently. W comes from the
+  // adaptive controller (prefetch-thread idle fraction, EWMA ball bytes)
+  // or the fixed knob, and is always capped by the spare-budget throttle:
+  // speculation may consume spare capacity, at most 1/8 of the budget —
+  // min, not max, so a FULL cache stops speculating entirely instead of
+  // churning at 1/8-budget rate (the PR 4 inversion this fixes).
+  // Correctness never depends on any of it — an unprefetched root just
+  // pays its own BFS, and the cache's in-flight dedup absorbs any race
+  // with the claiming worker.
   std::atomic<std::size_t> root_horizon{0};
   std::atomic<std::size_t> roots_issued{0};
   const unsigned root_radius = engine_->config().stage_lengths.front();
+  // Pinned handoff: hold each root-prefetched ball in the cache's pinned
+  // side-table until its seed is claimed, so a TinyLFU retention
+  // rejection cannot waste the prefetch BFS.
+  const ShardedBallCache::FetchKind root_kind =
+      config_.root_prefetch_pinning
+          ? ShardedBallCache::FetchKind::kPinnedRootPrefetch
+          : ShardedBallCache::FetchKind::kRootPrefetch;
   const auto root_lookahead = [&](std::size_t next_unclaimed) {
     if (lookahead == nullptr || config_.root_prefetch_window == 0) return;
-    std::size_t window = config_.root_prefetch_window;
-    const std::size_t entries = lookahead->entries();
-    if (entries > 0) {
-      const std::size_t bytes = lookahead->bytes();
-      const std::size_t budget = lookahead->byte_budget();
-      const std::size_t mean_ball = std::max<std::size_t>(1, bytes / entries);
-      const std::size_t spare = budget > bytes ? budget - bytes : 0;
-      window = std::min(window, std::max(spare, budget / 8) / mean_ball);
-    }
+    const std::size_t bytes = lookahead->bytes();
+    const std::size_t budget = lookahead->byte_budget();
+    const std::size_t spare = budget > bytes ? budget - bytes : 0;
+    const std::size_t cap_bytes = std::min(spare, budget / 8);
+    // Stage-0 balls are what root lookahead extracts, so the byte cap is
+    // converted with the stage-0-radius size estimate — the mixed EWMA
+    // (the fallback before any stage-0 extraction completes) is dragged
+    // toward the often-smaller later-stage balls and would overcount the
+    // affordable seeds.
+    std::size_t ewma = lookahead->ewma_ball_bytes(root_radius);
+    if (ewma == 0) ewma = lookahead->ewma_ball_bytes();
+    const std::size_t window = window_controller_->window(
+        prefetcher_->busy_seconds(), uptime_.elapsed_seconds(),
+        prefetcher_->threads(), ewma, cap_bytes);
     const std::size_t to = std::min(n, next_unclaimed + window);
     std::size_t from = root_horizon.load(std::memory_order_relaxed);
     while (from < to && !root_horizon.compare_exchange_weak(
                             from, to, std::memory_order_relaxed)) {
     }
     if (from >= to) return;  // another worker already covered this span
+    // The horizon can lag the claim cursor (a narrowed window leaves a
+    // gap; concurrent claims land out of order): seeds below
+    // `next_unclaimed` are already claimed, so prefetching them is pure
+    // waste — advance the horizon past them without issuing.
+    from = std::max(from, next_unclaimed);
     for (std::size_t i = from; i < to; ++i) {
-      prefetcher_->enqueue(*lookahead, seeds[i], root_radius);
+      prefetcher_->enqueue(*lookahead, seeds[i], root_radius, root_kind);
     }
     roots_issued.fetch_add(to - from, std::memory_order_relaxed);
   };
@@ -684,8 +776,15 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
 
   if (first_error != nullptr) std::rethrow_exception(first_error);
   MELO_CHECK(live.load() == 0);
-  if (root_prefetches != nullptr) {
-    *root_prefetches = roots_issued.load(std::memory_order_relaxed);
+  if (telemetry != nullptr) {
+    telemetry->issued = roots_issued.load(std::memory_order_relaxed);
+    // Window/idle telemetry belongs to THIS batch: zeros unless root
+    // lookahead was actually active here (approximate under concurrent
+    // batches sharing the controller, like the other deltas).
+    if (lookahead != nullptr && window_controller_ != nullptr) {
+      telemetry->last_window = window_controller_->last_window();
+      telemetry->idle_fraction = window_controller_->idle_fraction();
+    }
   }
 
   // Fold the workers' transient ball/device peaks into every query's peak:

@@ -70,6 +70,7 @@
 // "T balls at a time + aggregator" instead of one.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -80,9 +81,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/adaptive_window.hpp"
 #include "core/config.hpp"
 #include "core/engine.hpp"
 #include "core/prefetcher.hpp"
+#include "util/timer.hpp"
 
 namespace meloppr::core {
 
@@ -106,6 +109,20 @@ class QueryPipeline {
     /// prefetcher (stage-0 balls of upcoming seeds) rather than stage
     /// lookahead. Only the stealing batch scheduler issues these.
     std::size_t root_prefetch_issued = 0;
+    /// Demand fetches served from the pinned prefetch side-table — root
+    /// lookahead that paid off despite a TinyLFU retention rejection or a
+    /// pre-claim eviction (root_prefetch_pinning only).
+    std::size_t root_prefetch_pin_hits = 0;
+    /// Root-prefetched balls whose BFS a claiming worker paid AGAIN (the
+    /// PR 4 waste; 0 while pinning is on and the pin table has capacity).
+    std::size_t root_reextractions = 0;
+    /// Width the root-prefetch window controller chose on its last step of
+    /// this batch (the fixed knob's value when adaptive_root_prefetch is
+    /// off; 0 when root lookahead never ran).
+    std::size_t last_root_prefetch_window = 0;
+    /// Smoothed prefetch-thread idle fraction at batch end, in [0, 1]
+    /// (adaptive controller telemetry; 0 when the controller never ran).
+    double prefetch_idle_fraction = 0.0;
     /// Balls the cache served but declined to retain because a resident
     /// victim was estimated hotter (CacheAdmission::kTinyLFU only).
     std::size_t cache_admission_rejects = 0;
@@ -171,6 +188,13 @@ class QueryPipeline {
   [[nodiscard]] const AggregatorPool* aggregator_pool() const {
     return agg_pool_.get();
   }
+  /// The root-prefetch window controller (nullptr until the prefetcher
+  /// spawns, and permanently when root_prefetch_window is 0). With
+  /// adaptive_root_prefetch off it is pinned to the fixed window
+  /// (min == max), still applying the spare-budget byte cap.
+  [[nodiscard]] const AdaptiveWindowController* window_controller() const {
+    return window_controller_.get();
+  }
 
  private:
   /// Enqueues `count` jobs fn(job_index, worker_id) and blocks until all
@@ -182,13 +206,23 @@ class QueryPipeline {
 
   void worker_loop(std::size_t worker_id);
 
+  /// Per-batch root-lookahead accounting, filled by run_stealing_batch so
+  /// query_batch never reports another batch's controller state (the
+  /// controller is shared pipeline state; a batch that takes the
+  /// non-stealing path must report zeros).
+  struct RootPrefetchTelemetry {
+    std::size_t issued = 0;
+    std::size_t last_window = 0;  ///< 0 unless root lookahead ran
+    double idle_fraction = 0.0;   ///< 0 unless the controller ran
+  };
+
   /// The work-stealing batch scheduler (config.work_stealing, threads > 1).
   /// Fills `results` positionally; serving-layer deltas are taken by the
-  /// caller around this call. `root_prefetches` (optional) receives the
-  /// number of cross-query root lookahead requests issued.
+  /// caller around this call. `telemetry` (optional) receives this
+  /// batch's root-lookahead accounting.
   void run_stealing_batch(std::span<const graph::NodeId> seeds,
                           std::vector<QueryResult>& results,
-                          std::size_t* root_prefetches = nullptr);
+                          RootPrefetchTelemetry* telemetry = nullptr);
 
   [[nodiscard]] DiffusionBackend& backend_for(std::size_t worker_id) {
     return shared_backend_ != nullptr ? *shared_backend_
@@ -217,6 +251,19 @@ class QueryPipeline {
 
   std::once_flag prefetcher_once_;
   std::unique_ptr<BallPrefetcher> prefetcher_;
+  /// Width controller for the cross-query root-prefetch window; created
+  /// with the prefetcher whenever root lookahead is enabled. Adaptive
+  /// mode widens between [root_prefetch_window, root_prefetch_max_window];
+  /// fixed mode is the degenerate min == max == root_prefetch_window, so
+  /// both modes share one tested byte-cap conversion.
+  std::unique_ptr<AdaptiveWindowController> window_controller_;
+  /// query_batch calls with active lookahead currently in flight on this
+  /// pipeline — drop_pins() (cache-global) runs only when the last one
+  /// drains, so concurrent batches cannot discard each other's pins.
+  std::atomic<std::size_t> active_batches_{0};
+  /// Monotonic wall clock shared by the controller's idle-fraction
+  /// differentiation (starts with the pipeline).
+  Timer uptime_;
   std::unique_ptr<AggregatorPool> agg_pool_;
 
   std::vector<std::thread> workers_;

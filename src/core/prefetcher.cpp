@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/timer.hpp"
+
 namespace meloppr::core {
 
 BallPrefetcher::BallPrefetcher(std::size_t threads,
@@ -26,11 +28,12 @@ BallPrefetcher::~BallPrefetcher() {
 }
 
 void BallPrefetcher::enqueue(ShardedBallCache& cache, graph::NodeId root,
-                             unsigned radius) {
+                             unsigned radius,
+                             ShardedBallCache::FetchKind kind) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) return;
-    queue_.push_back({&cache, root, radius});
+    queue_.push_back({&cache, root, radius, kind});
   }
   issued_.fetch_add(1, std::memory_order_relaxed);
   work_available_.notify_one();
@@ -50,6 +53,11 @@ void BallPrefetcher::quiesce() {
 double BallPrefetcher::hidden_seconds() const {
   std::lock_guard<std::mutex> lock(mu_);
   return hidden_seconds_;
+}
+
+double BallPrefetcher::busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_seconds_;
 }
 
 void BallPrefetcher::worker_loop() {
@@ -76,20 +84,23 @@ void BallPrefetcher::worker_loop() {
     }
     double extract_seconds = 0.0;
     bool fetched = false;
+    Timer busy;  // wall time on this request, hit or miss — the idle signal
     try {
-      const ShardedBallCache::Fetch f = req.cache->fetch(
-          req.root, req.radius, ShardedBallCache::FetchKind::kPrefetch);
+      const ShardedBallCache::Fetch f =
+          req.cache->fetch(req.root, req.radius, req.kind);
       fetched = !f.hit;
       extract_seconds = f.extract_seconds;
     } catch (...) {
       // A prefetch is advisory: swallow the failure, the demand fetch will
       // surface it with proper attribution if the ball is truly unreachable.
     }
+    const double request_seconds = busy.elapsed_seconds();
     completed_.fetch_add(1, std::memory_order_relaxed);
     if (fetched) balls_fetched_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
       hidden_seconds_ += extract_seconds;
+      busy_seconds_ += request_seconds;
       if (--in_flight_ == 0) idle_.notify_all();
     }
   }

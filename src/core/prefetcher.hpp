@@ -55,8 +55,13 @@ class BallPrefetcher {
   /// immediately; the extraction happens on a prefetch thread. `cache`
   /// must stay alive until quiesce() returns — the pipeline quiesces at
   /// the end of every query()/query_batch(), so callers only need the
-  /// cache to outlive the query call, not the pipeline.
-  void enqueue(ShardedBallCache& cache, graph::NodeId root, unsigned radius);
+  /// cache to outlive the query call, not the pipeline. `kind` is the
+  /// FetchKind the worker passes to the cache: plain stage lookahead by
+  /// default, or one of the root-prefetch kinds so the cache can record
+  /// (and, for kPinnedRootPrefetch, pin) cross-query speculation.
+  void enqueue(ShardedBallCache& cache, graph::NodeId root, unsigned radius,
+               ShardedBallCache::FetchKind kind =
+                   ShardedBallCache::FetchKind::kPrefetch);
 
   /// Discards queued (not yet started) requests.
   void drop_pending();
@@ -78,6 +83,15 @@ class BallPrefetcher {
   /// (run concurrently with) the demand path.
   [[nodiscard]] double hidden_seconds() const;
 
+  /// Cumulative wall seconds the prefetch threads spent processing
+  /// requests (including cache-hit requests that ran no BFS, unlike
+  /// hidden_seconds). The adaptive root-prefetch controller differentiates
+  /// this against wall time to estimate the threads' idle fraction:
+  /// busy ≈ threads·wall means lookahead is saturated, busy ≈ 0 means
+  /// capacity is going unused. Pause-gated time (the farm-wait meter)
+  /// intentionally counts as idle.
+  [[nodiscard]] double busy_seconds() const;
+
   [[nodiscard]] std::size_t threads() const { return workers_.size(); }
 
  private:
@@ -85,6 +99,7 @@ class BallPrefetcher {
     ShardedBallCache* cache;
     graph::NodeId root;
     unsigned radius;
+    ShardedBallCache::FetchKind kind;
   };
 
   void worker_loop();
@@ -97,6 +112,7 @@ class BallPrefetcher {
   bool stop_ = false;
   std::size_t in_flight_ = 0;         ///< guarded by mu_
   double hidden_seconds_ = 0.0;       ///< guarded by mu_
+  double busy_seconds_ = 0.0;         ///< guarded by mu_
 
   std::atomic<std::size_t> issued_{0};
   std::atomic<std::size_t> completed_{0};

@@ -32,6 +32,10 @@ struct StageStats {
   /// snapshot is taken as one consistent unit.
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// Of cache_hits, the ones served from the pinned prefetch side-table —
+  /// a root-prefetched ball that was admission-rejected (or evicted before
+  /// its claim) and would have been re-extracted without the handoff.
+  std::size_t cache_pin_hits = 0;
 
   /// Folds another task's increments into this stage's totals (sums, with
   /// max for the max_* fields). Schedulers use this to combine per-task
@@ -54,6 +58,7 @@ struct StageStats {
     edge_ops += other.edge_ops;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    cache_pin_hits += other.cache_pin_hits;
   }
 };
 
@@ -149,6 +154,12 @@ struct QueryStats {
   [[nodiscard]] std::size_t cache_misses() const {
     std::size_t s = 0;
     for (const auto& st : stages) s += st.cache_misses;
+    return s;
+  }
+  /// Hits served from the pinned prefetch side-table (⊆ cache_hits()).
+  [[nodiscard]] std::size_t cache_pin_hits() const {
+    std::size_t s = 0;
+    for (const auto& st : stages) s += st.cache_pin_hits;
     return s;
   }
   /// Ball-cache hit rate over this query's extractions (0 when no cache).

@@ -1,6 +1,7 @@
 #include "core/sharded_ball_cache.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 #include <utility>
 
@@ -35,6 +36,13 @@ std::uint32_t ShardedBallCache::FrequencySketch::estimate(
   return freq;
 }
 
+void ShardedBallCache::FrequencySketch::clear() {
+  for (auto& row : table_) {
+    for (std::uint8_t& counter : row) counter = 0;
+  }
+  records_ = 0;
+}
+
 std::size_t ShardedBallCache::FrequencySketch::index(std::uint64_t mixed,
                                                      std::size_t row) {
   // Each row re-mixes with its own odd constant so the rows' collision
@@ -48,8 +56,12 @@ std::size_t ShardedBallCache::FrequencySketch::index(std::uint64_t mixed,
 ShardedBallCache::ShardedBallCache(const graph::Graph& g,
                                    std::size_t byte_budget,
                                    std::size_t shards,
-                                   CacheAdmission admission)
-    : graph_(&g), budget_(byte_budget), admission_(admission) {
+                                   CacheAdmission admission,
+                                   std::size_t pin_capacity)
+    : graph_(&g),
+      budget_(byte_budget),
+      admission_(admission),
+      pin_capacity_(pin_capacity) {
   if (byte_budget == 0) {
     throw std::invalid_argument(
         "ShardedBallCache: byte budget must be positive");
@@ -67,7 +79,7 @@ ShardedBallCache::ShardedBallCache(const graph::Graph& g,
 }
 
 void ShardedBallCache::count_hit(FetchKind kind, bool deduped) {
-  if (kind == FetchKind::kPrefetch) {
+  if (is_prefetch(kind)) {
     prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -76,11 +88,59 @@ void ShardedBallCache::count_hit(FetchKind kind, bool deduped) {
 }
 
 void ShardedBallCache::count_miss(FetchKind kind) {
-  if (kind == FetchKind::kPrefetch) {
+  if (is_prefetch(kind)) {
     prefetch_misses_.fetch_add(1, std::memory_order_relaxed);
   } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void ShardedBallCache::note_extraction(Shard& shard, const BallKey& key,
+                                       FetchKind kind, std::size_t incoming) {
+  // Smoothing factor of the recent-ball-bytes EWMAs: heavy enough to
+  // track a shifting working set within a dozen extractions, light
+  // enough that one hub ball does not whipsaw the adaptive window.
+  constexpr double kEwmaAlpha = 0.2;
+  const auto fold = [incoming](std::atomic<double>& ewma) {
+    double cur = ewma.load(std::memory_order_relaxed);
+    double next;
+    do {
+      next = cur == 0.0 ? static_cast<double>(incoming)
+                        : cur + kEwmaAlpha * (static_cast<double>(incoming) -
+                                              cur);
+    } while (!ewma.compare_exchange_weak(cur, next,
+                                         std::memory_order_relaxed));
+  };
+  fold(ewma_ball_bytes_);
+  fold(ewma_by_radius_[radius_slot(key.radius)]);
+
+  if (is_root_prefetch(kind)) {
+    if (shard.root_prefetched.size() < kRootRecordCap) {
+      shard.root_prefetched.insert(key);
+    }
+  } else if (kind == FetchKind::kDemand && !shard.root_prefetched.empty() &&
+             shard.root_prefetched.erase(key) > 0) {
+    // The demand path just re-ran a BFS that a root prefetch already paid
+    // for — the waste the pinned handoff eliminates.
+    root_reextractions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedBallCache::maybe_pin(Shard& shard, const BallKey& key,
+                                 const BallPtr& ball) {
+  if (pin_capacity_ == 0 || ball == nullptr) return;
+  if (shard.pinned.find(key) != shard.pinned.end()) return;
+  // Strictly bounded: a full table skips the new pin rather than evicting
+  // an older one — pins live one batch at most, and a hard memory bound
+  // matters more than fairness between speculative seeds.
+  if (pinned_count_.fetch_add(1, std::memory_order_relaxed) >=
+      pin_capacity_) {
+    pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  shard.pinned.emplace(key, ball);
+  pinned_bytes_.fetch_add(ball->bytes(), std::memory_order_relaxed);
+  pins_installed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
@@ -98,25 +158,101 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
     if (shard.sketch != nullptr) shard.sketch->record(splitmix64(key.packed()));
     if (const auto it = shard.map.find(key); it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // → MRU
+      if (kind == FetchKind::kDemand) {
+        // Emptiness guards keep these two probes off the hit fast path
+        // entirely for stacks that never root-prefetch (the tables stay
+        // empty, and this runs under the contended shard lock).
+        if (!shard.root_prefetched.empty()) {
+          // The claim was served: the root-prefetch record is settled
+          // (the speculation paid off), and any later demand extraction
+          // of this key is an ordinary capacity miss, not prefetch waste.
+          shard.root_prefetched.erase(key);
+        }
+        if (!shard.pinned.empty()) {
+          // A pin for the same key has nothing left to protect either;
+          // free the slot early.
+          if (const auto pin = shard.pinned.find(key);
+              pin != shard.pinned.end()) {
+            pinned_bytes_.fetch_sub(pin->second->bytes(),
+                                    std::memory_order_relaxed);
+            pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+            pins_expired_.fetch_add(1, std::memory_order_relaxed);
+            shard.pinned.erase(pin);
+          }
+        }
+      } else if (kind == FetchKind::kPinnedRootPrefetch) {
+        // Resident today is not resident at claim time: pin the ball so an
+        // eviction between now and the claim cannot undo the lookahead.
+        maybe_pin(shard, key, it->second->ball);
+      }
       count_hit(kind, /*deduped=*/false);
-      return {it->second->ball, /*hit=*/true, /*deduped=*/false, 0.0};
+      return {it->second->ball, /*hit=*/true, /*deduped=*/false,
+              /*pinned=*/false, 0.0};
+    }
+    if (!shard.pinned.empty()) {
+      if (const auto pin = shard.pinned.find(key); pin != shard.pinned.end()) {
+        // Pinned prefetch handoff: the ball was root-prefetched but not
+        // retained (TinyLFU rejection, or evicted since) — the pin makes
+        // the prefetch BFS useful anyway.
+        BallPtr ball = pin->second;
+        if (kind == FetchKind::kDemand) {
+          // The seed is claimed: consume the pin (and settle the root-
+          // prefetch record — the speculation paid off). The claim is
+          // also a second access, so give the ball a regular admission
+          // shot at residency (repeat seeds then hit the LRU directly); a
+          // lost duel just serves from the consumed pin.
+          shard.root_prefetched.erase(key);
+          pinned_bytes_.fetch_sub(ball->bytes(), std::memory_order_relaxed);
+          pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+          pin_hits_.fetch_add(1, std::memory_order_relaxed);
+          shard.pinned.erase(pin);
+          const std::size_t incoming = ball->bytes();
+          if (incoming <= shard_budget_ && admit(shard, key, incoming)) {
+            shard.lru.push_front(Entry{key, ball, incoming});
+            shard.map.emplace(key, shard.lru.begin());
+            shard.bytes += incoming;
+            total_bytes_.fetch_add(incoming, std::memory_order_relaxed);
+          }
+        }
+        count_hit(kind, /*deduped=*/false);
+        return {std::move(ball), /*hit=*/true, /*deduped=*/false,
+                /*pinned=*/true, 0.0};
+      }
     }
     if (const auto it = shard.in_flight.find(key);
         it != shard.in_flight.end()) {
-      if (kind == FetchKind::kPrefetch) {
+      if (is_prefetch(kind)) {
         // The ball is already on its way into the cache; parking a
         // prefetch thread on someone else's BFS would serialize the whole
-        // lookahead pipeline for zero work. Report a (ball-less) hit.
+        // lookahead pipeline for zero work. Report a (ball-less) hit. A
+        // pinned root prefetch still needs its handoff: mark the key so
+        // the completing extraction pins (and records) on its behalf —
+        // otherwise a root/stage-lookahead race on one key would silently
+        // skip the pin and the claim could re-pay the BFS.
+        if (kind == FetchKind::kPinnedRootPrefetch) {
+          shard.pin_on_complete.insert(key);
+        }
         count_hit(kind, /*deduped=*/true);
-        return {nullptr, /*hit=*/true, /*deduped=*/true, 0.0};
+        return {nullptr, /*hit=*/true, /*deduped=*/true, /*pinned=*/false,
+                0.0};
       }
       // Another thread is extracting this very ball; wait for its result
       // outside the lock instead of duplicating the BFS.
       std::shared_future<BallPtr> pending = it->second;
       lock.unlock();
-      BallPtr ball = pending.get();  // rethrows the extractor's exception
+      BallPtr ball;
+      try {
+        ball = pending.get();  // rethrows the extractor's exception
+      } catch (...) {
+        // The access still happened: count it before surfacing the
+        // extractor's failure, or hit/miss totals silently drift under
+        // failures (a miss, not a hit — nothing was served).
+        count_miss(kind);
+        throw;
+      }
       count_hit(kind, /*deduped=*/true);
-      return {std::move(ball), /*hit=*/true, /*deduped=*/true, 0.0};
+      return {std::move(ball), /*hit=*/true, /*deduped=*/true,
+              /*pinned=*/false, 0.0};
     }
     shard.in_flight.emplace(key, promise.get_future().share());
   }
@@ -131,8 +267,15 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
   } catch (...) {
     // Unblock any waiters with the same failure, then unclaim the key.
     promise.set_exception(std::current_exception());
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.in_flight.erase(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.in_flight.erase(key);
+      // A deduped pinned root prefetch may have asked this extraction to
+      // pin for it; the request dies with the extraction — a stale entry
+      // would misclassify the NEXT successful extraction of this key.
+      if (!shard.pin_on_complete.empty()) shard.pin_on_complete.erase(key);
+    }
+    count_miss(kind);  // the access happened; keep the totals honest
     throw;
   }
   const double extract_seconds = timer.elapsed_seconds();
@@ -144,6 +287,17 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.in_flight.erase(key);
     shard.extraction_seconds += extract_seconds;
+    // A deduped pinned root prefetch may have asked this extraction to
+    // pin on its behalf; honoring it counts as a root-prefetch extraction
+    // for the re-extraction records too.
+    const bool pin_requested = !shard.pin_on_complete.empty() &&
+                               shard.pin_on_complete.erase(key) > 0;
+    note_extraction(shard, key,
+                    pin_requested ? FetchKind::kPinnedRootPrefetch : kind,
+                    incoming);
+    if (kind == FetchKind::kPinnedRootPrefetch || pin_requested) {
+      maybe_pin(shard, key, ball);
+    }
     // clear() may have raced ahead of this insertion; re-check the map in
     // case another extraction of the same key landed first (possible only
     // across a clear()).
@@ -155,37 +309,14 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
       total_bytes_.fetch_add(incoming, std::memory_order_relaxed);
     }
   }
-  return {std::move(ball), /*hit=*/false, /*deduped=*/false, extract_seconds};
+  return {std::move(ball), /*hit=*/false, /*deduped=*/false,
+          /*pinned=*/false, extract_seconds};
 }
 
-bool ShardedBallCache::admit(Shard& shard, const BallKey& key,
-                             std::size_t incoming) {
-  if (shard.sketch != nullptr && shard.bytes + incoming > shard_budget_) {
-    // TinyLFU gate, decided before touching the LRU: walk would-be victims
-    // from the cold end and reject the candidate outright if any of them
-    // is estimated at least as hot (ties keep the resident — one-shot
-    // scan keys all estimate ~1 and can never displace a ball that has
-    // been hit repeatedly). Rejecting before evicting means a lost duel
-    // costs nothing: the shard is left exactly as it was.
-    const std::uint32_t candidate =
-        shard.sketch->estimate(splitmix64(key.packed()));
-    std::size_t reclaimed = 0;
-    for (auto it = shard.lru.rbegin();
-         it != shard.lru.rend() && shard.bytes - reclaimed + incoming >
-                                       shard_budget_;
-         ++it) {
-      if (shard.sketch->estimate(splitmix64(it->key.packed())) >= candidate) {
-        admission_rejects_.fetch_add(1, std::memory_order_relaxed);
-        return false;
-      }
-      reclaimed += it->ball_bytes;
-    }
-  }
-  evict_until_fits(shard, incoming);
-  return true;
-}
-
-void ShardedBallCache::evict_until_fits(Shard& shard, std::size_t incoming) {
+void ShardedBallCache::evict_lru_until_fits(Shard& shard,
+                                            std::size_t incoming) {
+  // kAlways: exact LRU order, allocation-free — this runs under the
+  // contended shard mutex on every insert that needs room.
   while (!shard.lru.empty() && shard.bytes + incoming > shard_budget_) {
     const Entry& victim = shard.lru.back();
     shard.bytes -= victim.ball_bytes;
@@ -194,7 +325,92 @@ void ShardedBallCache::evict_until_fits(Shard& shard, std::size_t incoming) {
     shard.lru.pop_back();  // pinned readers keep the ball alive via BallPtr
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+std::vector<std::list<ShardedBallCache::Entry>::iterator>
+ShardedBallCache::plan_evictions(Shard& shard, std::size_t incoming) const {
+  std::vector<std::list<Entry>::iterator> victims;
+  std::size_t reclaimed = 0;
+  const auto need_more = [&] {
+    return shard.bytes - reclaimed + incoming > shard_budget_;
+  };
+  // Candidates roll in from the cold end; the last kEvictionScanWindow
+  // entries compete and the coldest-by-sketch goes first (strict < keeps
+  // the least-recently-used on ties), so a hot ball that drifted to the
+  // tail between bursts outlives one-shot entries that are merely more
+  // recent. Each entry is estimated once, as it enters the window —
+  // estimates cannot change mid-plan (the lock is held) — and the window
+  // is a fixed-size stack array: this runs under the contended shard
+  // mutex, so the only heap allocation left is the victims list itself.
+  auto next = shard.lru.rbegin();
+  std::array<std::pair<std::list<Entry>::iterator, std::uint32_t>,
+             kEvictionScanWindow>
+      window;
+  std::size_t window_size = 0;
+  while (need_more()) {
+    while (window_size < kEvictionScanWindow && next != shard.lru.rend()) {
+      const auto it = std::prev(next.base());
+      window[window_size++] = {
+          it, shard.sketch->estimate(splitmix64(it->key.packed()))};
+      ++next;
+    }
+    if (window_size == 0) break;  // whole shard planned away
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < window_size; ++i) {
+      if (window[i].second < window[pick].second) pick = i;
+    }
+    reclaimed += window[pick].first->ball_bytes;
+    victims.push_back(window[pick].first);
+    // Compact in place (order carries the LRU tie-break; ≤ 7 moves).
+    for (std::size_t i = pick + 1; i < window_size; ++i) {
+      window[i - 1] = window[i];
+    }
+    --window_size;
+  }
+  return victims;
+}
+
+void ShardedBallCache::evict(
+    Shard& shard, const std::vector<std::list<Entry>::iterator>& victims) {
+  for (const auto& it : victims) {
+    shard.bytes -= it->ball_bytes;
+    total_bytes_.fetch_sub(it->ball_bytes, std::memory_order_relaxed);
+    shard.map.erase(it->key);
+    shard.lru.erase(it);  // pinned readers keep the ball alive via BallPtr
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool ShardedBallCache::admit(Shard& shard, const BallKey& key,
+                             std::size_t incoming) {
+  if (shard.sketch == nullptr) {
+    evict_lru_until_fits(shard, incoming);
+    MELO_CHECK(shard.bytes + incoming <= shard_budget_);
+    return true;
+  }
+  // kTinyLFU — plan first, mutate last: the duel below runs against
+  // exactly the victims sketch-informed eviction would take, so admission
+  // and eviction can never disagree about who goes — and a lost duel
+  // costs nothing, the shard is left exactly as it was.
+  const std::vector<std::list<Entry>::iterator> victims =
+      plan_evictions(shard, incoming);
+  if (!victims.empty()) {
+    // TinyLFU gate: the candidate must be estimated strictly hotter than
+    // every victim it displaces (ties keep the residents — one-shot scan
+    // keys all estimate ~1 and can never displace a ball that has been
+    // hit repeatedly).
+    const std::uint32_t candidate =
+        shard.sketch->estimate(splitmix64(key.packed()));
+    for (const auto& it : victims) {
+      if (shard.sketch->estimate(splitmix64(it->key.packed())) >= candidate) {
+        admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+  }
+  evict(shard, victims);
   MELO_CHECK(shard.bytes + incoming <= shard_budget_);
+  return true;
 }
 
 ShardedBallCache::Stats ShardedBallCache::stats() const {
@@ -207,7 +423,26 @@ ShardedBallCache::Stats ShardedBallCache::stats() const {
   s.prefetch_misses = prefetch_misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
+  s.pins_installed = pins_installed_.load(std::memory_order_relaxed);
+  s.pin_hits = pin_hits_.load(std::memory_order_relaxed);
+  s.pins_expired = pins_expired_.load(std::memory_order_relaxed);
+  s.root_reextractions =
+      root_reextractions_.load(std::memory_order_relaxed);
   return s;
+}
+
+void ShardedBallCache::drop_pins() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, ball] : shard->pinned) {
+      pinned_bytes_.fetch_sub(ball->bytes(), std::memory_order_relaxed);
+      pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+      pins_expired_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard->pinned.clear();
+    shard->root_prefetched.clear();
+    shard->pin_on_complete.clear();
+  }
 }
 
 std::size_t ShardedBallCache::entries() const {
@@ -236,7 +471,22 @@ void ShardedBallCache::clear() {
     total_bytes_.fetch_sub(shard->bytes, std::memory_order_relaxed);
     shard->bytes = 0;
     shard->extraction_seconds = 0.0;
+    // The sketch must reset with the residents: stale popularity from
+    // before the reset would otherwise veto admission of the next working
+    // set (every new ball would lose its duel against phantoms).
+    if (shard->sketch != nullptr) shard->sketch->clear();
+    for (const auto& [key, ball] : shard->pinned) {
+      pinned_bytes_.fetch_sub(ball->bytes(), std::memory_order_relaxed);
+      pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard->pinned.clear();
+    shard->root_prefetched.clear();
+    shard->pin_on_complete.clear();
     // in_flight is left alone: those extractions complete normally.
+  }
+  ewma_ball_bytes_.store(0.0, std::memory_order_relaxed);
+  for (std::atomic<double>& ewma : ewma_by_radius_) {
+    ewma.store(0.0, std::memory_order_relaxed);
   }
   // Zero the counters as one unit: stats() holds the same mutex, so a
   // snapshot sees either the pre-reset or the post-reset world, never a
@@ -249,6 +499,10 @@ void ShardedBallCache::clear() {
   prefetch_misses_.store(0);
   evictions_.store(0);
   admission_rejects_.store(0);
+  pins_installed_.store(0);
+  pin_hits_.store(0);
+  pins_expired_.store(0);
+  root_reextractions_.store(0);
 }
 
 }  // namespace meloppr::core

@@ -32,10 +32,30 @@
 //     carries a 4-bit count-min sketch of ball access frequency (every
 //     fetch records its key; the sketch is halved periodically so history
 //     ages out). When retaining a new ball would evict residents, the
-//     candidate must be estimated strictly hotter than every LRU victim it
+//     candidate must be estimated strictly hotter than every victim it
 //     displaces, or it is served without being retained — so a one-pass
 //     scan of cold seeds can never flush the hot hub balls the serving
 //     pipeline depends on. kAlways (the default) is plain LRU.
+//
+//   * Sketch-informed eviction. Under kTinyLFU the victims themselves are
+//     chosen by frequency, not recency alone: eviction scans the last
+//     kEvictionScanWindow LRU entries and takes the coldest-by-sketch
+//     first, so a hot ball that merely drifted to the cold end (a
+//     mid-recency hub between bursts) outlives one-shot entries that are
+//     more recent. The admission duel above is run against exactly the
+//     victims this selection would take, so the two policies never
+//     disagree. kAlways keeps pure LRU order.
+//
+//   * Pinned prefetch handoff. A root-prefetched ball (FetchKind::
+//     kPinnedRootPrefetch) is additionally held in a bounded per-shard
+//     side-table keyed by its BallKey, outside the LRU and outside the
+//     byte budget, until the first demand fetch consumes it or drop_pins()
+//     ends the batch. A TinyLFU retention rejection (or an eviction racing
+//     the claim) can therefore no longer waste the prefetch BFS: the
+//     claiming worker is served from the pin. Both root-prefetch kinds
+//     also record their keys so root_reextractions can count the PR 4
+//     failure mode (a root-prefetched ball re-extracted on the demand
+//     path) — zero when pinning is on and the pin table has capacity.
 #pragma once
 
 #include <atomic>
@@ -46,6 +66,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/ball_cache.hpp"
@@ -60,17 +81,26 @@ class ShardedBallCache {
   using BallPtr = std::shared_ptr<const graph::Subgraph>;
 
   /// Who is asking — demand fetches feed hit_rate(); prefetch fetches are
-  /// tallied separately so lookahead traffic cannot inflate it.
-  enum class FetchKind { kDemand, kPrefetch };
+  /// tallied separately so lookahead traffic cannot inflate it. The two
+  /// root kinds mark cross-query root lookahead: both record their keys
+  /// for re-extraction accounting, and kPinnedRootPrefetch additionally
+  /// holds the ball in the pinned side-table until its seed is claimed.
+  enum class FetchKind {
+    kDemand,
+    kPrefetch,            ///< stage lookahead
+    kRootPrefetch,        ///< root lookahead, unpinned (PR 4 behavior)
+    kPinnedRootPrefetch,  ///< root lookahead with pinned handoff
+  };
 
   /// What one fetch() did, for per-task attribution.
   struct Fetch {
-    /// The ball — always set for demand fetches. A kPrefetch fetch that
-    /// finds the key already being extracted returns hit=true with a null
-    /// ball instead of parking on the other thread's BFS.
+    /// The ball — always set for demand fetches. A prefetch-kind fetch
+    /// that finds the key already being extracted returns hit=true with a
+    /// null ball instead of parking on the other thread's BFS.
     BallPtr ball;
     bool hit = false;      ///< served without running a BFS on this thread
     bool deduped = false;  ///< joined/observed another thread's extraction
+    bool pinned = false;   ///< served from the pinned prefetch side-table
     double extract_seconds = 0.0;  ///< BFS time paid by THIS call (0 on hit)
   };
 
@@ -79,10 +109,13 @@ class ShardedBallCache {
   /// `admission` selects the retention policy (see CacheAdmission in
   /// config.hpp); kTinyLFU costs ~4 KiB of sketch per shard and one sketch
   /// update per fetch, both under the shard lock the fetch already holds.
+  /// `pin_capacity` bounds the pinned side-table (total entries across all
+  /// shards; pins beyond it are skipped, never evict one another).
   /// Throws std::invalid_argument on a zero budget.
   ShardedBallCache(const graph::Graph& g, std::size_t byte_budget,
                    std::size_t shards = 0,
-                   CacheAdmission admission = CacheAdmission::kAlways);
+                   CacheAdmission admission = CacheAdmission::kAlways,
+                   std::size_t pin_capacity = kDefaultPinCapacity);
 
   /// Returns the ball around `root` with the given radius, extracting it on
   /// a miss (or waiting for a concurrent extraction of the same key). Safe
@@ -96,6 +129,14 @@ class ShardedBallCache {
   }
 
   static constexpr std::size_t kDefaultShards = 16;
+  /// Default bound of the pinned side-table: sized for a deep root-prefetch
+  /// horizon (the adaptive window tops out well below this) times a few
+  /// concurrent batches.
+  static constexpr std::size_t kDefaultPinCapacity = 256;
+  /// How far into the LRU tail sketch-informed eviction looks for a colder
+  /// victim. 1 would be pure LRU; larger windows protect hot balls deeper
+  /// into the list at the cost of a slightly longer scan per eviction.
+  static constexpr std::size_t kEvictionScanWindow = 8;
 
   /// One coherent view of the cache-wide counters. Taken as a unit so a
   /// concurrent clear() can never split a reader's view (e.g. hits read
@@ -110,6 +151,13 @@ class ShardedBallCache {
     std::size_t prefetch_misses = 0;
     std::size_t evictions = 0;          ///< residents displaced for room
     std::size_t admission_rejects = 0;  ///< TinyLFU: served, not retained
+    std::size_t pins_installed = 0;     ///< balls held in the pin table
+    std::size_t pin_hits = 0;           ///< demand fetches served from a pin
+    std::size_t pins_expired = 0;       ///< pins discarded unconsumed
+    /// Root-prefetched balls whose BFS was paid AGAIN by a later demand
+    /// fetch — the waste the pinned handoff exists to eliminate (0 while
+    /// pinning is on and the pin table has capacity).
+    std::size_t root_reextractions = 0;
     /// Demand hit rate (prefetch traffic excluded).
     [[nodiscard]] double hit_rate() const {
       const std::size_t total = hits + misses;
@@ -144,6 +192,58 @@ class ShardedBallCache {
   /// Demand hit rate (prefetch traffic excluded); stats().hit_rate().
   [[nodiscard]] double hit_rate() const { return stats().hit_rate(); }
 
+  // --- pinned prefetch handoff ---
+  /// Balls held in the pinned side-table so far (kPinnedRootPrefetch).
+  [[nodiscard]] std::size_t pins_installed() const {
+    return pins_installed_.load();
+  }
+  /// Demand fetches served from a pin (the handoff paying off).
+  [[nodiscard]] std::size_t pin_hits() const { return pin_hits_.load(); }
+  /// Pins discarded without a demand consumer (drop_pins/clear, or the
+  /// pinned key turning out to be resident when claimed).
+  [[nodiscard]] std::size_t pins_expired() const {
+    return pins_expired_.load();
+  }
+  /// Root-prefetched balls re-extracted by the demand path (see Stats).
+  [[nodiscard]] std::size_t root_reextractions() const {
+    return root_reextractions_.load();
+  }
+  /// Currently pinned balls / their footprint (outside bytes()).
+  [[nodiscard]] std::size_t pinned_entries() const {
+    return pinned_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t pinned_bytes() const {
+    return pinned_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t pin_capacity() const { return pin_capacity_; }
+  /// Discards every unconsumed pin and the root-prefetch key records (the
+  /// batch is over; an unclaimed pin's speculation did not pay off). Balls
+  /// still held by readers survive via their shared_ptr.
+  void drop_pins();
+
+  /// EWMA of the ball bytes of recent extractions (demand and prefetch,
+  /// all radii mixed), 0 before the first completed extraction. Unlike
+  /// bytes()/entries() it is defined on an empty cache and tracks the
+  /// working set actually flowing through, not what admission happened to
+  /// retain.
+  [[nodiscard]] std::size_t ewma_ball_bytes() const {
+    return static_cast<std::size_t>(
+        ewma_ball_bytes_.load(std::memory_order_relaxed));
+  }
+
+  /// Per-radius variant: the EWMA over extractions of exactly this radius
+  /// (0 before the first one). The adaptive root-prefetch controller uses
+  /// the stage-0 radius here to convert its spare-budget byte cap into a
+  /// seed count — the mixed EWMA above would be dragged toward the
+  /// (often much smaller) later-stage balls by stage lookahead and
+  /// overestimate how many stage-0 seeds the cap affords. Radii beyond
+  /// kEwmaRadiusSlots-1 share the last slot.
+  [[nodiscard]] std::size_t ewma_ball_bytes(unsigned radius) const {
+    return static_cast<std::size_t>(
+        ewma_by_radius_[radius_slot(radius)].load(
+            std::memory_order_relaxed));
+  }
+
   /// Current cached footprint across all shards (Subgraph::bytes() sums).
   /// Lock-free (an atomic total maintained on insert/evict): safe to poll
   /// from the per-task hot path without re-serializing the shards.
@@ -157,9 +257,12 @@ class ShardedBallCache {
   /// Total BFS seconds paid on misses, by whichever thread ran them.
   [[nodiscard]] double extraction_seconds() const;
 
-  /// Drops every cached ball and zeroes the statistics. Balls still pinned
-  /// by outstanding BallPtrs survive until released. Extractions in flight
-  /// complete and are inserted afterwards (their stats land post-clear).
+  /// Drops every cached ball, every pin, the frequency sketches, and the
+  /// statistics — a full reset to the constructed state. The sketches must
+  /// go too: stale popularity from before the reset would otherwise veto
+  /// admission of the next working set. Balls still pinned by outstanding
+  /// BallPtrs survive until released. Extractions in flight complete and
+  /// are inserted afterwards (their stats land post-clear).
   void clear();
 
  private:
@@ -180,6 +283,10 @@ class ShardedBallCache {
     /// Frequency estimate: the minimum counter across rows (classic
     /// count-min — overestimates only, never underestimates).
     [[nodiscard]] std::uint32_t estimate(std::uint64_t mixed) const;
+    /// Zeroes every counter — used by ShardedBallCache::clear() so
+    /// popularity from before a reset cannot veto admission of the next
+    /// working set.
+    void clear();
 
    private:
     static constexpr std::size_t kRows = 4;
@@ -206,6 +313,19 @@ class ShardedBallCache {
     double extraction_seconds = 0.0;  ///< guarded by mu
     /// Ball access frequencies (kTinyLFU only); guarded by mu.
     std::unique_ptr<FrequencySketch> sketch;
+    /// Pinned prefetch handoff: root-prefetched balls held until their
+    /// seed is claimed or drop_pins(); guarded by mu, bounded globally by
+    /// pin_capacity_.
+    std::unordered_map<BallKey, BallPtr, BallKeyHash> pinned;
+    /// Keys extracted by a root-prefetch fetch since the last drop_pins(),
+    /// so a later demand extraction of one of them can be counted as a
+    /// re-extraction; guarded by mu, capped at kRootRecordCap entries.
+    std::unordered_set<BallKey, BallKeyHash> root_prefetched;
+    /// Keys whose in-flight extraction (claimed by another fetch kind) a
+    /// kPinnedRootPrefetch deduped onto: the completing extraction pins
+    /// the ball on these keys' behalf, so the handoff guarantee holds
+    /// even when root and stage lookahead race on one key; guarded by mu.
+    std::unordered_set<BallKey, BallKeyHash> pin_on_complete;
   };
 
   [[nodiscard]] Shard& shard_for(const BallKey& key) {
@@ -216,20 +336,61 @@ class ShardedBallCache {
 
   void count_hit(FetchKind kind, bool deduped);
   void count_miss(FetchKind kind);
+  /// Both root kinds plus plain stage lookahead share prefetch tallies.
+  [[nodiscard]] static bool is_prefetch(FetchKind kind) {
+    return kind != FetchKind::kDemand;
+  }
+  [[nodiscard]] static bool is_root_prefetch(FetchKind kind) {
+    return kind == FetchKind::kRootPrefetch ||
+           kind == FetchKind::kPinnedRootPrefetch;
+  }
 
-  /// Must hold `shard.mu`. Evicts LRU entries until `incoming` fits.
-  void evict_until_fits(Shard& shard, std::size_t incoming);
+  /// Upper bound on per-shard root-prefetch key records — an accounting
+  /// safety valve for batches that never drop_pins(); far above any real
+  /// batch's root count.
+  static constexpr std::size_t kRootRecordCap = 4096;
+
+  /// Must hold `shard.mu`. kAlways eviction: walks the LRU tail in place
+  /// (allocation-free — this is the hot insert path) until `incoming`
+  /// fits.
+  void evict_lru_until_fits(Shard& shard, std::size_t incoming);
+
+  /// Must hold `shard.mu`; kTinyLFU only (`shard.sketch != nullptr`).
+  /// Selects the victims (in eviction order) that would make room for
+  /// `incoming` bytes, without mutating the shard: coldest-by-sketch
+  /// within the last kEvictionScanWindow entries, each entry estimated
+  /// once as it enters the window (ties keep the least-recently-used).
+  /// Stops once enough bytes are covered.
+  [[nodiscard]] std::vector<std::list<Entry>::iterator> plan_evictions(
+      Shard& shard, std::size_t incoming) const;
+
+  /// Must hold `shard.mu`. Erases the planned victims and updates the
+  /// byte accounting.
+  void evict(Shard& shard,
+             const std::vector<std::list<Entry>::iterator>& victims);
 
   /// Must hold `shard.mu`. Applies the admission policy for a ball of
   /// `incoming` bytes keyed `key`: evicts victims and returns true when
   /// the ball should be retained, or returns false (TinyLFU reject —
-  /// nothing evicted) when a needed victim is estimated hotter.
+  /// nothing evicted) when a needed victim is estimated at least as hot.
   bool admit(Shard& shard, const BallKey& key, std::size_t incoming);
+
+  /// Must hold `shard.mu`. Records one extraction's footprint into the
+  /// recent-ball-bytes EWMA and, for root-prefetch kinds, into the
+  /// shard's re-extraction records; counts a demand extraction of a
+  /// recorded key as a re-extraction.
+  void note_extraction(Shard& shard, const BallKey& key, FetchKind kind,
+                       std::size_t incoming);
+
+  /// Must hold `shard.mu`. Installs `ball` in the pinned side-table if
+  /// capacity allows (no-op when the key is already pinned).
+  void maybe_pin(Shard& shard, const BallKey& key, const BallPtr& ball);
 
   const graph::Graph* graph_;
   std::size_t budget_;
   std::size_t shard_budget_;
   CacheAdmission admission_;
+  std::size_t pin_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<std::size_t> hits_{0};
@@ -239,6 +400,22 @@ class ShardedBallCache {
   std::atomic<std::size_t> prefetch_misses_{0};
   std::atomic<std::size_t> evictions_{0};
   std::atomic<std::size_t> admission_rejects_{0};
+  std::atomic<std::size_t> pins_installed_{0};
+  std::atomic<std::size_t> pin_hits_{0};
+  std::atomic<std::size_t> pins_expired_{0};
+  std::atomic<std::size_t> root_reextractions_{0};
+  /// Live pin table occupancy/footprint (outside the byte budget).
+  std::atomic<std::size_t> pinned_count_{0};
+  std::atomic<std::size_t> pinned_bytes_{0};
+  /// Recent-extraction ball size estimates; CAS-updated, read lock-free.
+  /// One mixed estimate plus direct-indexed per-radius slots (real stage
+  /// radii are single digits; larger ones share the last slot).
+  static constexpr std::size_t kEwmaRadiusSlots = 64;
+  [[nodiscard]] static std::size_t radius_slot(unsigned radius) {
+    return radius < kEwmaRadiusSlots ? radius : kEwmaRadiusSlots - 1;
+  }
+  std::atomic<double> ewma_ball_bytes_{0.0};
+  std::atomic<double> ewma_by_radius_[kEwmaRadiusSlots] = {};
   /// Sum of per-shard bytes, updated under the owning shard's mutex.
   std::atomic<std::size_t> total_bytes_{0};
   /// Serializes counter *resets* against stats() snapshots. Increments are

@@ -1,0 +1,110 @@
+// AdaptiveWindowController policy tests — the controller is fed explicit
+// numbers (busy seconds, wall seconds, thread count, EWMA bytes, byte cap)
+// precisely so these run without threads or clocks: every regime of the
+// root-prefetch window policy is pinned deterministically.
+#include "core/adaptive_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+namespace meloppr::core {
+namespace {
+
+TEST(AdaptiveWindow, ColdStartHoldsAtFloorUntilSizeEstimateExists) {
+  // Before the first completed extraction there is no ball-size estimate,
+  // so the byte cap cannot be converted to seeds: the cold start is held
+  // at min_window (the static knob's burst) instead of opening to max
+  // into a cache of unknown per-ball capacity — the prefetched balls
+  // would churn it the moment they land.
+  AdaptiveWindowController c(4, 32);
+  EXPECT_EQ(c.window(0.0, 0.0, 2, /*ewma_ball_bytes=*/0, /*cap_bytes=*/0),
+            4u);
+  EXPECT_EQ(c.last_window(), 4u);
+  EXPECT_DOUBLE_EQ(c.idle_fraction(), 1.0);
+  // The first size estimate (with a roomy cap) releases the full width.
+  EXPECT_EQ(c.window(0.0, 0.0, 2, 1000, 1 << 20), 32u);
+}
+
+TEST(AdaptiveWindow, SaturatedThreadsNarrowToMin) {
+  AdaptiveWindowController c(1, 8);
+  // Two threads fully busy: every 100 ms interval accrues 200 ms of busy
+  // time. The smoothed idle fraction decays geometrically to ~0 and the
+  // window narrows to the floor. Roomy cap + known ball size throughout,
+  // so only the idle signal drives the width.
+  double wall = 0.0;
+  double busy = 0.0;
+  std::size_t last = 8;
+  for (int i = 0; i < 60; ++i) {
+    wall += 0.1;
+    busy += 0.2;
+    last = c.window(busy, wall, 2, 1000, 1 << 20);
+  }
+  EXPECT_EQ(last, 1u);
+  EXPECT_LT(c.idle_fraction(), 0.05);
+}
+
+TEST(AdaptiveWindow, IdleThreadsWidenBackToMax) {
+  AdaptiveWindowController c(1, 8);
+  double wall = 0.0;
+  double busy = 0.0;
+  for (int i = 0; i < 60; ++i) {  // saturate first
+    wall += 0.1;
+    busy += 0.2;
+    c.window(busy, wall, 2, 1000, 1 << 20);
+  }
+  ASSERT_EQ(c.last_window(), 1u);
+  std::size_t last = 0;
+  for (int i = 0; i < 60; ++i) {  // then go idle: busy stops accruing
+    wall += 0.1;
+    last = c.window(busy, wall, 2, 1000, 1 << 20);
+  }
+  EXPECT_EQ(last, 8u);
+  EXPECT_GT(c.idle_fraction(), 0.95);
+}
+
+TEST(AdaptiveWindow, ByteCapAlwaysWinsOverIdleSignal) {
+  AdaptiveWindowController c(1, 32);
+  // Fully idle, but the spare-budget cap only covers two EWMA-sized
+  // balls: the window is 2, not 32.
+  EXPECT_EQ(c.window(0.0, 0.0, 2, /*ewma_ball_bytes=*/1000,
+                     /*cap_bytes=*/2500),
+            2u);
+  // Saturated cache (cap 0) with a known ball size: the window is 0 —
+  // the corrected min(spare, budget/8) contract, a full cache never
+  // speculates.
+  EXPECT_EQ(c.window(0.0, 0.0, 2, 1000, 0), 0u);
+  EXPECT_EQ(c.last_window(), 0u);
+}
+
+TEST(AdaptiveWindow, NoSizeEstimateHoldsTheFloor) {
+  // ewma == 0 means the cache has never completed an extraction: the
+  // byte cap cannot be converted to a seed count, so the width holds at
+  // the floor rather than trusting the idle signal alone.
+  AdaptiveWindowController c(2, 16);
+  EXPECT_EQ(c.window(0.0, 0.0, 4, /*ewma_ball_bytes=*/0, /*cap_bytes=*/0),
+            2u);
+}
+
+TEST(AdaptiveWindow, TinyIntervalsReuseTheSmoothedEstimate) {
+  // Sub-millisecond intervals carry too much timer noise: the idle
+  // estimate must not move, only the caps apply.
+  AdaptiveWindowController c(1, 8);
+  EXPECT_EQ(c.window(0.0, 0.0, 2, 1000, 1 << 20), 8u);
+  // A huge busy delta over a 0.1 ms interval would read as >100% busy,
+  // but the interval is below the noise floor — idle stays put.
+  EXPECT_EQ(c.window(5.0, 1e-4, 2, 1000, 1 << 20), 8u);
+  EXPECT_DOUBLE_EQ(c.idle_fraction(), 1.0);
+}
+
+TEST(AdaptiveWindow, BoundsAreNormalized) {
+  // Degenerate bounds clamp instead of misbehaving: min 0 → 1, and a max
+  // below min is raised to min.
+  AdaptiveWindowController zero(0, 0);
+  EXPECT_EQ(zero.window(0.0, 0.0, 1, 1000, 1 << 20), 1u);
+  AdaptiveWindowController inverted(5, 2);
+  EXPECT_EQ(inverted.window(0.0, 0.0, 1, 1000, 1 << 20), 5u);
+}
+
+}  // namespace
+}  // namespace meloppr::core

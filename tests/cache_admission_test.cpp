@@ -234,6 +234,167 @@ TEST(CacheAdmission, ClearResetsRejectCountsAndSketchKeepsWorking) {
   EXPECT_EQ(cache.entries(), 1u);
 }
 
+TEST(CacheAdmission, ClearResetsSketchSoTheNextWorkingSetCanWin) {
+  // The regression: clear() used to leave the per-shard sketches
+  // populated, so popularity from before the reset kept vetoing admission
+  // of whatever the cache was reset FOR. After a clear, a new hot set
+  // accessed a few times must be able to displace the old one.
+  Graph g = graph::fixtures::cycle(600);
+  const std::size_t ball = one_ball_bytes(g, 2);
+  ShardedBallCache cache(g, 4 * ball + ball / 2, 1,
+                         CacheAdmission::kTinyLFU);
+  const std::vector<graph::NodeId> old_hot{0, 150, 300, 450};
+  for (int round = 0; round < 6; ++round) {
+    for (graph::NodeId root : old_hot) cache.get(root, 2);
+  }
+
+  cache.clear();
+  // The old set drifts back in with a single access each (an empty cache
+  // admits freely)…
+  for (graph::NodeId root : old_hot) cache.get(root, 2);
+  // …and the new hot set, hit repeatedly, must win its duels: its
+  // post-clear estimates (up to 6) beat the old set's post-clear single
+  // access. With the stale sketch the old estimates (~7) vetoed every one
+  // of these admissions and the probe below missed across the board.
+  const std::vector<graph::NodeId> new_hot{75, 225, 375, 525};
+  for (int round = 0; round < 6; ++round) {
+    for (graph::NodeId root : new_hot) cache.get(root, 2);
+  }
+  const ShardedBallCache::Stats before = cache.stats();
+  for (graph::NodeId root : new_hot) cache.get(root, 2);
+  const ShardedBallCache::Stats after = cache.stats();
+  EXPECT_EQ(after.hits - before.hits, new_hot.size());
+}
+
+TEST(CacheAdmission, SketchInformedEvictionProtectsMidRecencyHotBall) {
+  // Eviction order is frequency-informed under kTinyLFU: the coldest-by-
+  // sketch entry within the LRU-tail scan window goes first, so a hot
+  // ball that merely drifted to the cold end outlives one-shot entries
+  // that are more recent. Under the old pure-LRU victim order the hot
+  // ball H was the mandatory victim, so the candidate below stayed
+  // rejected until it out-estimated H itself.
+  Graph g = graph::fixtures::cycle(600);
+  const std::size_t ball = one_ball_bytes(g, 2);
+  ShardedBallCache cache(g, 4 * ball + ball / 2, 1,
+                         CacheAdmission::kTinyLFU);
+  const graph::NodeId hot = 0;
+  for (int i = 0; i < 5; ++i) cache.get(hot, 2);  // estimate 5, resident
+  // Three one-shot colds fill the budget; `hot` is now least recent.
+  for (graph::NodeId cold : {100u, 200u, 300u}) cache.get(cold, 2);
+  ASSERT_EQ(cache.entries(), 4u);
+
+  // A new candidate with estimate 2: hotter than the one-shot colds,
+  // colder than `hot`. Its second fetch must be admitted by evicting a
+  // cold — not `hot`, and not rejected.
+  cache.get(400, 2);  // estimate 1: ties the colds, rejected
+  EXPECT_EQ(cache.admission_rejects(), 1u);
+  cache.get(400, 2);  // estimate 2: beats the cold victim, admitted
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  const ShardedBallCache::Stats before = cache.stats();
+  cache.get(hot, 2);  // mid-recency hot ball survived the eviction
+  cache.get(400, 2);  // and the admitted candidate is resident
+  const ShardedBallCache::Stats after = cache.stats();
+  EXPECT_EQ(after.hits - before.hits, 2u);
+}
+
+TEST(CacheAdmission, PinnedHandoffServesAdmissionRejectedBall) {
+  // A root-prefetched cold ball loses its TinyLFU duel against hot
+  // residents — but the pin keeps the BFS useful: the claiming demand
+  // fetch is served from the side-table instead of re-extracting.
+  Graph g = graph::fixtures::cycle(600);
+  const std::size_t ball = one_ball_bytes(g, 2);
+  ShardedBallCache cache(g, 2 * ball + ball / 2, 1,
+                         CacheAdmission::kTinyLFU);
+  for (int round = 0; round < 4; ++round) {
+    cache.get(10, 2);
+    cache.get(200, 2);
+  }
+
+  const ShardedBallCache::Fetch prefetched =
+      cache.fetch(400, 2, ShardedBallCache::FetchKind::kPinnedRootPrefetch);
+  EXPECT_FALSE(prefetched.hit);
+  EXPECT_GT(cache.admission_rejects(), 0u);  // retention lost the duel
+  EXPECT_EQ(cache.pins_installed(), 1u);     // …but the ball is pinned
+  EXPECT_EQ(cache.pinned_entries(), 1u);
+
+  const std::size_t misses_before = cache.stats().misses;
+  const ShardedBallCache::Fetch claimed =
+      cache.fetch(400, 2, ShardedBallCache::FetchKind::kDemand);
+  EXPECT_TRUE(claimed.hit);
+  EXPECT_TRUE(claimed.pinned);
+  ASSERT_NE(claimed.ball, nullptr);
+  EXPECT_EQ(claimed.ball->num_nodes(), prefetched.ball->num_nodes());
+  EXPECT_EQ(cache.stats().misses, misses_before);  // no BFS re-paid
+  EXPECT_EQ(cache.pin_hits(), 1u);
+  EXPECT_EQ(cache.pinned_entries(), 0u);  // consumed by the claim
+  EXPECT_EQ(cache.root_reextractions(), 0u);
+}
+
+TEST(CacheAdmission, DedupedPinnedRootPrefetchStillPins) {
+  // A pinned root prefetch racing a stage-lookahead prefetch of the SAME
+  // key must not lose its handoff: whichever thread wins the in-flight
+  // claim, the completing extraction pins on the root prefetch's behalf
+  // (pin_on_complete), so the demand claim is served without re-running
+  // the BFS in every interleaving.
+  Graph g = graph::fixtures::cycle(600);
+  const std::size_t ball = one_ball_bytes(g, 2);
+  ShardedBallCache cache(g, 2 * ball + ball / 2, 1,
+                         CacheAdmission::kTinyLFU);
+  for (int round = 0; round < 4; ++round) {
+    cache.get(10, 2);  // hot residents: the cold key loses its duel
+    cache.get(200, 2);
+  }
+
+  std::thread stage([&] {
+    try {
+      cache.fetch(400, 2, ShardedBallCache::FetchKind::kPrefetch);
+    } catch (...) {
+    }
+  });
+  std::thread root([&] {
+    try {
+      cache.fetch(400, 2, ShardedBallCache::FetchKind::kPinnedRootPrefetch);
+    } catch (...) {
+    }
+  });
+  stage.join();
+  root.join();
+
+  const std::size_t misses_before = cache.stats().misses;
+  const ShardedBallCache::Fetch claimed =
+      cache.fetch(400, 2, ShardedBallCache::FetchKind::kDemand);
+  EXPECT_TRUE(claimed.hit);
+  EXPECT_EQ(cache.stats().misses, misses_before);  // no demand BFS
+  EXPECT_EQ(cache.root_reextractions(), 0u);
+}
+
+TEST(CacheAdmission, UnpinnedRootPrefetchIsReextractedAndCounted) {
+  // The PR 4 failure mode, now at least accounted for: without pinning, a
+  // served-but-rejected root prefetch leaves nothing behind, and the
+  // claiming worker pays the BFS again — root_reextractions counts it.
+  Graph g = graph::fixtures::cycle(600);
+  const std::size_t ball = one_ball_bytes(g, 2);
+  ShardedBallCache cache(g, 2 * ball + ball / 2, 1,
+                         CacheAdmission::kTinyLFU);
+  for (int round = 0; round < 4; ++round) {
+    cache.get(10, 2);
+    cache.get(200, 2);
+  }
+
+  const ShardedBallCache::Fetch prefetched =
+      cache.fetch(400, 2, ShardedBallCache::FetchKind::kRootPrefetch);
+  EXPECT_FALSE(prefetched.hit);
+  EXPECT_EQ(cache.pins_installed(), 0u);  // unpinned kind never pins
+
+  const std::size_t misses_before = cache.stats().misses;
+  const ShardedBallCache::Fetch claimed =
+      cache.fetch(400, 2, ShardedBallCache::FetchKind::kDemand);
+  EXPECT_FALSE(claimed.hit);  // the BFS ran again on the demand path
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+  EXPECT_EQ(cache.root_reextractions(), 1u);
+}
+
 }  // namespace
 }  // namespace meloppr::core
 

@@ -259,6 +259,136 @@ TEST(ServingLayer, CrossQueryRootPrefetchWarmsUpcomingSeeds) {
   }
 }
 
+TEST(ServingLayer, SaturatedCacheIssuesNoRootPrefetches) {
+  // The corrected spare-budget throttle (min(spare, budget/8), not max):
+  // a cache with no spare capacity must not speculate at all. The old
+  // inversion kept a FULL cache prefetching at 1/8-budget rate, churning
+  // exactly the small caches the throttle exists to protect. Every ball
+  // the batch touches is pre-filled, so byte accounting is constant for
+  // the whole run and the assertion is deterministic.
+  Graph g = graph::fixtures::cycle(600);
+  Engine engine(g, small_config());
+  // All radius-3 cycle balls have identical footprints; probe one.
+  std::size_t ball;
+  {
+    ShardedBallCache probe(g, 1 << 20, 1);
+    probe.get(0, 3);
+    ball = probe.bytes();
+  }
+  ASSERT_GT(ball, 0u);
+
+  // Seeds spaced ≥ 7 apart: each query touches exactly the radius-3 balls
+  // rooted in [seed-3, seed+3] (stage-1 children stay inside the stage-0
+  // ball on a cycle), so the working set is 7 balls per seed.
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId s = 0; s < 10; ++s) seeds.push_back(50 + s * 40);
+
+  for (const bool adaptive : {true, false}) {
+    CpuBackend backend(0.85);
+    // Budget = working set + half a ball: everything resident, spare
+    // pinned under one ball for the entire batch.
+    ShardedBallCache cache(g, 70 * ball + ball / 2, 1);
+    for (graph::NodeId seed : seeds) {
+      for (graph::NodeId d = 0; d < 7; ++d) cache.get(seed - 3 + d, 3);
+    }
+    ASSERT_EQ(cache.entries(), 70u);
+    ASSERT_LT(cache.byte_budget() - cache.bytes(), ball);
+    ASSERT_GT(cache.ewma_ball_bytes(), 0u);
+
+    engine.set_shared_ball_cache(&cache);
+    PipelineConfig pcfg;
+    pcfg.threads = 4;
+    pcfg.prefetch = true;
+    pcfg.prefetch_throttle = false;  // CPU backend; exercise the mechanism
+    pcfg.work_stealing = true;
+    pcfg.adaptive_root_prefetch = adaptive;
+    pcfg.root_prefetch_window = 4;
+    QueryPipeline pipeline(engine, backend, pcfg);
+    QueryPipeline::BatchStats batch;
+    pipeline.query_batch(seeds, &batch);
+    engine.set_shared_ball_cache(nullptr);
+
+    EXPECT_EQ(batch.root_prefetch_issued, 0u) << "adaptive=" << adaptive;
+    EXPECT_GT(batch.prefetch_issued, 0u);  // stage lookahead is unaffected
+    EXPECT_EQ(batch.cache_misses, 0u);     // the working set stayed warm
+  }
+}
+
+TEST(ServingLayer, AdaptiveRootPrefetchReportsWindowAndKeepsScores) {
+  // The adaptive controller replaces the fixed window: lookahead still
+  // reaches the prefetcher (bounded by max_window), telemetry lands in
+  // BatchStats, and scores never move — the controller only changes cache
+  // temperature.
+  Rng rng(103);
+  Graph g = graph::barabasi_albert(900, 2, 2, rng);
+  Engine engine(g, small_config());
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId s = 0; s < 16; ++s) seeds.push_back(s * 53 % 900);
+
+  CpuBackend backend(0.85);
+  ShardedBallCache cache(g, 128u << 20);
+  engine.set_shared_ball_cache(&cache);
+  PipelineConfig pcfg;
+  pcfg.threads = 4;
+  pcfg.prefetch = true;
+  pcfg.prefetch_throttle = false;
+  pcfg.work_stealing = true;
+  pcfg.adaptive_root_prefetch = true;
+  pcfg.root_prefetch_max_window = 8;
+  QueryPipeline pipeline(engine, backend, pcfg);
+  QueryPipeline::BatchStats batch;
+  const auto results = pipeline.query_batch(seeds, &batch);
+  engine.set_shared_ball_cache(nullptr);
+
+  ASSERT_NE(pipeline.window_controller(), nullptr);
+  EXPECT_GT(batch.root_prefetch_issued, 0u);
+  EXPECT_LE(batch.root_prefetch_issued, seeds.size());
+  EXPECT_GE(batch.last_root_prefetch_window, 1u);
+  EXPECT_LE(batch.last_root_prefetch_window, 8u);
+  EXPECT_GE(batch.prefetch_idle_fraction, 0.0);
+  EXPECT_LE(batch.prefetch_idle_fraction, 1.0);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    expect_bit_identical(engine.query(seeds[i]), results[i]);
+  }
+}
+
+TEST(ServingLayer, PinnedHandoffNeverReextractsAndKeepsScores) {
+  // Pinned prefetch handoff under admission pressure: with pinning on,
+  // zero root-prefetched balls may be re-extracted by claiming workers —
+  // the feature's hard guarantee while the pin table has capacity — and
+  // pin accounting stays consistent. Scores are bit-identical throughout.
+  Rng rng(104);
+  Graph g = graph::barabasi_albert(1000, 2, 2, rng);
+  Engine engine(g, small_config());
+  // Mixed stream: a popular head (stays hot in the sketch) + a cold tail.
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId s = 0; s < 24; ++s) {
+    seeds.push_back(s % 3 == 0 ? 7 : (s * 97 % 1000));
+  }
+
+  CpuBackend backend(0.85);
+  // Tight TinyLFU cache: cold root prefetches can lose their duels.
+  ShardedBallCache cache(g, 512u << 10, 4, CacheAdmission::kTinyLFU);
+  engine.set_shared_ball_cache(&cache);
+  PipelineConfig pcfg;
+  pcfg.threads = 4;
+  pcfg.prefetch = true;
+  pcfg.prefetch_throttle = false;
+  pcfg.work_stealing = true;
+  pcfg.root_prefetch_pinning = true;
+  QueryPipeline pipeline(engine, backend, pcfg);
+  QueryPipeline::BatchStats batch;
+  const auto results = pipeline.query_batch(seeds, &batch);
+
+  EXPECT_EQ(batch.root_reextractions, 0u);
+  EXPECT_GE(cache.pins_installed(), cache.pin_hits());
+  EXPECT_EQ(cache.pinned_entries(), 0u);  // all pins consumed or expired
+  engine.set_shared_ball_cache(nullptr);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    expect_bit_identical(engine.query(seeds[i]), results[i]);
+  }
+}
+
 TEST(ServingLayer, PrefetcherPauseGateHoldsAndReleasesWork) {
   // The farm-wait meter's mechanism in isolation: while the pause gate is
   // closed, queued requests are not touched; opening it drains them.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -275,6 +276,105 @@ TEST(ShardedBallCache, TracksExtractionSeconds) {
   EXPECT_GT(after_miss, 0.0);
   cache.get(3, 3);
   EXPECT_DOUBLE_EQ(cache.extraction_seconds(), after_miss);  // hit is free
+}
+
+TEST(ShardedBallCache, FailedExtractionStillCountsTheAccess) {
+  // A fetch whose BFS throws must still count as a miss — both the
+  // claiming thread's and every thread that deduped onto the doomed
+  // in-flight extraction. Before the fix the dedup path rethrew without
+  // counting, so hit/miss totals silently drifted under failures.
+  Graph g = graph::fixtures::cycle(100);
+  ShardedBallCache cache(g, 1 << 20, 1);
+  EXPECT_THROW(cache.fetch(999, 2, ShardedBallCache::FetchKind::kDemand),
+               std::invalid_argument);  // root out of range
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Concurrently: every access of the doomed key fails exactly once,
+  // whether it claimed the extraction, joined it in flight, or raced the
+  // un-claim — totals must equal accesses with zero hits.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 40;
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        try {
+          (void)cache.fetch(999, 3,
+                            ShardedBallCache::FetchKind::kDemand);
+        } catch (const std::invalid_argument&) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), kThreads * kIters);
+  const ShardedBallCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1 + kThreads * kIters);
+  EXPECT_EQ(s.hits, 0u);
+}
+
+TEST(ShardedBallCache, PinnedSideTableIsBoundedAndDroppable) {
+  Graph g = graph::fixtures::cycle(400);
+  ShardedBallCache cache(g, 1 << 20, 1, CacheAdmission::kAlways,
+                         /*pin_capacity=*/2);
+  cache.fetch(0, 2, ShardedBallCache::FetchKind::kPinnedRootPrefetch);
+  cache.fetch(10, 2, ShardedBallCache::FetchKind::kPinnedRootPrefetch);
+  cache.fetch(20, 2, ShardedBallCache::FetchKind::kPinnedRootPrefetch);
+  EXPECT_EQ(cache.pins_installed(), 2u);  // the third was over capacity
+  EXPECT_EQ(cache.pinned_entries(), 2u);
+  EXPECT_GT(cache.pinned_bytes(), 0u);
+  // Re-prefetching a pinned key never double-pins.
+  cache.fetch(0, 2, ShardedBallCache::FetchKind::kPinnedRootPrefetch);
+  EXPECT_EQ(cache.pinned_entries(), 2u);
+
+  cache.drop_pins();
+  EXPECT_EQ(cache.pinned_entries(), 0u);
+  EXPECT_EQ(cache.pinned_bytes(), 0u);
+  EXPECT_EQ(cache.pins_expired(), 2u);
+  EXPECT_EQ(cache.pin_hits(), 0u);
+}
+
+TEST(ShardedBallCache, ResidentClaimFreesPinEarly) {
+  // Budget is ample, so the prefetched ball is both resident and pinned;
+  // the claim is served from the LRU and the now-pointless pin is freed
+  // without counting as a pin hit.
+  Graph g = graph::fixtures::cycle(400);
+  ShardedBallCache cache(g, 1 << 20, 1);
+  cache.fetch(0, 2, ShardedBallCache::FetchKind::kPinnedRootPrefetch);
+  EXPECT_EQ(cache.pinned_entries(), 1u);
+
+  const ShardedBallCache::Fetch claimed =
+      cache.fetch(0, 2, ShardedBallCache::FetchKind::kDemand);
+  EXPECT_TRUE(claimed.hit);
+  EXPECT_FALSE(claimed.pinned);  // served from the LRU, not the pin
+  EXPECT_EQ(cache.pinned_entries(), 0u);
+  EXPECT_EQ(cache.pins_expired(), 1u);
+  EXPECT_EQ(cache.pin_hits(), 0u);
+}
+
+TEST(ShardedBallCache, ClearDropsPinsSketchAndSizeEstimate) {
+  Graph g = graph::fixtures::cycle(400);
+  ShardedBallCache cache(g, 1 << 20, 2, CacheAdmission::kTinyLFU);
+  cache.fetch(0, 2, ShardedBallCache::FetchKind::kPinnedRootPrefetch);
+  cache.get(10, 2);
+  EXPECT_GT(cache.ewma_ball_bytes(), 0u);
+  EXPECT_GT(cache.ewma_ball_bytes(2), 0u);
+  EXPECT_EQ(cache.ewma_ball_bytes(5), 0u);  // no radius-5 extraction yet
+  EXPECT_EQ(cache.pinned_entries(), 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.pinned_entries(), 0u);
+  EXPECT_EQ(cache.pinned_bytes(), 0u);
+  EXPECT_EQ(cache.ewma_ball_bytes(), 0u);
+  EXPECT_EQ(cache.ewma_ball_bytes(2), 0u);
+  const ShardedBallCache::Stats s = cache.stats();
+  EXPECT_EQ(s.pins_installed, 0u);
+  EXPECT_EQ(s.pin_hits, 0u);
+  EXPECT_EQ(s.pins_expired, 0u);
+  EXPECT_EQ(s.root_reextractions, 0u);
 }
 
 }  // namespace
