@@ -6,6 +6,7 @@
 #include "common.hpp"
 #include "graph/bfs.hpp"
 #include "ppr/diffusion.hpp"
+#include "ppr/diffusion_kernels.hpp"
 
 namespace meloppr::bench {
 namespace {
@@ -57,6 +58,43 @@ void BM_Diffusion(benchmark::State& state) {
   state.counters["edges"] = static_cast<double>(ball.num_edges());
 }
 BENCHMARK(BM_Diffusion)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+// Scalar-vs-SIMD diffusion throughput, pinned per tier (the dispatched
+// BM_Diffusion above measures whatever tier CPUID picked). Rotates through
+// a pool of balls so the numbers average over ball shapes the way a query
+// does, and reports edge_ops/s — compare the tier:0 and tier:1 rows of the
+// same (graph, radius) to read the SIMD speedup.
+void BM_DiffusionTier(benchmark::State& state) {
+  const graph::Graph& g = cached_graph(static_cast<int>(state.range(0)));
+  const auto radius = static_cast<unsigned>(state.range(1));
+  const auto tier = static_cast<ppr::KernelTier>(state.range(2));
+  if (!ppr::kernel_tier_available(tier)) {
+    state.SkipWithError("kernel tier unavailable on this machine");
+    return;
+  }
+  Rng rng(11);
+  std::vector<graph::Subgraph> balls;
+  for (int i = 0; i < 16; ++i) {
+    balls.push_back(
+        graph::extract_ball(g, graph::random_seed_node(g, rng), radius));
+  }
+  ppr::set_kernel_tier_override(tier);
+  std::size_t i = 0;
+  std::uint64_t edge_ops = 0;
+  for (auto _ : state) {
+    auto r = ppr::diffuse_from(balls[i++ % balls.size()], 0, 1.0,
+                               {0.85, radius});
+    edge_ops += r.edge_ops;
+    benchmark::DoNotOptimize(r);
+  }
+  ppr::set_kernel_tier_override(std::nullopt);
+  state.counters["edge_ops/s"] = benchmark::Counter(
+      static_cast<double>(edge_ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DiffusionTier)
+    ->ArgsProduct({{0, 1, 2}, {2, 3}, {0, 1}})
+    ->ArgNames({"graph", "radius", "tier"})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_AcceleratorDiffusion(benchmark::State& state) {
   const graph::Graph& g = cached_graph(0);

@@ -1,0 +1,207 @@
+// SIMD diffusion A/B — the runtime-dispatched kernel family of
+// ppr/diffusion_kernels against the scalar tier and the dense reference.
+//
+// Two questions, one per table:
+//   1. Throughput: edge-ops/s of the blocked scalar kernels vs the AVX2
+//      tier, per paper graph and ball radius, plus the fixed-point host
+//      path (the quantized datapath CpuBackend runs when MelopprConfig
+//      selects Numerics::kFixedPoint). The tentpole target is ≥2x on the
+//      radius-2/3 balls the paper's stages diffuse over.
+//   2. Exactness: float kernels must be BIT-identical (memcmp) to
+//      diffuse_dense_reference on every tier, and the fixed-point host
+//      kernels must match hw::Accelerator node-for-node (scores, residual,
+//      edge_ops, saturation) at the shipping q=10 config.
+//
+//   --smoke     CI mode: smaller sweep, hard assertions — exits non-zero
+//               on ANY bit difference or integer mismatch. Throughput is
+//               printed but not gated (CI machines are noisy; the speedup
+//               target is tracked by bench_micro_kernels locally).
+//   --seed N    overrides MELOPPR_RNG_SEED
+//   MELOPPR_SEEDS / MELOPPR_SCALE as usual.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "common.hpp"
+#include "graph/bfs.hpp"
+#include "ppr/diffusion.hpp"
+#include "ppr/diffusion_kernels.hpp"
+
+namespace meloppr::bench {
+namespace {
+
+using ppr::KernelTier;
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+struct BallSet {
+  std::vector<graph::Subgraph> balls;
+  std::uint64_t edges = 0;  ///< Σ ball edge counts, for sizing timing reps
+};
+
+BallSet extract_balls(const graph::Graph& g, unsigned radius,
+                      std::size_t seeds, Rng& rng) {
+  BallSet set;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    set.balls.push_back(graph::extract_ball(
+        g, graph::random_seed_node(g, rng), radius));
+    set.edges += set.balls.back().num_edges();
+  }
+  return set;
+}
+
+/// Wall-clock edge-ops/s of float diffusion over the ball set on `tier`.
+double float_throughput(const BallSet& set, unsigned length, double alpha,
+                        std::uint64_t* edge_ops_out) {
+  // Enough repetitions that the fastest tier still runs a few ms.
+  const std::size_t reps =
+      std::max<std::size_t>(1, 20'000'000 / std::max<std::uint64_t>(
+                                               1, set.edges * length));
+  std::uint64_t edge_ops = 0;
+  Timer t;
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (const graph::Subgraph& ball : set.balls) {
+      edge_ops +=
+          ppr::diffuse_from(ball, 0, 1.0, {alpha, length}).edge_ops;
+    }
+  }
+  const double seconds = t.elapsed_seconds();
+  if (edge_ops_out != nullptr) *edge_ops_out = edge_ops;
+  return static_cast<double>(edge_ops) / std::max(seconds, 1e-12);
+}
+
+/// Same, for the fixed-point host kernels.
+double fixed_throughput(const BallSet& set, unsigned length,
+                        const hw::Quantizer& quant, KernelTier tier) {
+  const std::size_t reps =
+      std::max<std::size_t>(1, 20'000'000 / std::max<std::uint64_t>(
+                                               1, set.edges * length));
+  const std::uint32_t seed_mass = quant.to_fixed(1.0);
+  std::uint64_t edge_ops = 0;
+  Timer t;
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (const graph::Subgraph& ball : set.balls) {
+      edge_ops += ppr::diffuse_fixed_point(ball, seed_mass, length, quant,
+                                           ppr::thread_workspace(), tier)
+                      .edge_ops;
+    }
+  }
+  const double seconds = t.elapsed_seconds();
+  return static_cast<double>(edge_ops) / std::max(seconds, 1e-12);
+}
+
+/// Hard exactness gate: float bit-identity vs the dense reference on every
+/// available tier, fixed-point integer identity vs the accelerator.
+/// Returns the number of mismatches (0 = pass).
+std::size_t verify_exactness(const BallSet& set, unsigned length,
+                             double alpha, const hw::Quantizer& quant) {
+  std::size_t mismatches = 0;
+  hw::AcceleratorConfig cfg;
+  hw::Accelerator accel(cfg, quant);
+  for (const graph::Subgraph& ball : set.balls) {
+    std::vector<double> s0(ball.num_nodes(), 0.0);
+    s0[0] = 1.0;
+    const ppr::DiffusionResult ref =
+        ppr::diffuse_dense_reference(ball, s0, {alpha, length});
+    const hw::AcceleratorRun hw_run =
+        accel.diffuse(ball, quant.to_fixed(1.0), length);
+    for (KernelTier tier : {KernelTier::kScalar, KernelTier::kAvx2}) {
+      if (!ppr::kernel_tier_available(tier)) continue;
+      ppr::set_kernel_tier_override(tier);
+      const ppr::DiffusionResult got =
+          ppr::diffuse(ball, s0, {alpha, length});
+      if (!bits_equal(got.accumulated, ref.accumulated) ||
+          !bits_equal(got.residual, ref.residual)) {
+        std::cout << "FAIL: float tier " << ppr::to_string(tier)
+                  << " differs from dense reference (ball root "
+                  << ball.to_global(0) << ")\n";
+        ++mismatches;
+      }
+      const ppr::FixedPointDiffusion host = ppr::diffuse_fixed_point(
+          ball, quant.to_fixed(1.0), length, quant,
+          ppr::thread_workspace(), tier);
+      if (host.accumulated != hw_run.accumulated ||
+          host.residual != hw_run.residual ||
+          host.edge_ops != hw_run.edge_ops ||
+          host.saturated != hw_run.saturated) {
+        std::cout << "FAIL: fixed-point tier " << ppr::to_string(tier)
+                  << " differs from hw::Accelerator (ball root "
+                  << ball.to_global(0) << ")\n";
+        ++mismatches;
+      }
+    }
+    ppr::set_kernel_tier_override(std::nullopt);
+  }
+  return mismatches;
+}
+
+int run(int argc, char** argv) {
+  const bool smoke = parse_bench_args(argc, argv);
+  Rng rng = banner("SIMD diffusion kernels: scalar vs AVX2 vs fixed-point");
+  const PaperSetup setup = paper_setup();
+  const std::size_t seeds = bench_seed_count(smoke ? 12 : 32);
+
+  std::cout << "dispatch: active tier = "
+            << ppr::to_string(ppr::active_kernel_tier())
+            << "  (avx2 available: "
+            << (ppr::kernel_tier_available(KernelTier::kAvx2) ? "yes" : "no")
+            << ")\n\n";
+
+  const std::vector<graph::PaperGraphId> ids =
+      smoke ? std::vector<graph::PaperGraphId>{graph::PaperGraphId::kG2Cora}
+            : graph::small_paper_graphs();
+
+  TablePrinter table({"Graph", "radius", "scalar Medge/s", "simd Medge/s",
+                      "speedup", "fx scalar", "fx simd"});
+  std::size_t mismatches = 0;
+  for (graph::PaperGraphId id : ids) {
+    graph::Graph g = build_graph(id, rng);
+    const hw::Quantizer quant = hw::Quantizer::from_graph_stats(
+        setup.alpha, setup.q, hw::DChoice::kHalfMaxDegree,
+        g.average_degree(), g.max_degree(), g.num_nodes());
+    for (unsigned radius : {2u, 3u}) {
+      const BallSet set = extract_balls(g, radius, seeds, rng);
+      mismatches += verify_exactness(set, radius, setup.alpha, quant);
+
+      ppr::set_kernel_tier_override(KernelTier::kScalar);
+      const double scalar =
+          float_throughput(set, radius, setup.alpha, nullptr);
+      const double fx_scalar =
+          fixed_throughput(set, radius, quant, KernelTier::kScalar);
+      double simd = scalar;
+      double fx_simd = fx_scalar;
+      if (ppr::kernel_tier_available(KernelTier::kAvx2)) {
+        ppr::set_kernel_tier_override(KernelTier::kAvx2);
+        simd = float_throughput(set, radius, setup.alpha, nullptr);
+        fx_simd = fixed_throughput(set, radius, quant, KernelTier::kAvx2);
+      }
+      ppr::set_kernel_tier_override(std::nullopt);
+
+      table.add_row({graph::spec_for(id).label, std::to_string(radius),
+                     fmt_fixed(scalar / 1e6, 1), fmt_fixed(simd / 1e6, 1),
+                     fmt_fixed(simd / scalar, 2) + "x",
+                     fmt_fixed(fx_scalar / 1e6, 1),
+                     fmt_fixed(fx_simd / 1e6, 1)});
+    }
+    table.add_separator();
+  }
+  std::cout << '\n' << table.ascii() << '\n';
+  std::cout << "exactness: " << (mismatches == 0 ? "PASS" : "FAIL")
+            << " — float tiers memcmp-identical to dense reference, "
+               "fixed-point host identical to hw::Accelerator\n";
+  if (smoke && mismatches != 0) {
+    std::cout << "SMOKE FAIL: " << mismatches << " mismatches\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace meloppr::bench
+
+int main(int argc, char** argv) { return meloppr::bench::run(argc, argv); }

@@ -1,7 +1,9 @@
 #include "core/backend.hpp"
 
 #include <cmath>
+#include <sstream>
 
+#include "core/config.hpp"
 #include "util/timer.hpp"
 
 namespace meloppr::core {
@@ -9,25 +11,61 @@ namespace meloppr::core {
 BackendResult CpuBackend::run(const graph::Subgraph& ball, double mass,
                               unsigned length) {
   Timer timer;
-  ppr::DiffusionResult diff = ppr::diffuse_from(
-      ball, /*local_seed=*/0, mass, ppr::DiffusionParams{alpha_, length});
+  ppr::DiffusionParams params;
+  params.alpha = alpha_;
+  params.length = length;
+  if (quantizer_.has_value()) {
+    params.numerics = ppr::Numerics::kFixedPoint;
+    params.quantizer = &*quantizer_;
+  }
+  ppr::DiffusionResult diff = ppr::diffuse_from(ball, /*local_seed=*/0, mass,
+                                                params);
   BackendResult out;
   out.compute_seconds = timer.elapsed_seconds();
   out.accumulated = std::move(diff.accumulated);
-  // ppr::diffuse returns the raw residual W^l·S0; the backend contract wants
-  // the α-scaled in-flight mass α^l·W^l·S0 (see backend.hpp).
-  const double alpha_pow = std::pow(alpha_, static_cast<double>(length));
   out.inflight = std::move(diff.residual);
-  for (double& r : out.inflight) r *= alpha_pow;
+  if (!quantizer_.has_value()) {
+    // Float mode returns the raw residual W^l·S0; the backend contract wants
+    // the α-scaled in-flight mass α^l·W^l·S0 (see backend.hpp). Fixed-point
+    // mode needs no scaling — the integer datapath applies α per step, so
+    // its residual table is α-scaled by construction (like the FPGA's).
+    const double alpha_pow = std::pow(alpha_, static_cast<double>(length));
+    for (double& r : out.inflight) r *= alpha_pow;
+  }
   out.edge_ops = diff.edge_ops;
   return out;
 }
 
 std::size_t CpuBackend::working_bytes(std::size_t ball_nodes,
                                       std::size_t /*ball_edges*/) const {
-  // The diffusion kernel holds three dense double vectors over the ball
-  // (t_k, next, accumulated) plus the active list.
-  return ball_nodes * (3 * sizeof(double) + sizeof(graph::NodeId) + 1);
+  if (quantizer_.has_value()) {
+    // Four dense uint64 lanes (u, next, acc, contrib) plus the two uint32
+    // output tables.
+    return ball_nodes * (4 * sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t));
+  }
+  // Five dense double lanes of the blocked kernel (t, next, share, recip)
+  // plus the accumulated output.
+  return ball_nodes * (5 * sizeof(double));
+}
+
+std::string CpuBackend::name() const {
+  if (!quantizer_.has_value()) return "cpu";
+  std::ostringstream os;
+  os << "cpu(fx q=" << quantizer_->q() << ")";
+  return os.str();
+}
+
+std::unique_ptr<DiffusionBackend> make_cpu_backend(
+    const graph::Graph& graph, const MelopprConfig& config) {
+  if (config.numerics == ppr::Numerics::kFloat64) {
+    return std::make_unique<CpuBackend>(config.alpha);
+  }
+  // Same derivation the FPGA harnesses use: Max referenced to |V| as a
+  // conservative stand-in for |G_L(s)|.
+  const hw::Quantizer quant = hw::Quantizer::from_graph_stats(
+      config.alpha, config.fixed_point_q, config.fixed_point_d,
+      graph.average_degree(), graph.max_degree(), graph.num_nodes());
+  return std::make_unique<CpuBackend>(config.alpha, quant);
 }
 
 }  // namespace meloppr::core

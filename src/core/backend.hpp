@@ -10,12 +10,17 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "graph/graph.hpp"
 #include "graph/subgraph.hpp"
+#include "hw/quantizer.hpp"
 #include "ppr/diffusion.hpp"
 
 namespace meloppr::core {
+
+struct MelopprConfig;
 
 /// Outcome of one per-ball diffusion, plus device-accounting metadata.
 ///
@@ -93,24 +98,45 @@ class DiffusionBackend {
   }
 };
 
-/// Host-CPU backend: wall-clock-measured ppr::diffuse.
+/// Host-CPU backend: wall-clock-measured ppr::diffuse, dispatched to the
+/// SIMD kernel family (ppr/diffusion_kernels.hpp). Two numeric modes:
+/// double precision (default), or — when constructed with a Quantizer —
+/// the accelerator's fixed-point datapath on host lanes, whose scores
+/// match the simulated FPGA node-for-node.
 class CpuBackend final : public DiffusionBackend {
  public:
   explicit CpuBackend(double alpha) : alpha_(alpha) {}
+  /// Fixed-point host numerics with the given quantizer (normally built by
+  /// make_cpu_backend from graph stats, mirroring the FPGA construction).
+  CpuBackend(double alpha, hw::Quantizer quantizer)
+      : alpha_(alpha), quantizer_(quantizer) {}
 
   BackendResult run(const graph::Subgraph& ball, double mass,
                     unsigned length) override;
   [[nodiscard]] std::size_t working_bytes(
       std::size_t ball_nodes, std::size_t ball_edges) const override;
-  [[nodiscard]] std::string name() const override { return "cpu"; }
+  [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DiffusionBackend> clone() const override {
-    return std::make_unique<CpuBackend>(alpha_);
+    return std::make_unique<CpuBackend>(*this);
   }
-  /// run() holds no mutable state — concurrent calls are safe.
+  /// run() holds no mutable state — concurrent calls are safe (the kernel
+  /// scratch is per-thread).
   [[nodiscard]] bool thread_safe() const override { return true; }
+
+  [[nodiscard]] const std::optional<hw::Quantizer>& quantizer() const {
+    return quantizer_;
+  }
 
  private:
   double alpha_;
+  std::optional<hw::Quantizer> quantizer_;
 };
+
+/// Builds the CpuBackend MelopprConfig asks for: float64, or fixed-point
+/// with a Quantizer derived from the graph's degree stats exactly the way
+/// the FPGA backends derive theirs (Max = d·|V|, α_p = round(α·2^q)) — so
+/// host and simulated-device scores are comparable at zero tolerance.
+std::unique_ptr<DiffusionBackend> make_cpu_backend(const graph::Graph& graph,
+                                                   const MelopprConfig& config);
 
 }  // namespace meloppr::core

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/selector.hpp"
+#include "hw/quantizer.hpp"
+#include "ppr/diffusion.hpp"
 
 namespace meloppr::core {
 
@@ -210,6 +212,20 @@ struct MelopprConfig {
   /// min-eviction bit-for-bit. Ignored in exact mode.
   double topck_epsilon = 0.0;
 
+  /// Numeric domain of host (CpuBackend) diffusions. kFloat64 is the
+  /// default double-precision kernel; kFixedPoint runs the accelerator's
+  /// integer datapath on host SIMD lanes (hw::Quantizer built per graph by
+  /// make_cpu_backend), reproducing simulated-FPGA scores node-for-node —
+  /// a whole serving batch can run either numerics from config alone.
+  /// Ignored by device backends, which carry their own quantizer.
+  ppr::Numerics numerics = ppr::Numerics::kFloat64;
+  /// Fixed-point shift amount q (α ≈ α_p/2^q; paper ships q=10). Only used
+  /// when numerics == kFixedPoint.
+  unsigned fixed_point_q = 10;
+  /// Policy for the quantizer's Max = d·|reference| (paper ships
+  /// d = max_degree/2). Only used when numerics == kFixedPoint.
+  hw::DChoice fixed_point_d = hw::DChoice::kHalfMaxDegree;
+
   /// Bounded-table capacity, c·k entries.
   [[nodiscard]] std::size_t table_capacity() const { return topck_c * k; }
 
@@ -247,6 +263,11 @@ struct MelopprConfig {
     if (!(topck_epsilon >= 0.0)) {  // rejects negatives and NaN
       throw std::invalid_argument(
           "MelopprConfig: topck_epsilon must be non-negative");
+    }
+    if (fixed_point_q == 0 || fixed_point_q > 16) {
+      // α_p = round(α·2^q) must fit the 16-bit hardware multiplier.
+      throw std::invalid_argument(
+          "MelopprConfig: fixed_point_q must be in [1, 16]");
     }
     selection.validate();
   }

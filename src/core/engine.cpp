@@ -15,11 +15,14 @@ Engine::Engine(const graph::Graph& g, MelopprConfig config)
 }
 
 QueryResult Engine::query(graph::NodeId seed) const {
-  CpuBackend backend(config_.alpha);
+  // Honors MelopprConfig::numerics: float64 by default, or the fixed-point
+  // host path with a graph-derived quantizer.
+  const std::unique_ptr<DiffusionBackend> backend =
+      make_cpu_backend(*graph_, config_);
   const std::unique_ptr<ScoreAggregator> aggregator = make_serial_aggregator(
       config_.aggregation, config_.k, config_.topck_c,
       config_.topck_epsilon);
-  return query(seed, backend, *aggregator);
+  return query(seed, *backend, *aggregator);
 }
 
 QueryResult Engine::query(graph::NodeId seed, DiffusionBackend& backend,

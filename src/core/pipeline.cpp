@@ -559,7 +559,10 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
     // waste — advance the horizon past them without issuing.
     from = std::max(from, next_unclaimed);
     for (std::size_t i = from; i < to; ++i) {
-      prefetcher_->enqueue(*lookahead, seeds[i], root_radius, root_kind);
+      // The stream index doubles as the claim priority: under pin-table
+      // capacity pressure the seeds closest to claim keep their pins.
+      prefetcher_->enqueue(*lookahead, seeds[i], root_radius, root_kind,
+                           /*claim_priority=*/i);
     }
     roots_issued.fetch_add(to - from, std::memory_order_relaxed);
   };

@@ -21,7 +21,8 @@ BallPrefetcher::~BallPrefetcher() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
-    queue_.clear();
+    stage_queue_.clear();
+    root_queue_.clear();
   }
   work_available_.notify_all();
   for (std::thread& t : workers_) t.join();
@@ -29,11 +30,16 @@ BallPrefetcher::~BallPrefetcher() {
 
 void BallPrefetcher::enqueue(ShardedBallCache& cache, graph::NodeId root,
                              unsigned radius,
-                             ShardedBallCache::FetchKind kind) {
+                             ShardedBallCache::FetchKind kind,
+                             std::size_t claim_priority) {
+  const bool speculative =
+      kind == ShardedBallCache::FetchKind::kRootPrefetch ||
+      kind == ShardedBallCache::FetchKind::kPinnedRootPrefetch;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) return;
-    queue_.push_back({&cache, root, radius, kind});
+    (speculative ? root_queue_ : stage_queue_)
+        .push_back({&cache, root, radius, kind, claim_priority});
   }
   issued_.fetch_add(1, std::memory_order_relaxed);
   work_available_.notify_one();
@@ -41,12 +47,14 @@ void BallPrefetcher::enqueue(ShardedBallCache& cache, graph::NodeId root,
 
 void BallPrefetcher::drop_pending() {
   std::lock_guard<std::mutex> lock(mu_);
-  queue_.clear();
+  stage_queue_.clear();
+  root_queue_.clear();
 }
 
 void BallPrefetcher::quiesce() {
   std::unique_lock<std::mutex> lock(mu_);
-  queue_.clear();
+  stage_queue_.clear();
+  root_queue_.clear();
   idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
@@ -65,7 +73,9 @@ void BallPrefetcher::worker_loop() {
     Request req{};
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      work_available_.wait(lock, [this] {
+        return stop_ || !stage_queue_.empty() || !root_queue_.empty();
+      });
       if (stop_) return;  // pending requests are best-effort; drop on stop
       if (pause_ && pause_()) {
         // Farm-wait meter: the device side is idle, so host cores belong
@@ -73,13 +83,17 @@ void BallPrefetcher::worker_loop() {
         // (a dispatch entering the farm flips the gate without notifying).
         // This poll loop is bounded to mid-batch idle windows: every
         // query()/query_batch() quiesces before returning, which empties
-        // the queue and parks workers back on the condition variable.
+        // the queues and parks workers back on the condition variable.
         lock.unlock();
         std::this_thread::sleep_for(std::chrono::microseconds(200));
         continue;
       }
-      req = queue_.front();
-      queue_.pop_front();
+      // Strict two-class priority: stage lookahead (needed by the query in
+      // flight) before speculative roots (needed queries from now).
+      std::deque<Request>& q =
+          stage_queue_.empty() ? root_queue_ : stage_queue_;
+      req = q.front();
+      q.pop_front();
       ++in_flight_;
     }
     double extract_seconds = 0.0;
@@ -87,7 +101,8 @@ void BallPrefetcher::worker_loop() {
     Timer busy;  // wall time on this request, hit or miss — the idle signal
     try {
       const ShardedBallCache::Fetch f =
-          req.cache->fetch(req.root, req.radius, req.kind);
+          req.cache->fetch(req.root, req.radius, req.kind,
+                           req.claim_priority);
       fetched = !f.hit;
       extract_seconds = f.extract_seconds;
     } catch (...) {

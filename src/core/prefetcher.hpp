@@ -15,6 +15,14 @@
 // depends on it — a dropped or late prefetch only means the demand fetch
 // pays the BFS itself, and the cache's in-flight dedup guarantees a demand
 // fetch racing a prefetch of the same ball never extracts twice.
+//
+// Requests come in two classes with strict priority between them (ROADMAP
+// "Root-prefetch queue priority"): stage lookahead (the children of a task
+// that just finished — needed within the CURRENT query, often milliseconds
+// from claim) always drains before cross-query root lookahead (speculation
+// about upcoming seeds, useful whole queries from now). A wide adaptive
+// root window can therefore never queue ahead of, and delay, the
+// stage-children prefetches the in-flight query is about to demand.
 #pragma once
 
 #include <atomic>
@@ -58,10 +66,16 @@ class BallPrefetcher {
   /// cache to outlive the query call, not the pipeline. `kind` is the
   /// FetchKind the worker passes to the cache: plain stage lookahead by
   /// default, or one of the root-prefetch kinds so the cache can record
-  /// (and, for kPinnedRootPrefetch, pin) cross-query speculation.
+  /// (and, for kPinnedRootPrefetch, pin) cross-query speculation — and it
+  /// also selects the queue class: root-prefetch requests wait in a
+  /// separate queue that workers only touch when no stage-lookahead
+  /// request is pending. `claim_priority` (root kinds) is the seed's
+  /// stream index, forwarded to the cache's pin-table admission.
   void enqueue(ShardedBallCache& cache, graph::NodeId root, unsigned radius,
                ShardedBallCache::FetchKind kind =
-                   ShardedBallCache::FetchKind::kPrefetch);
+                   ShardedBallCache::FetchKind::kPrefetch,
+               std::size_t claim_priority =
+                   ShardedBallCache::kNoClaimPriority);
 
   /// Discards queued (not yet started) requests.
   void drop_pending();
@@ -100,12 +114,17 @@ class BallPrefetcher {
     graph::NodeId root;
     unsigned radius;
     ShardedBallCache::FetchKind kind;
+    std::size_t claim_priority;
   };
 
   void worker_loop();
 
   std::function<bool()> pause_;  ///< farm-wait meter gate (may be empty)
-  std::deque<Request> queue_;
+  /// Two-class queue: stage lookahead strictly before speculative roots.
+  /// Workers drain stage_queue_ first; root_queue_ is only popped when no
+  /// stage request is pending. Both guarded by mu_.
+  std::deque<Request> stage_queue_;
+  std::deque<Request> root_queue_;
   mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable idle_;      ///< signaled when in-flight drains

@@ -127,25 +127,61 @@ void ShardedBallCache::note_extraction(Shard& shard, const BallKey& key,
 }
 
 void ShardedBallCache::maybe_pin(Shard& shard, const BallKey& key,
-                                 const BallPtr& ball) {
+                                 const BallPtr& ball,
+                                 std::size_t claim_priority) {
   if (pin_capacity_ == 0 || ball == nullptr) return;
-  if (shard.pinned.find(key) != shard.pinned.end()) return;
-  // Strictly bounded: a full table skips the new pin rather than evicting
-  // an older one — pins live one batch at most, and a hard memory bound
-  // matters more than fairness between speculative seeds.
+  if (const auto it = shard.pinned.find(key); it != shard.pinned.end()) {
+    // Re-pinned key: keep the better (closer-to-claim) priority so a
+    // re-issued speculation cannot demote an earlier, nearer one.
+    it->second.priority = std::min(it->second.priority, claim_priority);
+    return;
+  }
+  // Strictly bounded: the table never grows past pin_capacity_ — pins live
+  // one batch at most, and a hard memory bound matters more than fairness
+  // between speculative seeds.
   if (pinned_count_.fetch_add(1, std::memory_order_relaxed) >=
       pin_capacity_) {
     pinned_count_.fetch_sub(1, std::memory_order_relaxed);
-    return;
+    // Capacity pressure: seeds closest to claim win (ROADMAP "Pin-table
+    // admission"). If the newcomer is strictly closer than this shard's
+    // farthest-from-claim pin, that pin yields its slot — its seed would
+    // be claimed later (or never: a stale horizon from an earlier claim),
+    // so it is the speculation least likely to pay off before the batch
+    // ends. Priority-less pins (kNoClaimPriority) never displace anything.
+    auto worst = shard.pinned.end();
+    for (auto it = shard.pinned.begin(); it != shard.pinned.end(); ++it) {
+      if (worst == shard.pinned.end() ||
+          it->second.priority > worst->second.priority) {
+        worst = it;
+      }
+    }
+    if (worst == shard.pinned.end() ||
+        worst->second.priority <= claim_priority) {
+      return;
+    }
+    pinned_bytes_.fetch_sub(worst->second.ball->bytes(),
+                            std::memory_order_relaxed);
+    pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+    pins_expired_.fetch_add(1, std::memory_order_relaxed);
+    pin_displacements_.fetch_add(1, std::memory_order_relaxed);
+    shard.pinned.erase(worst);
+    if (pinned_count_.fetch_add(1, std::memory_order_relaxed) >=
+        pin_capacity_) {
+      // Another shard raced into the freed slot; the newcomer loses after
+      // all rather than breaching the bound.
+      pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
   }
-  shard.pinned.emplace(key, ball);
+  shard.pinned.emplace(key, Shard::Pin{ball, claim_priority});
   pinned_bytes_.fetch_add(ball->bytes(), std::memory_order_relaxed);
   pins_installed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
                                                 unsigned radius,
-                                                FetchKind kind) {
+                                                FetchKind kind,
+                                                std::size_t claim_priority) {
   const BallKey key{root, radius};
   Shard& shard = shard_for(key);
 
@@ -173,7 +209,7 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
           // free the slot early.
           if (const auto pin = shard.pinned.find(key);
               pin != shard.pinned.end()) {
-            pinned_bytes_.fetch_sub(pin->second->bytes(),
+            pinned_bytes_.fetch_sub(pin->second.ball->bytes(),
                                     std::memory_order_relaxed);
             pinned_count_.fetch_sub(1, std::memory_order_relaxed);
             pins_expired_.fetch_add(1, std::memory_order_relaxed);
@@ -183,7 +219,7 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
       } else if (kind == FetchKind::kPinnedRootPrefetch) {
         // Resident today is not resident at claim time: pin the ball so an
         // eviction between now and the claim cannot undo the lookahead.
-        maybe_pin(shard, key, it->second->ball);
+        maybe_pin(shard, key, it->second->ball, claim_priority);
       }
       count_hit(kind, /*deduped=*/false);
       return {it->second->ball, /*hit=*/true, /*deduped=*/false,
@@ -194,7 +230,7 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
         // Pinned prefetch handoff: the ball was root-prefetched but not
         // retained (TinyLFU rejection, or evicted since) — the pin makes
         // the prefetch BFS useful anyway.
-        BallPtr ball = pin->second;
+        BallPtr ball = pin->second.ball;
         if (kind == FetchKind::kDemand) {
           // The seed is claimed: consume the pin (and settle the root-
           // prefetch record — the speculation paid off). The claim is
@@ -230,7 +266,11 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
         // otherwise a root/stage-lookahead race on one key would silently
         // skip the pin and the claim could re-pay the BFS.
         if (kind == FetchKind::kPinnedRootPrefetch) {
-          shard.pin_on_complete.insert(key);
+          const auto [pending, inserted] =
+              shard.pin_on_complete.emplace(key, claim_priority);
+          if (!inserted) {
+            pending->second = std::min(pending->second, claim_priority);
+          }
         }
         count_hit(kind, /*deduped=*/true);
         return {nullptr, /*hit=*/true, /*deduped=*/true, /*pinned=*/false,
@@ -289,14 +329,23 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
     shard.extraction_seconds += extract_seconds;
     // A deduped pinned root prefetch may have asked this extraction to
     // pin on its behalf; honoring it counts as a root-prefetch extraction
-    // for the re-extraction records too.
-    const bool pin_requested = !shard.pin_on_complete.empty() &&
-                               shard.pin_on_complete.erase(key) > 0;
+    // for the re-extraction records too, and the pin carries the best
+    // (lowest) claim priority any requester supplied.
+    bool pin_requested = false;
+    std::size_t pin_priority = claim_priority;
+    if (!shard.pin_on_complete.empty()) {
+      if (const auto pending = shard.pin_on_complete.find(key);
+          pending != shard.pin_on_complete.end()) {
+        pin_requested = true;
+        pin_priority = std::min(pin_priority, pending->second);
+        shard.pin_on_complete.erase(pending);
+      }
+    }
     note_extraction(shard, key,
                     pin_requested ? FetchKind::kPinnedRootPrefetch : kind,
                     incoming);
     if (kind == FetchKind::kPinnedRootPrefetch || pin_requested) {
-      maybe_pin(shard, key, ball);
+      maybe_pin(shard, key, ball, pin_priority);
     }
     // clear() may have raced ahead of this insertion; re-check the map in
     // case another extraction of the same key landed first (possible only
@@ -334,21 +383,24 @@ ShardedBallCache::plan_evictions(Shard& shard, std::size_t incoming) const {
   const auto need_more = [&] {
     return shard.bytes - reclaimed + incoming > shard_budget_;
   };
-  // Candidates roll in from the cold end; the last kEvictionScanWindow
-  // entries compete and the coldest-by-sketch goes first (strict < keeps
-  // the least-recently-used on ties), so a hot ball that drifted to the
-  // tail between bursts outlives one-shot entries that are merely more
-  // recent. Each entry is estimated once, as it enters the window —
-  // estimates cannot change mid-plan (the lock is held) — and the window
-  // is a fixed-size stack array: this runs under the contended shard
-  // mutex, so the only heap allocation left is the victims list itself.
+  // Candidates roll in from the cold end; the adaptive tail window (~10%
+  // of the shard's residents, floor 8, cap 64 — a small shard behaves
+  // exactly like the old fixed window) competes and the coldest-by-sketch
+  // goes first (strict < keeps the least-recently-used on ties), so a hot
+  // ball that drifted to the tail between bursts outlives one-shot entries
+  // that are merely more recent. Each entry is estimated once, as it
+  // enters the window — estimates cannot change mid-plan (the lock is
+  // held) — and the window buffer is a fixed-size stack array sized for
+  // the cap: this runs under the contended shard mutex, so the only heap
+  // allocation left is the victims list itself.
+  const std::size_t scan_window = eviction_scan_window(shard.map.size());
   auto next = shard.lru.rbegin();
   std::array<std::pair<std::list<Entry>::iterator, std::uint32_t>,
-             kEvictionScanWindow>
+             kMaxEvictionScanWindow>
       window;
   std::size_t window_size = 0;
   while (need_more()) {
-    while (window_size < kEvictionScanWindow && next != shard.lru.rend()) {
+    while (window_size < scan_window && next != shard.lru.rend()) {
       const auto it = std::prev(next.base());
       window[window_size++] = {
           it, shard.sketch->estimate(splitmix64(it->key.packed()))};
@@ -361,7 +413,7 @@ ShardedBallCache::plan_evictions(Shard& shard, std::size_t incoming) const {
     }
     reclaimed += window[pick].first->ball_bytes;
     victims.push_back(window[pick].first);
-    // Compact in place (order carries the LRU tie-break; ≤ 7 moves).
+    // Compact in place (order carries the LRU tie-break; < window moves).
     for (std::size_t i = pick + 1; i < window_size; ++i) {
       window[i - 1] = window[i];
     }
@@ -426,6 +478,7 @@ ShardedBallCache::Stats ShardedBallCache::stats() const {
   s.pins_installed = pins_installed_.load(std::memory_order_relaxed);
   s.pin_hits = pin_hits_.load(std::memory_order_relaxed);
   s.pins_expired = pins_expired_.load(std::memory_order_relaxed);
+  s.pin_displacements = pin_displacements_.load(std::memory_order_relaxed);
   s.root_reextractions =
       root_reextractions_.load(std::memory_order_relaxed);
   return s;
@@ -434,8 +487,8 @@ ShardedBallCache::Stats ShardedBallCache::stats() const {
 void ShardedBallCache::drop_pins() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    for (const auto& [key, ball] : shard->pinned) {
-      pinned_bytes_.fetch_sub(ball->bytes(), std::memory_order_relaxed);
+    for (const auto& [key, pin] : shard->pinned) {
+      pinned_bytes_.fetch_sub(pin.ball->bytes(), std::memory_order_relaxed);
       pinned_count_.fetch_sub(1, std::memory_order_relaxed);
       pins_expired_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -475,8 +528,8 @@ void ShardedBallCache::clear() {
     // before the reset would otherwise veto admission of the next working
     // set (every new ball would lose its duel against phantoms).
     if (shard->sketch != nullptr) shard->sketch->clear();
-    for (const auto& [key, ball] : shard->pinned) {
-      pinned_bytes_.fetch_sub(ball->bytes(), std::memory_order_relaxed);
+    for (const auto& [key, pin] : shard->pinned) {
+      pinned_bytes_.fetch_sub(pin.ball->bytes(), std::memory_order_relaxed);
       pinned_count_.fetch_sub(1, std::memory_order_relaxed);
     }
     shard->pinned.clear();
@@ -502,6 +555,7 @@ void ShardedBallCache::clear() {
   pins_installed_.store(0);
   pin_hits_.store(0);
   pins_expired_.store(0);
+  pin_displacements_.store(0);
   root_reextractions_.store(0);
 }
 

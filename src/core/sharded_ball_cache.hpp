@@ -38,8 +38,9 @@
 //     pipeline depends on. kAlways (the default) is plain LRU.
 //
 //   * Sketch-informed eviction. Under kTinyLFU the victims themselves are
-//     chosen by frequency, not recency alone: eviction scans the last
-//     kEvictionScanWindow LRU entries and takes the coldest-by-sketch
+//     chosen by frequency, not recency alone: eviction scans an adaptive
+//     tail window of the LRU (~10% of the shard's residents, floor 8,
+//     cap 64 — see eviction_scan_window()) and takes the coldest-by-sketch
 //     first, so a hot ball that merely drifted to the cold end (a
 //     mid-recency hub between bursts) outlives one-shot entries that are
 //     more recent. The admission duel above is run against exactly the
@@ -58,10 +59,12 @@
 //     path) — zero when pinning is on and the pin table has capacity.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <limits>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -117,11 +120,24 @@ class ShardedBallCache {
                    CacheAdmission admission = CacheAdmission::kAlways,
                    std::size_t pin_capacity = kDefaultPinCapacity);
 
+  /// "No claim-order information": the default claim priority, losing every
+  /// pin-table capacity duel (see fetch()).
+  static constexpr std::size_t kNoClaimPriority =
+      std::numeric_limits<std::size_t>::max();
+
   /// Returns the ball around `root` with the given radius, extracting it on
   /// a miss (or waiting for a concurrent extraction of the same key). Safe
   /// from any number of threads.
+  ///
+  /// `claim_priority` (root-prefetch kinds only) is the seed's distance
+  /// from claim — the pipeline passes the stream index, so lower = claimed
+  /// sooner. Under pin-table capacity pressure the seeds closest to claim
+  /// win: a new pin strictly closer than the shard's farthest-from-claim
+  /// pin displaces it (pin_displacements counts these); with the default
+  /// kNoClaimPriority the new pin is simply skipped, as before.
   Fetch fetch(graph::NodeId root, unsigned radius,
-              FetchKind kind = FetchKind::kDemand);
+              FetchKind kind = FetchKind::kDemand,
+              std::size_t claim_priority = kNoClaimPriority);
 
   /// Convenience wrapper when the caller only wants the ball.
   BallPtr get(graph::NodeId root, unsigned radius) {
@@ -133,10 +149,24 @@ class ShardedBallCache {
   /// horizon (the adaptive window tops out well below this) times a few
   /// concurrent batches.
   static constexpr std::size_t kDefaultPinCapacity = 256;
-  /// How far into the LRU tail sketch-informed eviction looks for a colder
-  /// victim. 1 would be pure LRU; larger windows protect hot balls deeper
-  /// into the list at the cost of a slightly longer scan per eviction.
-  static constexpr std::size_t kEvictionScanWindow = 8;
+  /// Bounds of the adaptive eviction-scan window (ROADMAP "Adaptive
+  /// eviction-scan window"): how far into the LRU tail sketch-informed
+  /// eviction looks for a colder victim. 1 would be pure LRU; larger
+  /// windows protect hot balls deeper into the list at the cost of a
+  /// slightly longer scan per eviction.
+  static constexpr std::size_t kMinEvictionScanWindow = 8;
+  static constexpr std::size_t kMaxEvictionScanWindow = 64;
+
+  /// The scan window for a shard currently holding `residents` entries:
+  /// ~10% of them, floored at kMinEvictionScanWindow (small shards behave
+  /// exactly like the old fixed window of 8) and capped at
+  /// kMaxEvictionScanWindow (the plan loop's stack buffer — and an
+  /// eviction-latency bound, since the scan runs under the shard mutex).
+  [[nodiscard]] static std::size_t eviction_scan_window(
+      std::size_t residents) {
+    return std::clamp(residents / 10, kMinEvictionScanWindow,
+                      kMaxEvictionScanWindow);
+  }
 
   /// One coherent view of the cache-wide counters. Taken as a unit so a
   /// concurrent clear() can never split a reader's view (e.g. hits read
@@ -154,6 +184,9 @@ class ShardedBallCache {
     std::size_t pins_installed = 0;     ///< balls held in the pin table
     std::size_t pin_hits = 0;           ///< demand fetches served from a pin
     std::size_t pins_expired = 0;       ///< pins discarded unconsumed
+    /// Pins displaced under capacity pressure by a seed strictly closer to
+    /// claim (lower stream index); also counted in pins_expired.
+    std::size_t pin_displacements = 0;
     /// Root-prefetched balls whose BFS was paid AGAIN by a later demand
     /// fetch — the waste the pinned handoff exists to eliminate (0 while
     /// pinning is on and the pin table has capacity).
@@ -199,10 +232,16 @@ class ShardedBallCache {
   }
   /// Demand fetches served from a pin (the handoff paying off).
   [[nodiscard]] std::size_t pin_hits() const { return pin_hits_.load(); }
-  /// Pins discarded without a demand consumer (drop_pins/clear, or the
-  /// pinned key turning out to be resident when claimed).
+  /// Pins discarded without a demand consumer (drop_pins/clear, the pinned
+  /// key turning out to be resident when claimed, or displacement by a
+  /// closer-to-claim seed).
   [[nodiscard]] std::size_t pins_expired() const {
     return pins_expired_.load();
+  }
+  /// Pins displaced under capacity pressure by a seed strictly closer to
+  /// claim (see fetch()'s claim_priority).
+  [[nodiscard]] std::size_t pin_displacements() const {
+    return pin_displacements_.load();
   }
   /// Root-prefetched balls re-extracted by the demand path (see Stats).
   [[nodiscard]] std::size_t root_reextractions() const {
@@ -313,19 +352,27 @@ class ShardedBallCache {
     double extraction_seconds = 0.0;  ///< guarded by mu
     /// Ball access frequencies (kTinyLFU only); guarded by mu.
     std::unique_ptr<FrequencySketch> sketch;
+    /// One pinned prefetch handoff entry: the ball plus how close its seed
+    /// is to claim (lower = sooner; kNoClaimPriority = unknown). The
+    /// priority decides who yields under capacity pressure.
+    struct Pin {
+      BallPtr ball;
+      std::size_t priority = kNoClaimPriority;
+    };
     /// Pinned prefetch handoff: root-prefetched balls held until their
     /// seed is claimed or drop_pins(); guarded by mu, bounded globally by
     /// pin_capacity_.
-    std::unordered_map<BallKey, BallPtr, BallKeyHash> pinned;
+    std::unordered_map<BallKey, Pin, BallKeyHash> pinned;
     /// Keys extracted by a root-prefetch fetch since the last drop_pins(),
     /// so a later demand extraction of one of them can be counted as a
     /// re-extraction; guarded by mu, capped at kRootRecordCap entries.
     std::unordered_set<BallKey, BallKeyHash> root_prefetched;
     /// Keys whose in-flight extraction (claimed by another fetch kind) a
-    /// kPinnedRootPrefetch deduped onto: the completing extraction pins
-    /// the ball on these keys' behalf, so the handoff guarantee holds
-    /// even when root and stage lookahead race on one key; guarded by mu.
-    std::unordered_set<BallKey, BallKeyHash> pin_on_complete;
+    /// kPinnedRootPrefetch deduped onto, with the best (lowest) claim
+    /// priority requested so far: the completing extraction pins the ball
+    /// on these keys' behalf, so the handoff guarantee holds even when
+    /// root and stage lookahead race on one key; guarded by mu.
+    std::unordered_map<BallKey, std::size_t, BallKeyHash> pin_on_complete;
   };
 
   [[nodiscard]] Shard& shard_for(const BallKey& key) {
@@ -358,9 +405,9 @@ class ShardedBallCache {
   /// Must hold `shard.mu`; kTinyLFU only (`shard.sketch != nullptr`).
   /// Selects the victims (in eviction order) that would make room for
   /// `incoming` bytes, without mutating the shard: coldest-by-sketch
-  /// within the last kEvictionScanWindow entries, each entry estimated
-  /// once as it enters the window (ties keep the least-recently-used).
-  /// Stops once enough bytes are covered.
+  /// within the adaptive tail window (eviction_scan_window of the shard's
+  /// residents), each entry estimated once as it enters the window (ties
+  /// keep the least-recently-used). Stops once enough bytes are covered.
   [[nodiscard]] std::vector<std::list<Entry>::iterator> plan_evictions(
       Shard& shard, std::size_t incoming) const;
 
@@ -383,8 +430,12 @@ class ShardedBallCache {
                        std::size_t incoming);
 
   /// Must hold `shard.mu`. Installs `ball` in the pinned side-table if
-  /// capacity allows (no-op when the key is already pinned).
-  void maybe_pin(Shard& shard, const BallKey& key, const BallPtr& ball);
+  /// capacity allows (an already-pinned key just keeps the better — lower —
+  /// priority). At capacity, a newcomer strictly closer to claim than the
+  /// shard's farthest-from-claim pin displaces it (ROADMAP "Pin-table
+  /// admission"); otherwise the new pin is skipped.
+  void maybe_pin(Shard& shard, const BallKey& key, const BallPtr& ball,
+                 std::size_t claim_priority);
 
   const graph::Graph* graph_;
   std::size_t budget_;
@@ -403,6 +454,7 @@ class ShardedBallCache {
   std::atomic<std::size_t> pins_installed_{0};
   std::atomic<std::size_t> pin_hits_{0};
   std::atomic<std::size_t> pins_expired_{0};
+  std::atomic<std::size_t> pin_displacements_{0};
   std::atomic<std::size_t> root_reextractions_{0};
   /// Live pin table occupancy/footprint (outside the byte budget).
   std::atomic<std::size_t> pinned_count_{0};

@@ -44,6 +44,24 @@ Subgraph::Subgraph(std::vector<std::uint64_t> offsets,
     MELO_CHECK_MSG(sorted_globals_[i - 1] < sorted_globals_[i],
                    "duplicate global id in sub-graph");
   }
+
+  // Depth-prefix table: local ids are assigned in BFS discovery order, so
+  // depth is nondecreasing in local id and each depth class is a contiguous
+  // id range. The diffusion kernels bound every per-iteration pass with
+  // these prefixes; precomputing them here (once per extraction) removes an
+  // O(n) pass from every diffuse call.
+  depth_prefix_.assign(radius_ + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    MELO_CHECK_MSG(v == 0 || depth_[v] >= depth_[v - 1],
+                   "local ids not in BFS depth order");
+    MELO_CHECK(depth_[v] <= radius_);
+    ++depth_prefix_[depth_[v]];
+  }
+  std::uint32_t running = 0;
+  for (std::uint32_t& p : depth_prefix_) {
+    running += p;
+    p = running;
+  }
 }
 
 NodeId Subgraph::to_local(NodeId global) const {
@@ -69,7 +87,8 @@ std::size_t Subgraph::bytes() const {
          global_degree_.capacity() * sizeof(std::uint32_t) +
          depth_.capacity() * sizeof(std::uint16_t) +
          sorted_globals_.capacity() * sizeof(NodeId) +
-         sorted_locals_.capacity() * sizeof(NodeId);
+         sorted_locals_.capacity() * sizeof(NodeId) +
+         depth_prefix_.capacity() * sizeof(std::uint32_t);
 }
 
 void Subgraph::validate() const {

@@ -58,6 +58,13 @@ class Subgraph {
     return global_degree_[local];
   }
 
+  /// Contiguous global-degree array (one entry per local id) — the SIMD
+  /// diffusion kernels stream it lane-wise instead of calling
+  /// global_degree() per element.
+  [[nodiscard]] const std::uint32_t* global_degrees() const {
+    return global_degree_.data();
+  }
+
   [[nodiscard]] NodeId to_global(NodeId local) const {
     return local_to_global_[local];
   }
@@ -73,6 +80,14 @@ class Subgraph {
   /// BFS depth of a member node (root has depth 0).
   [[nodiscard]] std::uint16_t depth(NodeId local) const {
     return depth_[local];
+  }
+
+  /// depth_prefix()[d] = number of nodes with depth ≤ d, for d ∈ [0, radius].
+  /// Valid because local ids follow BFS discovery order (checked at
+  /// construction), so each depth class is a contiguous prefix of the id
+  /// range — the property every bounded diffusion pass relies on.
+  [[nodiscard]] std::span<const std::uint32_t> depth_prefix() const {
+    return depth_prefix_;
   }
 
   /// The radius the ball was extracted with (≥ max depth present).
@@ -108,6 +123,8 @@ class Subgraph {
   /// Membership index: global ids sorted, parallel local ids.
   std::vector<NodeId> sorted_globals_;
   std::vector<NodeId> sorted_locals_;
+  /// depth_prefix_[d] = count of nodes with depth ≤ d (see depth_prefix()).
+  std::vector<std::uint32_t> depth_prefix_;
   unsigned radius_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "hw/quantizer.hpp"
+#include "ppr/diffusion_kernels.hpp"
 #include "util/assert.hpp"
 
 namespace meloppr::ppr {
@@ -17,68 +19,47 @@ DiffusionResult diffuse(const Subgraph& ball, std::span<const double> s0,
                                      << ball.radius()
                                      << " — result would be inexact");
 
-  DiffusionResult out;
-  out.accumulated.assign(n, 0.0);
-  out.residual.assign(s0.begin(), s0.end());
-  out.iterations = params.length;
-
-  // Active set: local ids with non-zero current mass. Grows monotonically
-  // (mass never leaves a node entirely once it has been reached — the
-  // accumulated term keeps it — but for the *propagating* vector t_k it can;
-  // we still keep ids active to avoid per-iteration compaction).
-  std::vector<NodeId> active;
-  std::vector<char> in_active(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    if (s0[v] != 0.0) {
-      active.push_back(v);
-      in_active[v] = 1;
+  if (params.numerics == Numerics::kFixedPoint) {
+    MELO_CHECK_MSG(params.quantizer != nullptr,
+                   "Numerics::kFixedPoint requires DiffusionParams::quantizer");
+    MELO_CHECK(n > 0);
+    // The integer datapath (like the accelerator it mirrors) takes its seed
+    // mass at local id 0 — the ball root.
+    for (std::size_t v = 1; v < n; ++v) {
+      MELO_CHECK_MSG(s0[v] == 0.0,
+                     "fixed-point diffusion seeds mass at local 0 only");
     }
+    DiffusionResult out;
+    out.accumulated.assign(n, 0.0);
+    out.residual.assign(n, 0.0);
+    out.iterations = params.length;
+    const hw::Quantizer& quant = *params.quantizer;
+    const std::uint32_t seed = quant.to_fixed(s0[0]);
+    if (seed == 0) return out;  // FpgaBackend's zero-mass envelope
+    const FixedPointDiffusion fx =
+        diffuse_fixed_point(ball, seed, params.length, quant,
+                            thread_workspace(), active_kernel_tier());
+    for (std::size_t v = 0; v < n; ++v) {
+      out.accumulated[v] = quant.to_real(fx.accumulated[v]);
+      // NOTE: α-scaled (u_l = α^l·W^l·S0), per the DiffusionParams contract.
+      out.residual[v] = quant.to_real(fx.residual[v]);
+    }
+    out.edge_ops = fx.edge_ops;
+    return out;
   }
 
-  // acc += (1-α)·α^k · t_k  for k = 0..l-1, then acc += α^l · t_l.
-  const double alpha = params.alpha;
-  double alpha_pow = 1.0;  // α^k
-  std::vector<double>& t = out.residual;  // t_k, updated in place
-  std::vector<double> next(n, 0.0);
-
-  for (unsigned k = 0; k < params.length; ++k) {
-    for (NodeId v : active) {
-      out.accumulated[v] += (1.0 - alpha) * alpha_pow * t[v];
-    }
-    // next = W · t  (push along in-ball edges, divide by *global* degree).
-    std::size_t old_active = active.size();
-    for (std::size_t i = 0; i < old_active; ++i) {
-      const NodeId v = active[i];
-      if (t[v] == 0.0) continue;
-      const double share =
-          t[v] / static_cast<double>(ball.global_degree(v));
-      const auto adj = ball.neighbors(v);
-      out.edge_ops += adj.size();
-      for (NodeId w : adj) {
-        if (!in_active[w]) {
-          in_active[w] = 1;
-          active.push_back(w);
-        }
-        next[w] += share;
-      }
-    }
-    for (NodeId v : active) {
-      t[v] = next[v];
-      next[v] = 0.0;
-    }
-    alpha_pow *= alpha;
-  }
-  // Final term: acc += α^l · t_l; residual is t_l itself.
-  for (NodeId v : active) {
-    out.accumulated[v] += alpha_pow * t[v];
-  }
-  return out;
+  return diffuse_blocked(ball, s0, params.alpha, params.length,
+                         thread_workspace(), active_kernel_tier());
 }
 
 DiffusionResult diffuse_from(const Subgraph& ball, NodeId local_seed,
                              double mass, const DiffusionParams& params) {
   MELO_CHECK(local_seed < ball.num_nodes());
-  std::vector<double> s0(ball.num_nodes(), 0.0);
+  // Thread-local seed scratch: MeLoPPR issues one diffuse_from per ball per
+  // stage-2 node, so a fresh heap vector here is measurable against the
+  // kernel itself on small balls.
+  static thread_local std::vector<double> s0;
+  s0.assign(ball.num_nodes(), 0.0);
   s0[local_seed] = mass;
   return diffuse(ball, s0, params);
 }

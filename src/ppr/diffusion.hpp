@@ -11,9 +11,11 @@
 //
 // The kernel runs on a Subgraph (depth-l BFS ball) and divides by *global*
 // degrees, which makes it bit-identical to running on the whole graph as
-// long as l ≤ ball radius (DESIGN.md invariant 2). The iteration maintains
-// the active frontier sparsely, so early iterations cost O(frontier edges),
-// not O(ball).
+// long as l ≤ ball radius (DESIGN.md invariant 2). diffuse() dispatches to
+// the CSR-blocked kernel family in diffusion_kernels.hpp (scalar or AVX2,
+// chosen at runtime), which bounds each iteration to the BFS depth-prefix
+// the mass can have reached — early iterations stay cheap without any
+// sparse active-list chasing.
 #pragma once
 
 #include <cstdint>
@@ -22,10 +24,25 @@
 
 #include "graph/subgraph.hpp"
 
+namespace meloppr::hw {
+class Quantizer;
+}
+
 namespace meloppr::ppr {
 
 using graph::NodeId;
 using graph::Subgraph;
+
+/// Numeric domain the kernel computes in.
+enum class Numerics {
+  /// IEEE double precision — the default, bit-identical to
+  /// diffuse_dense_reference on every kernel tier.
+  kFloat64,
+  /// The accelerator's integer datapath (hw::Quantizer: α_p-multiply +
+  /// q-bit shift, truncating degree division) on uint64 host lanes —
+  /// node-for-node identical to hw::Accelerator::diffuse.
+  kFixedPoint,
+};
 
 struct DiffusionResult {
   /// π_a over local ids: the l-step PPR scores S_l (Eq. 1).
@@ -41,11 +58,23 @@ struct DiffusionResult {
 struct DiffusionParams {
   double alpha = 0.85;  ///< α-RW continuation probability
   unsigned length = 3;  ///< l, number of diffusion iterations
+  /// Numeric domain. kFixedPoint requires `quantizer` and makes diffuse()
+  /// return dequantized hardware scores; `residual` is then the α-scaled
+  /// in-flight table u_l = α^l·W^l·S0 (the hardware convention — the
+  /// integer datapath applies α per step), NOT the raw W^l·S0 of float
+  /// mode. CpuBackend handles the difference; direct callers must too.
+  Numerics numerics = Numerics::kFloat64;
+  /// Fixed-point parameters; required (non-null, outliving the call) when
+  /// numerics == kFixedPoint, ignored in float mode.
+  const hw::Quantizer* quantizer = nullptr;
 };
 
 /// Runs GD_length on the ball with an arbitrary initial vector s0 (local
 /// indexing, s0.size() == ball nodes). Requires length ≤ ball radius; this
-/// is what guarantees exactness and is enforced with MELO_CHECK.
+/// is what guarantees exactness and is enforced with MELO_CHECK. Seed
+/// masses must be nonnegative (also checked): PPR seeds always are, and
+/// the optimized kernel tier skips zero-mass terms, which is bit-exact
+/// only when partial sums cannot produce −0.0.
 DiffusionResult diffuse(const Subgraph& ball, std::span<const double> s0,
                         const DiffusionParams& params);
 

@@ -1,0 +1,264 @@
+// AVX2 lane implementations of the blocked diffusion passes. This is the
+// ONLY translation unit compiled with -mavx2 (see CMakeLists.txt); every
+// entry point is reached through runtime dispatch in diffusion_kernels.cpp,
+// which checks CPUID before ever selecting this tier.
+//
+// Bit-compat rules (float passes must match the scalar tier exactly):
+//   * no FMA — -mavx2 does not imply -mfma and the multiplies/adds here must
+//     round separately, like the scalar code;
+//   * the row gather keeps each row's additions strictly left-to-right by
+//     giving each of the 4 lanes its OWN row (row-per-lane), never splitting
+//     one row across lanes;
+//   * ragged row tails finish in scalar per lane rather than with masked
+//     vector adds, so no +0.0 is ever folded into a lane that the scalar
+//     code would not also add.
+//
+// The fixed-point passes emulate the 64×32-bit multiply with two
+// _mm256_mul_epu32 half-products (exact uint64 wraparound); the truncating
+// degree division stays scalar — AVX2 has no integer-divide lanes.
+#include "ppr/diffusion_kernels.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace meloppr::ppr::detail {
+
+#if defined(__AVX2__)
+
+bool avx2_kernels_compiled() { return true; }
+
+void scale_accumulate_avx2(double coef, const double* t, double* acc,
+                           std::size_t n) {
+  const __m256d c = _mm256_set1_pd(coef);
+  std::size_t v = 0;
+  for (; v + 4 <= n; v += 4) {
+    const __m256d x = _mm256_loadu_pd(t + v);
+    const __m256d a = _mm256_loadu_pd(acc + v);
+    _mm256_storeu_pd(acc + v, _mm256_add_pd(a, _mm256_mul_pd(c, x)));
+  }
+  for (; v < n; ++v) acc[v] += coef * t[v];
+}
+
+void hadamard_avx2(const double* recip, const double* t, double* share,
+                   std::size_t n) {
+  std::size_t v = 0;
+  for (; v + 4 <= n; v += 4) {
+    const __m256d r = _mm256_loadu_pd(recip + v);
+    const __m256d x = _mm256_loadu_pd(t + v);
+    _mm256_storeu_pd(share + v, _mm256_mul_pd(r, x));
+  }
+  for (; v < n; ++v) share[v] = recip[v] * t[v];
+}
+
+void recip_avx2(const std::uint32_t* deg, double* recip, std::size_t n) {
+  // vcvtdq2pd is exact for any uint32 degree (< 2^32 ≤ 2^53) and vdivpd is
+  // correctly rounded, so every lane equals the scalar 1.0 / deg[v].
+  const __m256d ones = _mm256_set1_pd(1.0);
+  std::size_t v = 0;
+  for (; v + 4 <= n; v += 4) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(deg + v));
+    _mm256_storeu_pd(recip + v, _mm256_div_pd(ones, _mm256_cvtepi32_pd(d)));
+  }
+  for (; v < n; ++v) recip[v] = 1.0 / static_cast<double>(deg[v]);
+}
+
+void gather_rows_avx2(const Subgraph& ball, const double* share, double* next,
+                      std::size_t rows) {
+  // Row-per-lane: 4 consecutive rows advance in lock-step through their
+  // common length prefix, each lane summing its OWN sorted neighbor list
+  // strictly left-to-right; the ragged tails finish scalar per lane,
+  // continuing the lane's in-order add chain. Any per-call preprocessing
+  // (degree sorting, index interleaving) costs more than it saves at the
+  // paper's diffusion lengths of 2-3, so the groups are taken in natural
+  // order straight off the CSR.
+  std::size_t w = 0;
+  for (; w + 4 <= rows; w += 4) {
+    std::span<const NodeId> row[4];
+    std::size_t min_len = ~std::size_t{0};
+    for (std::size_t j = 0; j < 4; ++j) {
+      row[j] = ball.neighbors(static_cast<NodeId>(w + j));
+      min_len = std::min(min_len, row[j].size());
+    }
+    __m256d sum = _mm256_setzero_pd();
+    for (std::size_t s = 0; s < min_len; ++s) {
+      const __m128i idx = _mm_setr_epi32(static_cast<int>(row[0][s]),
+                                         static_cast<int>(row[1][s]),
+                                         static_cast<int>(row[2][s]),
+                                         static_cast<int>(row[3][s]));
+      sum = _mm256_add_pd(sum, _mm256_i32gather_pd(share, idx, 8));
+    }
+    alignas(32) double lane[4];
+    _mm256_store_pd(lane, sum);
+    for (std::size_t j = 0; j < 4; ++j) {
+      double acc = lane[j];
+      for (std::size_t k = min_len; k < row[j].size(); ++k) {
+        acc += share[row[j][k]];
+      }
+      next[w + j] = acc;
+    }
+  }
+  for (; w < rows; ++w) {
+    double sum = 0.0;
+    for (const NodeId v : ball.neighbors(static_cast<NodeId>(w))) {
+      sum += share[v];
+    }
+    next[w] = sum;
+  }
+}
+
+namespace {
+
+/// Low 64 bits of x·c per lane, c < 2^32 — two 32×32 half-products, exactly
+/// the uint64 wraparound the scalar Quantizer ops produce.
+inline __m256i mul_u64_u32(__m256i x, __m256i c) {
+  const __m256i lo = _mm256_mul_epu32(x, c);
+  const __m256i hi = _mm256_mul_epu32(_mm256_srli_epi64(x, 32), c);
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(hi, 32));
+}
+
+}  // namespace
+
+void fx_scale_accumulate_avx2(std::uint64_t coef, unsigned q,
+                              const std::uint64_t* u, std::uint64_t* acc,
+                              std::size_t n) {
+  const __m256i c = _mm256_set1_epi64x(static_cast<long long>(coef));
+  const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(q));
+  std::size_t v = 0;
+  for (; v + 4 <= n; v += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(u + v));
+    const __m256i scaled = _mm256_srl_epi64(mul_u64_u32(x, c), shift);
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + v));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + v),
+                        _mm256_add_epi64(a, scaled));
+  }
+  for (; v < n; ++v) acc[v] += (u[v] * coef) >> q;
+}
+
+void fx_contrib_avx2(const Subgraph& ball, std::uint64_t alpha_p, unsigned q,
+                     const std::uint64_t* u, std::uint64_t* contrib,
+                     std::size_t n) {
+  const __m256i c = _mm256_set1_epi64x(static_cast<long long>(alpha_p));
+  const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(q));
+  std::size_t v = 0;
+  for (; v + 4 <= n; v += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(u + v));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(contrib + v),
+                        _mm256_srl_epi64(mul_u64_u32(x, c), shift));
+  }
+  for (; v < n; ++v) contrib[v] = (u[v] * alpha_p) >> q;
+  for (std::size_t i = 0; i < n; ++i) {
+    contrib[i] /= ball.global_degree(static_cast<NodeId>(i));
+  }
+}
+
+void fx_gather_rows_avx2(const Subgraph& ball, const std::uint64_t* contrib,
+                         std::uint64_t* next, std::size_t rows) {
+  // Integer twin of gather_rows_avx2 (integer adds commute, so this pass
+  // could reorder freely — it keeps the same shape for simplicity).
+  const auto* base = reinterpret_cast<const long long*>(contrib);
+  std::size_t w = 0;
+  for (; w + 4 <= rows; w += 4) {
+    std::span<const NodeId> row[4];
+    std::size_t min_len = ~std::size_t{0};
+    for (std::size_t j = 0; j < 4; ++j) {
+      row[j] = ball.neighbors(static_cast<NodeId>(w + j));
+      min_len = std::min(min_len, row[j].size());
+    }
+    __m256i sum = _mm256_setzero_si256();
+    for (std::size_t s = 0; s < min_len; ++s) {
+      const __m128i idx = _mm_setr_epi32(static_cast<int>(row[0][s]),
+                                         static_cast<int>(row[1][s]),
+                                         static_cast<int>(row[2][s]),
+                                         static_cast<int>(row[3][s]));
+      sum = _mm256_add_epi64(sum, _mm256_i32gather_epi64(base, idx, 8));
+    }
+    alignas(32) std::uint64_t lane[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane), sum);
+    for (std::size_t j = 0; j < 4; ++j) {
+      std::uint64_t acc = lane[j];
+      for (std::size_t k = min_len; k < row[j].size(); ++k) {
+        acc += contrib[row[j][k]];
+      }
+      next[w + j] = acc;
+    }
+  }
+  for (; w < rows; ++w) {
+    std::uint64_t sum = 0;
+    for (const NodeId v : ball.neighbors(static_cast<NodeId>(w))) {
+      sum += contrib[v];
+    }
+    next[w] = sum;
+  }
+}
+
+#else  // !defined(__AVX2__)
+
+// Link-satisfying fallbacks for builds without AVX2 (non-x86 targets, or a
+// toolchain where the per-source -mavx2 flag was not applied). Dispatch
+// never selects the kAvx2 tier here because avx2_kernels_compiled() is
+// false, so these bodies only need to exist, but they are kept correct
+// (plain scalar) rather than trapping, out of caution.
+
+bool avx2_kernels_compiled() { return false; }
+
+void scale_accumulate_avx2(double coef, const double* t, double* acc,
+                           std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) acc[v] += coef * t[v];
+}
+
+void hadamard_avx2(const double* recip, const double* t, double* share,
+                   std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) share[v] = recip[v] * t[v];
+}
+
+void recip_avx2(const std::uint32_t* deg, double* recip, std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) {
+    recip[v] = 1.0 / static_cast<double>(deg[v]);
+  }
+}
+
+void gather_rows_avx2(const Subgraph& ball, const double* share, double* next,
+                      std::size_t rows) {
+  for (std::size_t w = 0; w < rows; ++w) {
+    double sum = 0.0;
+    for (const NodeId v : ball.neighbors(static_cast<NodeId>(w))) {
+      sum += share[v];
+    }
+    next[w] = sum;
+  }
+}
+
+void fx_scale_accumulate_avx2(std::uint64_t coef, unsigned q,
+                              const std::uint64_t* u, std::uint64_t* acc,
+                              std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) acc[v] += (u[v] * coef) >> q;
+}
+
+void fx_contrib_avx2(const Subgraph& ball, std::uint64_t alpha_p, unsigned q,
+                     const std::uint64_t* u, std::uint64_t* contrib,
+                     std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) {
+    contrib[v] =
+        ((u[v] * alpha_p) >> q) / ball.global_degree(static_cast<NodeId>(v));
+  }
+}
+
+void fx_gather_rows_avx2(const Subgraph& ball, const std::uint64_t* contrib,
+                         std::uint64_t* next, std::size_t rows) {
+  for (std::size_t w = 0; w < rows; ++w) {
+    std::uint64_t sum = 0;
+    for (const NodeId v : ball.neighbors(static_cast<NodeId>(w))) {
+      sum += contrib[v];
+    }
+    next[w] = sum;
+  }
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace meloppr::ppr::detail

@@ -1,0 +1,473 @@
+#include "ppr/diffusion_kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "hw/quantizer.hpp"
+#include "util/assert.hpp"
+#include "util/env.hpp"
+
+namespace meloppr::ppr {
+
+const char* to_string(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+KernelTier detect_tier() {
+  if (env_flag("MELOPPR_FORCE_SCALAR")) return KernelTier::kScalar;
+  if (detail::avx2_kernels_compiled() && cpu_has_avx2()) {
+    return KernelTier::kAvx2;
+  }
+  return KernelTier::kScalar;
+}
+
+/// −1 = no override, else the forced tier. Benches/tests flip it between
+/// A/B phases; dispatch reads it on every kernel call.
+std::atomic<int> g_tier_override{-1};
+
+}  // namespace
+
+bool kernel_tier_available(KernelTier tier) {
+  if (tier == KernelTier::kScalar) return true;
+  return detail::avx2_kernels_compiled() && cpu_has_avx2();
+}
+
+KernelTier active_kernel_tier() {
+  const int forced = g_tier_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<KernelTier>(forced);
+  // Detection (CPUID + MELOPPR_FORCE_SCALAR) is stable for the process
+  // lifetime; resolve it once.
+  static const KernelTier detected = detect_tier();
+  return detected;
+}
+
+void set_kernel_tier_override(std::optional<KernelTier> tier) {
+  if (!tier.has_value()) {
+    g_tier_override.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  MELO_CHECK_MSG(kernel_tier_available(*tier),
+                 "kernel tier " << to_string(*tier)
+                                << " is not available on this machine");
+  g_tier_override.store(static_cast<int>(*tier), std::memory_order_relaxed);
+}
+
+DiffusionWorkspace& thread_workspace() {
+  static thread_local DiffusionWorkspace ws;
+  return ws;
+}
+
+namespace {
+
+std::size_t prefix_at(std::span<const std::uint32_t> prefix, unsigned radius,
+                      unsigned d) {
+  return prefix[std::min(radius, d)];
+}
+
+/// Validates the seed contract (masses are nonnegative — what lets the
+/// optimized tier skip zero-mass terms bit-exactly, since sums of
+/// nonnegative doubles never produce −0.0) and returns the depth of the
+/// deepest seeded node. Depth is nondecreasing in local id, so the last
+/// nonzero entry carries it.
+unsigned checked_seed_depth(const Subgraph& ball, std::span<const double> s0) {
+  unsigned start_depth = 0;
+  for (std::size_t v = 0; v < s0.size(); ++v) {
+    MELO_CHECK_MSG(s0[v] >= 0.0,
+                   "diffusion seed masses must be nonnegative (local "
+                       << v << " = " << s0[v] << ")");
+    if (s0[v] != 0.0) start_depth = ball.depth(static_cast<NodeId>(v));
+  }
+  return start_depth;
+}
+
+/// The optimized tier's row pass uses hardware gathers only where they can
+/// win: measured on this kernel family, vgatherdpd loses to scalar row sums
+/// below ~6 in-ball arcs per node (row-per-lane groups spend more on setup
+/// and ragged tails than the 4-wide adds save).
+bool prefer_hw_gather(const Subgraph& ball) {
+  return ball.num_arcs() >= 6 * ball.num_nodes();
+}
+
+// --- scalar float passes -------------------------------------------------
+// Plain element-wise loops: independent per element, so the compiler may
+// vectorize them freely without changing any rounding. The gather is the
+// one pass with an ordered reduction — each row sums its sorted neighbor
+// list strictly left-to-right, the same order diffuse_dense_reference's
+// matvec adds the same products in (its extra non-neighbor terms are exact
+// +0.0 and never flip a bit).
+
+void scale_accumulate_scalar(double coef, const double* t, double* acc,
+                             std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) acc[v] += coef * t[v];
+}
+
+void hadamard_scalar(const double* recip, const double* t, double* share,
+                     std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) share[v] = recip[v] * t[v];
+}
+
+void gather_rows_scalar(const Subgraph& ball, const double* share,
+                        double* next, std::size_t rows) {
+  for (std::size_t w = 0; w < rows; ++w) {
+    double sum = 0.0;
+    for (const NodeId v : ball.neighbors(static_cast<NodeId>(w))) {
+      sum += share[v];
+    }
+    next[w] = sum;
+  }
+}
+
+// --- scalar fixed-point passes (hw::Quantizer ops on uint64 lanes) -------
+
+void fx_scale_accumulate_scalar(std::uint64_t coef, unsigned q,
+                                const std::uint64_t* u, std::uint64_t* acc,
+                                std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) acc[v] += (u[v] * coef) >> q;
+}
+
+void fx_contrib_scalar(const Subgraph& ball, const hw::Quantizer& quant,
+                       const std::uint64_t* u, std::uint64_t* contrib,
+                       std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) {
+    contrib[v] = hw::Quantizer::div_degree(
+        quant.mul_alpha(u[v]), ball.global_degree(static_cast<NodeId>(v)));
+  }
+}
+
+void fx_gather_rows_scalar(const Subgraph& ball, const std::uint64_t* contrib,
+                           std::uint64_t* next, std::size_t rows) {
+  for (std::size_t w = 0; w < rows; ++w) {
+    std::uint64_t sum = 0;
+    for (const NodeId v : ball.neighbors(static_cast<NodeId>(w))) {
+      sum += contrib[v];
+    }
+    next[w] = sum;
+  }
+}
+
+// --- float drivers -------------------------------------------------------
+
+/// Reference form of the blocked kernel: dense full-ball element passes and
+/// a bounded row gather, written to be obviously equivalent to Eq. 1. This
+/// is the portable fallback AND the anchor the property tests compare the
+/// optimized tier against, so it deliberately takes no shortcuts.
+DiffusionResult diffuse_float_reference(const Subgraph& ball,
+                                        std::span<const double> s0,
+                                        double alpha, unsigned length,
+                                        DiffusionWorkspace& ws,
+                                        unsigned start_depth) {
+  const std::size_t n = ball.num_nodes();
+  const unsigned radius = ball.radius();
+  const std::span<const std::uint32_t> prefix = ball.depth_prefix();
+
+  DiffusionResult out;
+  out.accumulated.assign(n, 0.0);
+  out.iterations = length;
+
+  ws.t.assign(s0.begin(), s0.end());
+  ws.next.assign(n, 0.0);
+  ws.share.resize(n);
+  ws.recip.resize(n);
+  // Reciprocal once per node: the dense reference materializes the same
+  // 1/deg double into W, so multiplying by it (not dividing by deg) is
+  // what keeps the two bit-identical.
+  for (std::size_t v = 0; v < n; ++v) {
+    ws.recip[v] =
+        1.0 / static_cast<double>(ball.global_degree(static_cast<NodeId>(v)));
+  }
+
+  double* t = ws.t.data();
+  double* nx = ws.next.data();
+  double* acc = out.accumulated.data();
+  double alpha_pow = 1.0;  // α^k
+  for (unsigned k = 0; k < length; ++k) {
+    scale_accumulate_scalar((1.0 - alpha) * alpha_pow, t, acc, n);
+    // edge_ops: in-ball degrees of nodes carrying mass this iteration —
+    // the same "propagation work" measure the sparse kernel reported.
+    const std::size_t src_bound =
+        prefix_at(prefix, radius, start_depth + k);
+    for (std::size_t v = 0; v < src_bound; ++v) {
+      if (t[v] != 0.0) {
+        out.edge_ops += ball.local_degree(static_cast<NodeId>(v));
+      }
+    }
+    // Mass seeded at depth d reaches at most depth d+k+1 after this step,
+    // and depth classes are id-prefixes — rows beyond stay exactly +0.0.
+    const std::size_t rows =
+        prefix_at(prefix, radius, start_depth + k + 1);
+    hadamard_scalar(ws.recip.data(), t, ws.share.data(), n);
+    gather_rows_scalar(ball, ws.share.data(), nx, rows);
+    std::swap(t, nx);
+    alpha_pow *= alpha;
+  }
+  // Final term: acc += α^l · t_l; residual is t_l itself.
+  scale_accumulate_scalar(alpha_pow, t, acc, n);
+  out.residual.assign(t, t + n);
+  return out;
+}
+
+/// Optimized datapath, dispatched as the AVX2 tier: the element passes run
+/// 4-wide, and every pass is clipped to the depth-prefix support bound —
+/// mass seeded at depth d cannot have reached local ids ≥ prefix[d+k], so
+/// everything beyond is exact +0.0 and the reference's work there writes
+/// the same +0.0 back. Propagation is adaptive:
+///  * while the frontier is still growing (src < rows), a push over the
+///    nonzero sources (bit-identical to the gather: destination w receives
+///    its terms in ascending source order either way, and skipped terms
+///    are exact +0.0 — sums of nonnegative masses never round to −0.0);
+///  * at steady support, a row-gather pass — hardware vgatherdpd on dense
+///    balls, scalar row sums below ~6 arcs/node where gathers lose.
+DiffusionResult diffuse_float_optimized(const Subgraph& ball,
+                                        std::span<const double> s0,
+                                        double alpha, unsigned length,
+                                        DiffusionWorkspace& ws,
+                                        unsigned start_depth) {
+  const std::size_t n = ball.num_nodes();
+  const unsigned radius = ball.radius();
+  const std::span<const std::uint32_t> prefix = ball.depth_prefix();
+
+  DiffusionResult out;
+  out.accumulated.assign(n, 0.0);
+  out.iterations = length;
+
+  ws.t.assign(s0.begin(), s0.end());
+  ws.next.assign(n, 0.0);
+  ws.share.resize(n);
+  ws.recip.resize(n);
+  if (length > 0) {
+    // Reciprocals are only read for source nodes, and sources never extend
+    // past the last iteration's source bound.
+    detail::recip_avx2(ball.global_degrees(), ws.recip.data(),
+                       prefix_at(prefix, radius, start_depth + length - 1));
+  }
+  const bool hw_gather = prefer_hw_gather(ball);
+
+  double* t = ws.t.data();
+  double* nx = ws.next.data();
+  double* acc = out.accumulated.data();
+  double alpha_pow = 1.0;
+  for (unsigned k = 0; k < length; ++k) {
+    const std::size_t src = prefix_at(prefix, radius, start_depth + k);
+    detail::scale_accumulate_avx2((1.0 - alpha) * alpha_pow, t, acc, src);
+    const std::size_t rows =
+        prefix_at(prefix, radius, start_depth + k + 1);
+    if (src < rows) {
+      // Growing frontier: push from the nonzero sources only. edge_ops
+      // counts exactly the sources the push visits, so it folds in free.
+      std::fill(nx, nx + rows, 0.0);
+      for (std::size_t v = 0; v < src; ++v) {
+        if (t[v] == 0.0) continue;
+        out.edge_ops += ball.local_degree(static_cast<NodeId>(v));
+        const double share = ws.recip[v] * t[v];
+        for (const NodeId w : ball.neighbors(static_cast<NodeId>(v))) {
+          nx[w] += share;
+        }
+      }
+    } else {
+      // Steady support (src == rows; the prefix table is monotone): every
+      // row is rewritten, and row neighbors stay below the bound.
+      detail::hadamard_avx2(ws.recip.data(), t, ws.share.data(), src);
+      for (std::size_t v = 0; v < src; ++v) {
+        if (t[v] != 0.0) {
+          out.edge_ops += ball.local_degree(static_cast<NodeId>(v));
+        }
+      }
+      if (hw_gather) {
+        detail::gather_rows_avx2(ball, ws.share.data(), nx, rows);
+      } else {
+        gather_rows_scalar(ball, ws.share.data(), nx, rows);
+      }
+    }
+    std::swap(t, nx);
+    alpha_pow *= alpha;
+  }
+  detail::scale_accumulate_avx2(alpha_pow, t, acc,
+                                prefix_at(prefix, radius,
+                                          start_depth + length));
+  out.residual.assign(t, t + n);
+  return out;
+}
+
+// --- fixed-point drivers -------------------------------------------------
+
+FixedPointDiffusion fx_diffuse_reference(const Subgraph& ball,
+                                         std::uint32_t seed_mass,
+                                         unsigned length,
+                                         const hw::Quantizer& quant,
+                                         DiffusionWorkspace& ws) {
+  const std::size_t n = ball.num_nodes();
+  const unsigned radius = ball.radius();
+  const std::span<const std::uint32_t> prefix = ball.depth_prefix();
+  const std::uint64_t one_minus_coef =
+      (std::uint64_t{1} << quant.q()) - quant.alpha_p();
+
+  FixedPointDiffusion out;
+  out.iterations = length;
+
+  ws.fx_u.assign(n, 0);
+  ws.fx_next.assign(n, 0);
+  ws.fx_acc.assign(n, 0);
+  ws.fx_contrib.assign(n, 0);
+  ws.fx_u[0] = seed_mass;
+
+  std::uint64_t* u = ws.fx_u.data();
+  std::uint64_t* nx = ws.fx_next.data();
+  std::uint64_t* acc = ws.fx_acc.data();
+  for (unsigned k = 0; k < length; ++k) {
+    fx_scale_accumulate_scalar(one_minus_coef, quant.q(), u, acc, n);
+    fx_contrib_scalar(ball, quant, u, ws.fx_contrib.data(), n);
+    const std::size_t src_bound = prefix_at(prefix, radius, k);
+    for (std::size_t v = 0; v < src_bound; ++v) {
+      if (u[v] != 0) {
+        out.edge_ops += ball.local_degree(static_cast<NodeId>(v));
+      }
+    }
+    const std::size_t rows = prefix_at(prefix, radius, k + 1);
+    fx_gather_rows_scalar(ball, ws.fx_contrib.data(), nx, rows);
+    std::swap(u, nx);
+  }
+  return out;
+}
+
+FixedPointDiffusion fx_diffuse_optimized(const Subgraph& ball,
+                                         std::uint32_t seed_mass,
+                                         unsigned length,
+                                         const hw::Quantizer& quant,
+                                         DiffusionWorkspace& ws) {
+  const std::size_t n = ball.num_nodes();
+  const unsigned radius = ball.radius();
+  const std::span<const std::uint32_t> prefix = ball.depth_prefix();
+  const std::uint64_t one_minus_coef =
+      (std::uint64_t{1} << quant.q()) - quant.alpha_p();
+
+  FixedPointDiffusion out;
+  out.iterations = length;
+
+  ws.fx_u.assign(n, 0);
+  ws.fx_next.assign(n, 0);
+  ws.fx_acc.assign(n, 0);
+  ws.fx_contrib.resize(n);
+  ws.fx_u[0] = seed_mass;
+  const bool hw_gather = prefer_hw_gather(ball);
+
+  std::uint64_t* u = ws.fx_u.data();
+  std::uint64_t* nx = ws.fx_next.data();
+  std::uint64_t* acc = ws.fx_acc.data();
+  for (unsigned k = 0; k < length; ++k) {
+    // Integer addition commutes, so bounding and zero-skipping are exact
+    // unconditionally; the bounds themselves mirror the float driver.
+    const std::size_t src = prefix_at(prefix, radius, k);
+    detail::fx_scale_accumulate_avx2(one_minus_coef, quant.q(), u, acc, src);
+    const std::size_t rows = prefix_at(prefix, radius, k + 1);
+    if (src < rows) {
+      std::fill(nx, nx + rows, std::uint64_t{0});
+      for (std::size_t v = 0; v < src; ++v) {
+        if (u[v] == 0) continue;
+        out.edge_ops += ball.local_degree(static_cast<NodeId>(v));
+        // Truncating degree division only for sources that carry mass —
+        // the one integer op AVX2 has no lanes for.
+        const std::uint64_t c = hw::Quantizer::div_degree(
+            quant.mul_alpha(u[v]),
+            ball.global_degree(static_cast<NodeId>(v)));
+        for (const NodeId w : ball.neighbors(static_cast<NodeId>(v))) {
+          nx[w] += c;
+        }
+      }
+    } else {
+      detail::fx_contrib_avx2(ball, quant.alpha_p(), quant.q(), u,
+                              ws.fx_contrib.data(), src);
+      for (std::size_t v = 0; v < src; ++v) {
+        if (u[v] != 0) {
+          out.edge_ops += ball.local_degree(static_cast<NodeId>(v));
+        }
+      }
+      if (hw_gather) {
+        detail::fx_gather_rows_avx2(ball, ws.fx_contrib.data(), nx, rows);
+      } else {
+        fx_gather_rows_scalar(ball, ws.fx_contrib.data(), nx, rows);
+      }
+    }
+    std::swap(u, nx);
+  }
+  return out;
+}
+
+}  // namespace
+
+DiffusionResult diffuse_blocked(const Subgraph& ball,
+                                std::span<const double> s0, double alpha,
+                                unsigned length, DiffusionWorkspace& ws,
+                                KernelTier tier) {
+  MELO_CHECK(s0.size() == ball.num_nodes());
+  MELO_CHECK(alpha > 0.0 && alpha < 1.0);
+  MELO_CHECK_MSG(length <= ball.radius(),
+                 "diffusion length " << length << " exceeds ball radius "
+                                     << ball.radius()
+                                     << " — result would be inexact");
+  const unsigned start_depth = checked_seed_depth(ball, s0);
+  if (tier == KernelTier::kAvx2) {
+    return diffuse_float_optimized(ball, s0, alpha, length, ws, start_depth);
+  }
+  return diffuse_float_reference(ball, s0, alpha, length, ws, start_depth);
+}
+
+FixedPointDiffusion diffuse_fixed_point(const Subgraph& ball,
+                                        std::uint32_t seed_mass,
+                                        unsigned length,
+                                        const hw::Quantizer& quant,
+                                        DiffusionWorkspace& ws,
+                                        KernelTier tier) {
+  const std::size_t n = ball.num_nodes();
+  MELO_CHECK(n > 0);
+  MELO_CHECK_MSG(length <= ball.radius(),
+                 "diffusion length exceeds ball radius");
+
+  FixedPointDiffusion out = tier == KernelTier::kAvx2
+                                ? fx_diffuse_optimized(ball, seed_mass,
+                                                       length, quant, ws)
+                                : fx_diffuse_reference(ball, seed_mass,
+                                                       length, quant, ws);
+  // Final α^l·W^l·S0 term folds into the accumulated score (Eq. 1), then
+  // clamp to the 32-bit BRAM word exactly as the accelerator does. Both
+  // drivers ping-pong fx_u/fx_next exactly `length` times, so parity says
+  // which buffer holds the final residual vector.
+  const std::uint64_t* u =
+      length % 2 == 0 ? ws.fx_u.data() : ws.fx_next.data();
+  const std::uint64_t* acc = ws.fx_acc.data();
+  out.accumulated.assign(n, 0);
+  out.residual.assign(n, 0);
+  constexpr std::uint64_t kCeiling = 0xffffffffULL;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint64_t a = acc[v] + u[v];
+    std::uint64_t r = u[v];
+    if (a > kCeiling) {
+      out.saturated = true;
+      a = kCeiling;
+    }
+    if (r > kCeiling) {
+      out.saturated = true;
+      r = kCeiling;
+    }
+    out.accumulated[v] = static_cast<std::uint32_t>(a);
+    out.residual[v] = static_cast<std::uint32_t>(r);
+  }
+  return out;
+}
+
+}  // namespace meloppr::ppr

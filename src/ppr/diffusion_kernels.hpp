@@ -1,0 +1,162 @@
+// Runtime-dispatched diffusion kernel family (the SIMD rework of diffuse()).
+//
+// The original kernel chased a sparse active list through an `in_active`
+// byte map — branchy, pointer-heavy, and invisible to the vector units.
+// This family restructures GD_l into a CSR-blocked form that exploits a
+// property of extract_ball(): local ids are assigned in BFS discovery order,
+// so depth is nondecreasing in local id and the set of nodes reachable in k
+// steps from mass seeded at depth d is a contiguous PREFIX
+// [0, depth_prefix()[d+k]) of the id range.
+//
+// Two drivers sit behind one dispatch point:
+//
+//   * the SCALAR tier is the portable reference — dense full-ball element
+//     passes (scale, share) plus a prefix-bounded row gather, written to be
+//     obviously equivalent to Eq. 1 and to diffuse_dense_reference;
+//   * the AVX2 tier is the optimized datapath — every pass clipped to its
+//     depth-prefix support bound and run 4 lanes wide, with ADAPTIVE
+//     propagation: while the frontier is still growing (the normal MeLoPPR
+//     call, mass seeded at the root) it pushes from the nonzero sources,
+//     folding the edge_ops count in for free; at steady support it switches
+//     to a row-gather pass (hardware vgatherdpd on dense balls, scalar row
+//     sums on the low-degree paper graphs where gathers lose).
+//
+// Both tiers produce BIT-IDENTICAL doubles, equal to diffuse_dense_reference.
+// The pinned order is: each destination row sums its sorted neighbor terms
+// strictly left-to-right (the dense matvec adds the same products in the
+// same column order; its non-neighbor terms are exact +0.0). The push form
+// preserves that order because pushing from sources in ascending id hits
+// each destination's terms in ascending neighbor order too, and skipping
+// zero-mass sources is exact: seed masses are checked nonnegative, sums of
+// nonnegative doubles never produce −0.0, and x + (+0.0) == x bit-for-bit.
+// Support bounding is exact for the same reason — everything beyond a bound
+// is +0.0 and stays +0.0.
+//
+// Tier selection is a runtime decision: CPUID picks AVX2 where available,
+// MELOPPR_FORCE_SCALAR=1 forces the fallback (CI runs the whole suite once
+// this way), and set_kernel_tier_override() lets tests/benches A/B the
+// tiers explicitly. Only diffusion_avx2.cpp is compiled with -mavx2; no
+// other translation unit changes ISA.
+//
+// The same two-driver skeleton hosts the fixed-point path
+// (Numerics::kFixedPoint): hw::Quantizer's α_p-multiply + q-bit shift and
+// truncating degree division on uint64 lanes. Integer addition commutes, so
+// bounding and zero-skipping are unconditionally exact and both tiers
+// reproduce hw::Accelerator::diffuse node-for-node — the host
+// cross-validates the simulated FPGA at zero tolerance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ppr/diffusion.hpp"
+
+namespace meloppr::ppr {
+
+/// Which implementation executes the blocked kernels.
+enum class KernelTier {
+  kScalar,  ///< portable C++ — always available, the dispatch fallback
+  kAvx2,    ///< 4-lane AVX2 (vgatherdpd row-per-lane), x86-64 only
+};
+
+const char* to_string(KernelTier tier);
+
+/// The tier diffuse() dispatches to: the override if set, else scalar when
+/// MELOPPR_FORCE_SCALAR is truthy, else the best tier this CPU supports
+/// (detected once via CPUID). Safe from any thread.
+[[nodiscard]] KernelTier active_kernel_tier();
+
+/// True when `tier` can execute on this machine (kScalar always; kAvx2
+/// needs both the AVX2-compiled translation unit and CPUID support).
+[[nodiscard]] bool kernel_tier_available(KernelTier tier);
+
+/// Test/bench hook: pin dispatch to one tier (std::nullopt restores the
+/// automatic choice). Checks availability. Process-global.
+void set_kernel_tier_override(std::optional<KernelTier> tier);
+
+/// Reusable scratch for the blocked kernels, so per-ball calls stop paying
+/// allocation for the dense lanes. Buffers grow to the largest ball seen.
+struct DiffusionWorkspace {
+  // float lanes
+  std::vector<double> t, next, share, recip;
+  // fixed-point lanes
+  std::vector<std::uint64_t> fx_u, fx_next, fx_acc, fx_contrib;
+};
+
+/// Per-thread workspace — CpuBackend::run() is concurrently callable, so
+/// the scratch must not be shared across threads.
+[[nodiscard]] DiffusionWorkspace& thread_workspace();
+
+/// Float-mode blocked kernel. Same contract and MELO_CHECKs as diffuse();
+/// seed masses must be nonnegative (checked — the optimized tier's
+/// zero-skipping push relies on it). Results (scores, residual, edge_ops)
+/// are bit-identical across tiers and to diffuse_dense_reference.
+DiffusionResult diffuse_blocked(const Subgraph& ball,
+                                std::span<const double> s0, double alpha,
+                                unsigned length, DiffusionWorkspace& ws,
+                                KernelTier tier);
+
+/// Integer scores of one fixed-point diffusion — the exact shape of
+/// hw::AcceleratorRun minus the cycle model.
+struct FixedPointDiffusion {
+  std::vector<std::uint32_t> accumulated;  ///< clamped 32-bit π_a
+  std::vector<std::uint32_t> residual;     ///< u_l = α^l·W^l·S0 (α-scaled)
+  std::uint64_t edge_ops = 0;
+  unsigned iterations = 0;
+  bool saturated = false;  ///< some score clamped at 2^32−1
+};
+
+/// Fixed-point blocked kernel: `seed_mass` integer mass at local 0 (the
+/// accelerator's calling convention). Node-for-node identical to
+/// hw::Accelerator::diffuse with the same Quantizer — scores, residual,
+/// edge_ops and the saturation flag all match exactly.
+FixedPointDiffusion diffuse_fixed_point(const Subgraph& ball,
+                                        std::uint32_t seed_mass,
+                                        unsigned length,
+                                        const hw::Quantizer& quant,
+                                        DiffusionWorkspace& ws,
+                                        KernelTier tier);
+
+namespace detail {
+
+// AVX2 pass implementations, defined in diffusion_avx2.cpp (the only file
+// compiled with -mavx2). On builds without AVX2 support they forward to the
+// scalar passes and avx2_kernels_compiled() reports false, so dispatch
+// never selects them.
+[[nodiscard]] bool avx2_kernels_compiled();
+
+/// acc[v] += coef · t[v] for v ∈ [0, n) — no FMA (bit-compat with scalar).
+void scale_accumulate_avx2(double coef, const double* t, double* acc,
+                           std::size_t n);
+/// share[v] = recip[v] · t[v] for v ∈ [0, n).
+void hadamard_avx2(const double* recip, const double* t, double* share,
+                   std::size_t n);
+/// recip[v] = 1.0 / deg[v] for v ∈ [0, n). vdivpd is correctly rounded, so
+/// the lanes are bit-identical to the scalar divisions.
+void recip_avx2(const std::uint32_t* deg, double* recip, std::size_t n);
+/// Row-gather pass over rows [0, rows): 4 rows advance in lock-step, one
+/// per lane, each lane summing its own sorted neighbor list strictly
+/// left-to-right (ragged tails finish scalar per lane) — the within-row
+/// order is what bit-identity pins; rows are independent.
+void gather_rows_avx2(const Subgraph& ball, const double* share, double* next,
+                      std::size_t rows);
+/// acc[v] += (u[v]·coef) >> q for v ∈ [0, n) (64×32-bit multiply emulated
+/// with 32-bit lane products — exact uint64 wraparound semantics).
+void fx_scale_accumulate_avx2(std::uint64_t coef, unsigned q,
+                              const std::uint64_t* u, std::uint64_t* acc,
+                              std::size_t n);
+/// contrib[v] = ((u[v]·alpha_p) >> q) / global_degree(v) for v ∈ [0, n);
+/// the α-multiply is vectorized, the truncating division stays scalar
+/// (no integer-divide lanes in AVX2).
+void fx_contrib_avx2(const Subgraph& ball, std::uint64_t alpha_p, unsigned q,
+                     const std::uint64_t* u, std::uint64_t* contrib,
+                     std::size_t n);
+/// Fixed-point analogue of gather_rows_avx2.
+void fx_gather_rows_avx2(const Subgraph& ball, const std::uint64_t* contrib,
+                         std::uint64_t* next, std::size_t rows);
+
+}  // namespace detail
+
+}  // namespace meloppr::ppr

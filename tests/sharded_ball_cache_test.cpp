@@ -377,5 +377,59 @@ TEST(ShardedBallCache, ClearDropsPinsSketchAndSizeEstimate) {
   EXPECT_EQ(s.root_reextractions, 0u);
 }
 
+TEST(ShardedBallCache, EvictionScanWindowAdaptsToShardPopulation) {
+  // ~10% of residents, floored at the old fixed window (small shards keep
+  // PR 4/5 behavior bit-for-bit) and capped by the plan loop's stack array.
+  EXPECT_EQ(ShardedBallCache::eviction_scan_window(0),
+            ShardedBallCache::kMinEvictionScanWindow);
+  EXPECT_EQ(ShardedBallCache::eviction_scan_window(79), 8u);
+  EXPECT_EQ(ShardedBallCache::eviction_scan_window(80), 8u);
+  EXPECT_EQ(ShardedBallCache::eviction_scan_window(100), 10u);
+  EXPECT_EQ(ShardedBallCache::eviction_scan_window(350), 35u);
+  EXPECT_EQ(ShardedBallCache::eviction_scan_window(640),
+            ShardedBallCache::kMaxEvictionScanWindow);
+  EXPECT_EQ(ShardedBallCache::eviction_scan_window(1'000'000),
+            ShardedBallCache::kMaxEvictionScanWindow);
+}
+
+TEST(ShardedBallCache, PinAdmissionPrefersSeedsClosestToClaim) {
+  // Pin-table capacity duel: the table is full of far-from-claim pins; a
+  // seed with a strictly lower stream index displaces the farthest one.
+  // The 1-byte budget keeps every ball out of the LRU, so hits below can
+  // only come from the pinned side-table.
+  Graph g = graph::fixtures::cycle(400);
+  ShardedBallCache cache(g, /*byte_budget=*/1, 1, CacheAdmission::kAlways,
+                         /*pin_capacity=*/2);
+  using FK = ShardedBallCache::FetchKind;
+  cache.fetch(0, 2, FK::kPinnedRootPrefetch, /*claim_priority=*/5);
+  cache.fetch(10, 2, FK::kPinnedRootPrefetch, /*claim_priority=*/7);
+  EXPECT_EQ(cache.pinned_entries(), 2u);
+
+  // Not strictly closer than the worst pin (7): skipped, as before.
+  cache.fetch(20, 2, FK::kPinnedRootPrefetch, /*claim_priority=*/7);
+  EXPECT_EQ(cache.pinned_entries(), 2u);
+  EXPECT_EQ(cache.pin_displacements(), 0u);
+  // The default no-priority pin loses every duel.
+  cache.fetch(30, 2, FK::kPinnedRootPrefetch);
+  EXPECT_EQ(cache.pin_displacements(), 0u);
+
+  // Strictly closer: displaces the priority-7 pin.
+  cache.fetch(40, 2, FK::kPinnedRootPrefetch, /*claim_priority=*/1);
+  EXPECT_EQ(cache.pinned_entries(), 2u);
+  EXPECT_EQ(cache.pin_displacements(), 1u);
+  EXPECT_EQ(cache.pins_expired(), 1u);  // displacement counts as expiry
+
+  // The survivors are the close seeds: claiming each is a pin hit; the
+  // displaced key 10 must re-extract on demand.
+  const ShardedBallCache::Fetch near0 = cache.fetch(0, 2, FK::kDemand);
+  EXPECT_TRUE(near0.hit);
+  EXPECT_TRUE(near0.pinned);
+  EXPECT_TRUE(cache.fetch(40, 2, FK::kDemand).pinned);
+  const std::size_t misses_before = cache.stats().misses;
+  (void)cache.fetch(10, 2, FK::kDemand);
+  EXPECT_EQ(cache.stats().misses, misses_before + 1)
+      << "displaced pin should no longer be held";
+}
+
 }  // namespace
 }  // namespace meloppr::core

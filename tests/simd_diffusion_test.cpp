@@ -1,0 +1,325 @@
+// Property suite for the runtime-dispatched diffusion kernel family
+// (ppr/diffusion_kernels) and the quantized host path.
+//
+// Three exactness contracts are enforced at zero tolerance:
+//   1. Float mode: the CSR-blocked gather kernels (scalar AND AVX2) are
+//      BIT-identical to diffuse_dense_reference — same doubles, same
+//      memcmp bytes — across random balls, radii, alphas, and seed
+//      vectors. SIMD is a pure speedup, never a numerics change.
+//   2. Fixed point: the host kernels reproduce hw::Accelerator::diffuse
+//      node-for-node in the integer domain (accumulated, residual,
+//      edge_ops, saturation) for the paper's q=10 configuration.
+//   3. Backend envelope: CpuBackend in fixed-point mode and FpgaBackend
+//      over the same Quantizer return identical dequantized scores, so
+//      host-vs-FPGA comparisons in the pipeline are exact, not approximate.
+//
+// Runs under the ASan/UBSan CI job and once with MELOPPR_FORCE_SCALAR=1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/paper_graphs.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/host.hpp"
+#include "hw/quantizer.hpp"
+#include "ppr/diffusion.hpp"
+#include "ppr/diffusion_kernels.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Subgraph;
+using ppr::DiffusionParams;
+using ppr::DiffusionResult;
+using ppr::KernelTier;
+
+/// Bitwise equality of double vectors — distinguishes +0.0 from -0.0 and
+/// would catch any reassociated sum the ULP-level EXPECT_EQ might mask.
+::testing::AssertionResult bits_equal(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  if (!a.empty() &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first bit difference at local " << i << ": " << a[i]
+               << " vs " << b[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Restores the previous kernel-tier override on scope exit.
+class TierGuard {
+ public:
+  explicit TierGuard(KernelTier tier) {
+    ppr::set_kernel_tier_override(tier);
+  }
+  ~TierGuard() { ppr::set_kernel_tier_override(std::nullopt); }
+};
+
+Graph random_family_graph(std::size_t which, Rng& rng) {
+  switch (which % 5) {
+    case 0:
+      return graph::barabasi_albert(250, std::size_t{2}, std::size_t{3}, rng);
+    case 1:
+      return graph::erdos_renyi(250, 700, rng);
+    case 2:
+      return graph::watts_strogatz(250, 6, 0.2, rng);
+    case 3:
+      // Dense enough (~16 arcs/node) to push the optimized tier onto its
+      // hardware-gather row pass, which the sparse families never reach.
+      return graph::erdos_renyi(200, 1600, rng);
+    default:
+      return graph::community_graph(250, 12, 4.0, 1.0, rng);
+  }
+}
+
+/// A seed vector with mass at local 0 plus a sprinkle of other nonzero
+/// entries — exercises the multi-source form stage-2 aggregation feeds in.
+std::vector<double> random_seed_vector(std::size_t n, Rng& rng) {
+  std::vector<double> s0(n, 0.0);
+  s0[0] = 0.25 + 0.75 * rng.uniform();
+  const std::size_t extras = rng.below(4);
+  for (std::size_t i = 0; i < extras; ++i) {
+    s0[rng.below(n)] = rng.uniform();
+  }
+  return s0;
+}
+
+TEST(SimdDiffusion, DispatchedDiffuseIsBitIdenticalToDenseReference) {
+  Rng rng(test::test_seed());
+  const std::size_t trials = test::stress_iters(24);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const Graph g = random_family_graph(trial, rng);
+    const NodeId seed = graph::random_seed_node(g, rng);
+    const unsigned radius = 2 + static_cast<unsigned>(trial % 2);
+    const Subgraph ball = graph::extract_ball(g, seed, radius);
+    const std::vector<double> s0 = random_seed_vector(ball.num_nodes(), rng);
+
+    DiffusionParams params;
+    params.alpha = 0.05 + 0.9 * rng.uniform();
+    params.length = 1 + static_cast<unsigned>(rng.below(radius));
+
+    const DiffusionResult ref =
+        ppr::diffuse_dense_reference(ball, s0, params);
+    const DiffusionResult got = ppr::diffuse(ball, s0, params);
+    EXPECT_TRUE(bits_equal(got.accumulated, ref.accumulated))
+        << "accumulated, trial " << trial << " alpha " << params.alpha
+        << " length " << params.length;
+    EXPECT_TRUE(bits_equal(got.residual, ref.residual))
+        << "residual, trial " << trial;
+    EXPECT_EQ(got.iterations, ref.iterations);
+  }
+}
+
+TEST(SimdDiffusion, ScalarAndAvx2TiersAreBitIdentical) {
+  if (!ppr::kernel_tier_available(KernelTier::kAvx2)) {
+    GTEST_SKIP() << "AVX2 tier unavailable on this host/build";
+  }
+  Rng rng(test::test_seed() ^ 0xa5a5a5a5ULL);
+  const std::size_t trials = test::stress_iters(24);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const Graph g = random_family_graph(trial, rng);
+    const NodeId seed = graph::random_seed_node(g, rng);
+    const unsigned radius = 3;
+    const Subgraph ball = graph::extract_ball(g, seed, radius);
+    const std::vector<double> s0 = random_seed_vector(ball.num_nodes(), rng);
+
+    DiffusionParams params;
+    params.alpha = 0.05 + 0.9 * rng.uniform();
+    params.length = radius;
+
+    DiffusionResult scalar;
+    {
+      TierGuard guard(KernelTier::kScalar);
+      ASSERT_EQ(ppr::active_kernel_tier(), KernelTier::kScalar);
+      scalar = ppr::diffuse(ball, s0, params);
+    }
+    DiffusionResult simd;
+    {
+      TierGuard guard(KernelTier::kAvx2);
+      ASSERT_EQ(ppr::active_kernel_tier(), KernelTier::kAvx2);
+      simd = ppr::diffuse(ball, s0, params);
+    }
+    EXPECT_TRUE(bits_equal(simd.accumulated, scalar.accumulated))
+        << "trial " << trial;
+    EXPECT_TRUE(bits_equal(simd.residual, scalar.residual))
+        << "trial " << trial;
+    EXPECT_EQ(simd.edge_ops, scalar.edge_ops);
+  }
+}
+
+TEST(SimdDiffusion, TierOverrideRoundTrips) {
+  const KernelTier ambient = ppr::active_kernel_tier();
+  EXPECT_TRUE(ppr::kernel_tier_available(KernelTier::kScalar));
+  {
+    TierGuard guard(KernelTier::kScalar);
+    EXPECT_EQ(ppr::active_kernel_tier(), KernelTier::kScalar);
+  }
+  EXPECT_EQ(ppr::active_kernel_tier(), ambient);
+}
+
+/// The optimized tier skips zero-mass sources, which is only bit-exact for
+/// nonnegative seeds — so the kernel enforces the contract for every tier.
+TEST(SimdDiffusion, NegativeSeedMassIsRejected) {
+  const Graph g = graph::fixtures::binary_tree(63);
+  const Subgraph ball = graph::extract_ball(g, 0, 3);
+  std::vector<double> s0(ball.num_nodes(), 0.0);
+  s0[0] = 1.0;
+  s0[2] = -0.125;
+  EXPECT_THROW((void)ppr::diffuse(ball, s0, {0.85, 2}), std::logic_error);
+  s0[2] = std::numeric_limits<double>::quiet_NaN();  // fails s0 >= 0 too
+  EXPECT_THROW((void)ppr::diffuse(ball, s0, {0.85, 2}), std::logic_error);
+}
+
+/// Every available tier reproduces hw::Accelerator's integer datapath
+/// exactly: scores, residual, edge traversals, saturation flag.
+TEST(SimdDiffusion, FixedPointHostMatchesAcceleratorExactly) {
+  Rng rng(test::test_seed() ^ 0xf1f1f1f1ULL);
+  const std::size_t trials = test::stress_iters(16);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const Graph g = random_family_graph(trial, rng);
+    const hw::Quantizer quant = hw::Quantizer::from_graph_stats(
+        0.85, 10, hw::DChoice::kHalfMaxDegree, g.average_degree(),
+        g.max_degree(), g.num_nodes());
+    hw::AcceleratorConfig cfg;
+    hw::Accelerator accel(cfg, quant);
+
+    const NodeId seed = graph::random_seed_node(g, rng);
+    const unsigned radius = 2 + static_cast<unsigned>(trial % 2);
+    const Subgraph ball = graph::extract_ball(g, seed, radius);
+    const std::uint32_t seed_mass = quant.to_fixed(0.1 + 0.9 * rng.uniform());
+    const unsigned length = radius;
+
+    const hw::AcceleratorRun hw_run = accel.diffuse(ball, seed_mass, length);
+
+    for (KernelTier tier : {KernelTier::kScalar, KernelTier::kAvx2}) {
+      if (!ppr::kernel_tier_available(tier)) continue;
+      const ppr::FixedPointDiffusion host = ppr::diffuse_fixed_point(
+          ball, seed_mass, length, quant, ppr::thread_workspace(), tier);
+      ASSERT_EQ(host.accumulated.size(), hw_run.accumulated.size());
+      EXPECT_EQ(host.accumulated, hw_run.accumulated)
+          << "tier " << ppr::to_string(tier) << ", trial " << trial;
+      EXPECT_EQ(host.residual, hw_run.residual)
+          << "tier " << ppr::to_string(tier) << ", trial " << trial;
+      EXPECT_EQ(host.edge_ops, hw_run.edge_ops);
+      EXPECT_EQ(host.saturated, hw_run.saturated);
+    }
+  }
+}
+
+TEST(SimdDiffusion, FixedPointDiffuseRequiresSeedAtLocalZeroOnly) {
+  const Graph g = graph::fixtures::binary_tree(63);
+  const Subgraph ball = graph::extract_ball(g, 0, 3);
+  const hw::Quantizer quant(0.85, 10, 50'000'000);
+  DiffusionParams params;
+  params.length = 3;
+  params.numerics = ppr::Numerics::kFixedPoint;
+  params.quantizer = &quant;
+  std::vector<double> s0(ball.num_nodes(), 0.0);
+  s0[0] = 0.5;
+  s0[1] = 0.25;  // off-root mass: the integer datapath cannot represent this
+  EXPECT_THROW((void)ppr::diffuse(ball, s0, params), std::logic_error);
+}
+
+TEST(SimdDiffusion, CpuFixedBackendMatchesFpgaBackendScores) {
+  Rng rng(test::test_seed() ^ 0x0b0b0b0bULL);
+  const std::size_t trials = test::stress_iters(12);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const Graph g = random_family_graph(trial, rng);
+    const hw::Quantizer quant = hw::Quantizer::from_graph_stats(
+        0.85, 10, hw::DChoice::kHalfMaxDegree, g.average_degree(),
+        g.max_degree(), g.num_nodes());
+    core::CpuBackend cpu(0.85, quant);
+    hw::AcceleratorConfig cfg;
+    hw::FpgaBackend fpga{hw::Accelerator(cfg, quant)};
+
+    const NodeId seed = graph::random_seed_node(g, rng);
+    const Subgraph ball = graph::extract_ball(g, seed, 3);
+    const double mass = 0.1 + 0.9 * rng.uniform();
+
+    const core::BackendResult host = cpu.run(ball, mass, 3);
+    const core::BackendResult device = fpga.run(ball, mass, 3);
+    EXPECT_TRUE(bits_equal(host.accumulated, device.accumulated))
+        << "trial " << trial;
+    EXPECT_TRUE(bits_equal(host.inflight, device.inflight))
+        << "trial " << trial;
+    EXPECT_EQ(host.edge_ops, device.edge_ops);
+  }
+}
+
+TEST(SimdDiffusion, CpuBackendFactoryHonorsNumericsConfig) {
+  Rng rng(test::test_seed());
+  const Graph g = graph::fixtures::barbell(20);
+
+  core::MelopprConfig float_cfg;
+  EXPECT_EQ(core::make_cpu_backend(g, float_cfg)->name(), "cpu");
+
+  core::MelopprConfig fx_cfg;
+  fx_cfg.numerics = ppr::Numerics::kFixedPoint;
+  fx_cfg.fixed_point_q = 10;
+  EXPECT_EQ(core::make_cpu_backend(g, fx_cfg)->name(), "cpu(fx q=10)");
+
+  fx_cfg.fixed_point_q = 0;
+  EXPECT_THROW(fx_cfg.validate(), std::invalid_argument);
+  fx_cfg.fixed_point_q = 17;
+  EXPECT_THROW(fx_cfg.validate(), std::invalid_argument);
+}
+
+/// End-to-end: an Engine configured for fixed-point numerics (convenience
+/// CPU path) ranks exactly what the FPGA-backend path ranks.
+TEST(SimdDiffusion, FixedPointEngineQueryMatchesFpgaQuery) {
+  Rng rng(test::test_seed() ^ 0x7e7e7e7eULL);
+  const Graph g = graph::barabasi_albert(250, std::size_t{2}, std::size_t{3},
+                                         rng);
+
+  core::MelopprConfig cfg;
+  cfg.numerics = ppr::Numerics::kFixedPoint;
+  cfg.fixed_point_q = 10;
+  const core::Engine engine(g, cfg);
+
+  const hw::Quantizer quant = hw::Quantizer::from_graph_stats(
+      cfg.alpha, cfg.fixed_point_q, cfg.fixed_point_d, g.average_degree(),
+      g.max_degree(), g.num_nodes());
+  hw::AcceleratorConfig acfg;
+  hw::FpgaBackend fpga{hw::Accelerator(acfg, quant)};
+  core::ExactAggregator aggregator;
+
+  for (std::size_t trial = 0; trial < test::stress_iters(6); ++trial) {
+    const NodeId seed = graph::random_seed_node(g, rng);
+    const core::QueryResult host = engine.query(seed);
+    const core::QueryResult device = engine.query(seed, fpga, aggregator);
+    ASSERT_EQ(host.top.size(), device.top.size());
+    for (std::size_t i = 0; i < host.top.size(); ++i) {
+      EXPECT_EQ(host.top[i].node, device.top[i].node) << "rank " << i;
+      EXPECT_EQ(host.top[i].score, device.top[i].score) << "rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meloppr
+
+int main(int argc, char** argv) {
+  return meloppr::test::run_all_tests(argc, argv);
+}
