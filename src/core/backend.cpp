@@ -8,6 +8,46 @@
 
 namespace meloppr::core {
 
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kTransientFault:
+      return "transient-fault";
+    case RunStatus::kDeviceDead:
+      return "device-dead";
+    case RunStatus::kDeadlineMiss:
+      return "deadline-miss";
+    case RunStatus::kNoHealthyDevice:
+      return "no-healthy-device";
+  }
+  return "unknown";
+}
+
+BackendResult FailoverBackend::run(const graph::Subgraph& ball, double mass,
+                                   unsigned length) {
+  BackendResult primary = primary_->run(ball, mass, length);
+  if (primary.ok()) return primary;
+
+  BackendResult fallback = fallback_->run(ball, mass, length);
+  // The primary's failed attempts (and their deadline misses) are part of
+  // this run's cost even though the fallback produced the scores.
+  fallback.attempts += primary.attempts;
+  fallback.deadline_misses += primary.deadline_misses;
+  fallback.transfer_seconds += primary.transfer_seconds;
+  if (fallback.ok()) {
+    fallback.failed_over = true;
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fallback;
+}
+
+std::string FailoverBackend::name() const {
+  std::ostringstream os;
+  os << "failover(" << primary_->name() << " -> " << fallback_->name() << ")";
+  return os.str();
+}
+
 BackendResult CpuBackend::run(const graph::Subgraph& ball, double mass,
                               unsigned length) {
   Timer timer;

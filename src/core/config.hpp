@@ -226,6 +226,13 @@ struct MelopprConfig {
   /// d = max_degree/2). Only used when numerics == kFixedPoint.
   hw::DChoice fixed_point_d = hw::DChoice::kHalfMaxDegree;
 
+  /// Ball-extraction attempts per task before the ball is declared failed
+  /// (the engine's retry budget against an environmentally-flaky extractor
+  /// or storage layer). Caller errors (std::invalid_argument for a bad
+  /// seed) and invariant violations are never retried — they propagate.
+  /// 1 = no retries.
+  std::size_t extraction_attempts = 3;
+
   /// Bounded-table capacity, c·k entries.
   [[nodiscard]] std::size_t table_capacity() const { return topck_c * k; }
 
@@ -263,6 +270,10 @@ struct MelopprConfig {
     if (!(topck_epsilon >= 0.0)) {  // rejects negatives and NaN
       throw std::invalid_argument(
           "MelopprConfig: topck_epsilon must be non-negative");
+    }
+    if (extraction_attempts == 0) {
+      throw std::invalid_argument(
+          "MelopprConfig: extraction_attempts must be >= 1");
     }
     if (fixed_point_q == 0 || fixed_point_q > 16) {
       // α_p = round(α·2^q) must fit the 16-bit hardware multiplier.

@@ -48,12 +48,17 @@ QueryResult Engine::query(graph::NodeId seed, DiffusionBackend& backend,
     // in principle emit one — degrade gracefully).
     if (!(task.mass > 0.0)) continue;
 
+    StageOutcome out = run_task(task, backend, meter);
+    result.stats.stages[task.stage].merge(out.stats);
+    // A failed task re-diffused nothing: leave the parent's parked mass in
+    // place (skipping the −mass with nothing added would corrupt scores)
+    // and spawn no children. run_task never touches the aggregator, so
+    // deferring the subtraction to here preserves the exact op order.
+    if (out.failed) continue;
+
     // Eq. 8's −α^l·S^r term: remove the mass this task will re-diffuse
     // (the parent's GD_l left it parked at the root).
     if (task.stage > 0) aggregator.add(task.root, -task.mass);
-
-    StageOutcome out = run_task(task, backend, meter);
-    result.stats.stages[task.stage].merge(out.stats);
 
     for (const auto& [node, delta] : out.contributions) {
       aggregator.add(node, delta);
@@ -99,25 +104,49 @@ StageOutcome Engine::run_task(const StageTask& task, DiffusionBackend& backend,
   // this task. bfs_seconds is the wall time this task *waited* for its
   // ball — near zero on a cache hit, which is exactly how prefetching
   // shows up in the Fig. 7 split.
+  // Extraction is retried against *environmental* failures (a flaky
+  // extractor or storage layer) up to config_.extraction_attempts; caller
+  // errors (std::invalid_argument — a bad seed is bad on every attempt)
+  // and invariant violations (bugs) propagate immediately. A task whose
+  // extraction fails past the budget returns failed instead of aborting
+  // the whole query.
   Timer bfs_timer;
   std::optional<graph::Subgraph> owned;
   ShardedBallCache::BallPtr pinned;
-  const graph::Subgraph* ball_ptr;
-  if (shared_cache_ != nullptr) {
-    ShardedBallCache::Fetch fetch = shared_cache_->fetch(task.root, length);
-    fetch.hit ? ++st.cache_hits : ++st.cache_misses;
-    if (fetch.pinned) ++st.cache_pin_hits;
-    pinned = std::move(fetch.ball);
-    ball_ptr = pinned.get();
-    meter.set("ball_cache", shared_cache_->bytes());
-  } else if (cache_ != nullptr) {
-    const std::size_t hits_before = cache_->hits();
-    ball_ptr = &cache_->get(task.root, length);
-    cache_->hits() > hits_before ? ++st.cache_hits : ++st.cache_misses;
-    meter.set("ball_cache", cache_->bytes());
-  } else {
-    owned.emplace(graph::extract_ball(*graph_, task.root, length));
-    ball_ptr = &*owned;
+  const graph::Subgraph* ball_ptr = nullptr;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      if (shared_cache_ != nullptr) {
+        ShardedBallCache::Fetch fetch =
+            shared_cache_->fetch(task.root, length);
+        fetch.hit ? ++st.cache_hits : ++st.cache_misses;
+        if (fetch.pinned) ++st.cache_pin_hits;
+        pinned = std::move(fetch.ball);
+        ball_ptr = pinned.get();
+        meter.set("ball_cache", shared_cache_->bytes());
+      } else if (cache_ != nullptr) {
+        const std::size_t hits_before = cache_->hits();
+        ball_ptr = &cache_->get(task.root, length);
+        cache_->hits() > hits_before ? ++st.cache_hits : ++st.cache_misses;
+        meter.set("ball_cache", cache_->bytes());
+      } else {
+        owned.emplace(graph::extract_ball(*graph_, task.root, length));
+        ball_ptr = &*owned;
+      }
+      break;
+    } catch (const InvariantViolation&) {
+      throw;
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      ++st.extraction_faults;
+      if (attempt >= config_.extraction_attempts) {
+        st.bfs_seconds += bfs_timer.elapsed_seconds();
+        ++st.failed_balls;
+        out.failed = true;
+        return out;
+      }
+    }
   }
   const graph::Subgraph& ball = *ball_ptr;
   st.bfs_seconds += bfs_timer.elapsed_seconds();
@@ -133,8 +162,6 @@ StageOutcome Engine::run_task(const StageTask& task, DiffusionBackend& backend,
 
   // --- 2. Diffusion on the device (the PL role in Fig. 4). ---
   BackendResult diff = backend.run(ball, task.mass, length);
-  MELO_CHECK(diff.accumulated.size() == ball.num_nodes());
-  MELO_CHECK(diff.inflight.size() == ball.num_nodes());
 
   st.balls += 1;
   st.max_ball_nodes = std::max(st.max_ball_nodes, ball.num_nodes());
@@ -144,6 +171,23 @@ StageOutcome Engine::run_task(const StageTask& task, DiffusionBackend& backend,
   st.compute_seconds += diff.compute_seconds;
   st.transfer_seconds += diff.transfer_seconds;
   st.edge_ops += diff.edge_ops;
+  // Resilient-dispatch accounting: extra attempts, discarded late attempts,
+  // and fallback-served runs this diffusion consumed.
+  st.dispatch_retries += diff.attempts > 0 ? diff.attempts - 1 : 0;
+  st.deadline_misses += diff.deadline_misses;
+  if (diff.failed_over) ++st.failovers;
+
+  if (!diff.ok()) {
+    // Retry budget and failover both exhausted: this ball's contribution
+    // is missing. The scheduler leaves the parent's parked mass in place
+    // (see StageOutcome::failed), so scores stay a well-defined lower
+    // bound instead of going negative at the root.
+    ++st.failed_balls;
+    out.failed = true;
+    return out;
+  }
+  MELO_CHECK(diff.accumulated.size() == ball.num_nodes());
+  MELO_CHECK(diff.inflight.size() == ball.num_nodes());
 
   // --- 3. Collect π_a contributions (Eq. 8, +GD_l term; the input mass was
   //        pre-scaled so no factor is needed). The scheduler owns their

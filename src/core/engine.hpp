@@ -82,6 +82,13 @@ struct StageOutcome {
   /// This task's increments for QueryStats.stages[stage].
   StageStats stats;
   std::size_t stage = 0;
+  /// True when this task produced no usable scores (extraction faulted past
+  /// the retry budget, or the diffusion exhausted retry + failover). A
+  /// failed task contributes nothing and spawns no children; the scheduler
+  /// must also skip its Eq. 8 −mass subtraction (the mass was never
+  /// re-diffused) and count it in QueryStats (failed_balls → the query's
+  /// outcome() becomes kFailed). Stats are still valid and must be merged.
+  bool failed = false;
 };
 
 class Engine {

@@ -261,9 +261,11 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
               engine_->config().stage_lengths[child.stage]);
         }
       }
-      if (!deterministic) {
+      if (!deterministic && !out.failed) {
         // Concurrent reduction: stream this task's deltas straight into the
-        // striped aggregator (sums are exact per node; order is not).
+        // striped aggregator (sums are exact per node; order is not). A
+        // failed task streams nothing — its parked parent mass stays in
+        // place (see StageOutcome::failed).
         if (task.stage > 0) aggregator.add(task.root, -task.mass);
         for (const auto& [node, delta] : out.contributions) {
           aggregator.add(node, delta);
@@ -288,7 +290,7 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
       const StageTask& task = frontier[i];
       StageOutcome& out = outcomes[i];
       result.stats.stages[task.stage].merge(out.stats);
-      if (deterministic && task.mass > 0.0) {
+      if (deterministic && task.mass > 0.0 && !out.failed) {
         if (task.stage > 0) aggregator.add(task.root, -task.mass);
         for (const auto& [node, delta] : out.contributions) {
           aggregator.add(node, delta);
@@ -365,6 +367,13 @@ std::vector<QueryResult> QueryPipeline::query_batch(
       prefetcher_ != nullptr ? prefetcher_->balls_fetched() : 0;
   const double hidden_before =
       prefetcher_ != nullptr ? prefetcher_->hidden_seconds() : 0.0;
+  const std::size_t prefetch_failures_before =
+      prefetcher_ != nullptr ? prefetcher_->failures() : 0;
+  // Shared-backend health (farm breaker/probe counters) is cumulative, so
+  // measure trips/probes as deltas around the batch like the cache stats.
+  const DispatchHealth health_before =
+      shared_backend_ != nullptr ? shared_backend_->dispatch_health()
+                                 : DispatchHealth{};
 
   RootPrefetchTelemetry root_telemetry;
   std::vector<QueryResult> results(seeds.size());
@@ -411,6 +420,29 @@ std::vector<QueryResult> QueryPipeline::query_batch(
       batch_stats->aggregator_evictions += r.stats.aggregator_evictions;
       batch_stats->peak_aggregator_entries = std::max(
           batch_stats->peak_aggregator_entries, r.stats.aggregator_entries);
+      batch_stats->dispatch_retries += r.stats.dispatch_retries();
+      batch_stats->deadline_misses += r.stats.deadline_misses();
+      batch_stats->failovers += r.stats.failovers();
+      batch_stats->failed_balls += r.stats.failed_balls();
+      switch (r.stats.outcome()) {
+        case QueryOutcome::kOk:
+          break;
+        case QueryOutcome::kDegraded:
+          ++batch_stats->degraded_queries;
+          break;
+        case QueryOutcome::kFailed:
+          ++batch_stats->failed_queries;
+          break;
+      }
+    }
+    if (shared_backend_ != nullptr) {
+      const DispatchHealth health = shared_backend_->dispatch_health();
+      batch_stats->breaker_trips =
+          health.breaker_trips - health_before.breaker_trips;
+      batch_stats->breaker_probes = health.probes - health_before.probes;
+      batch_stats->devices = health.devices;
+      batch_stats->healthy_devices = health.healthy_devices;
+      batch_stats->dead_devices = health.dead_devices;
     }
     if (cache != nullptr) {
       batch_stats->dedup_hits = cache->dedup_hits() - dedup_before;
@@ -428,6 +460,8 @@ std::vector<QueryResult> QueryPipeline::query_batch(
       batch_stats->prefetch_hidden_seconds =
           prefetcher_->hidden_seconds() - hidden_before;
       batch_stats->root_prefetch_issued = root_telemetry.issued;
+      batch_stats->prefetch_failures =
+          prefetcher_->failures() - prefetch_failures_before;
     }
     batch_stats->last_root_prefetch_window = root_telemetry.last_window;
     batch_stats->prefetch_idle_fraction = root_telemetry.idle_fraction;
@@ -475,13 +509,18 @@ struct WorkerDeque {
 void reduce_tree(const TreeNode& node, ScoreAggregator& aggregator,
                  QueryStats& stats) {
   if (!(node.task.mass > 0.0)) return;  // serial schedule skips these too
-  if (node.task.stage > 0) {
-    aggregator.add(node.task.root, -node.task.mass);
-  }
-  for (const auto& [dest, delta] : node.out.contributions) {
-    aggregator.add(dest, delta);
-  }
   stats.stages[node.task.stage].merge(node.out.stats);
+  // A failed task (StageOutcome::failed) contributes nothing and must also
+  // keep its parent's parked mass: skipping the −mass alone would leave
+  // scores corrupted. Its stats (failed_balls, retries) still merge above.
+  if (!node.out.failed) {
+    if (node.task.stage > 0) {
+      aggregator.add(node.task.root, -node.task.mass);
+    }
+    for (const auto& [dest, delta] : node.out.contributions) {
+      aggregator.add(dest, delta);
+    }
+  }
   for (const auto& child : node.children) {
     reduce_tree(*child, aggregator, stats);
   }

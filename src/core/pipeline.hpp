@@ -137,6 +137,27 @@ class QueryPipeline {
     /// Largest per-query score-table occupancy — in bounded mode never
     /// exceeds c·k, the paper's BRAM envelope per in-flight query.
     std::size_t peak_aggregator_entries = 0;
+
+    /// Fault-tolerance accounting (all zero on a healthy stack). Per-query
+    /// sums come from QueryStats; breaker/probe/device figures are the
+    /// shared backend's dispatch_health() — trips/probes as deltas around
+    /// the batch, device counts as the absolute state at batch end (zeros
+    /// when the backend is per-worker-cloned and has no shared health).
+    std::size_t dispatch_retries = 0;  ///< extra attempts the retry layer spent
+    std::size_t deadline_misses = 0;   ///< attempts discarded for lateness
+    std::size_t failovers = 0;         ///< diffusions served by the fallback
+    std::size_t failed_balls = 0;      ///< balls missing from scores entirely
+    std::size_t degraded_queries = 0;  ///< outcome() == kDegraded
+    std::size_t failed_queries = 0;    ///< outcome() == kFailed
+    /// Prefetch-worker extractions that threw (worker survived and kept
+    /// draining; the demand path re-attempts the ball itself).
+    std::size_t prefetch_failures = 0;
+    std::size_t breaker_trips = 0;     ///< closed→open transitions this batch
+    std::size_t breaker_probes = 0;    ///< half-open probes this batch
+    std::size_t devices = 0;           ///< farm size at batch end
+    std::size_t healthy_devices = 0;   ///< breaker-closed at batch end
+    std::size_t dead_devices = 0;      ///< sticky-dead at batch end
+
     [[nodiscard]] double cache_hit_rate() const {
       const std::size_t total = cache_hits + cache_misses;
       return total == 0 ? 0.0

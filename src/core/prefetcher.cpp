@@ -106,8 +106,11 @@ void BallPrefetcher::worker_loop() {
       fetched = !f.hit;
       extract_seconds = f.extract_seconds;
     } catch (...) {
-      // A prefetch is advisory: swallow the failure, the demand fetch will
-      // surface it with proper attribution if the ball is truly unreachable.
+      // A prefetch is advisory: swallow the failure so this worker thread
+      // survives for the rest of the batch, and count it — the demand
+      // fetch will surface the error with proper attribution (and its own
+      // retry budget) if the ball is truly unreachable.
+      failures_.fetch_add(1, std::memory_order_relaxed);
     }
     const double request_seconds = busy.elapsed_seconds();
     completed_.fetch_add(1, std::memory_order_relaxed);

@@ -93,6 +93,11 @@ class BallPrefetcher {
   [[nodiscard]] std::size_t balls_fetched() const {
     return balls_fetched_.load();
   }
+  /// Requests whose extraction threw (flaky extractor, storage fault). The
+  /// worker thread survives and keeps draining — a prefetch is advisory,
+  /// so the failure is counted, not propagated; the demand fetch
+  /// re-attempts the ball with the engine's own retry budget.
+  [[nodiscard]] std::size_t failures() const { return failures_.load(); }
   /// BFS seconds executed on prefetch threads — extraction time hidden from
   /// (run concurrently with) the demand path.
   [[nodiscard]] double hidden_seconds() const;
@@ -136,6 +141,7 @@ class BallPrefetcher {
   std::atomic<std::size_t> issued_{0};
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::size_t> balls_fetched_{0};
+  std::atomic<std::size_t> failures_{0};
 
   std::vector<std::thread> workers_;
 };

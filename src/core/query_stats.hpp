@@ -37,6 +37,22 @@ struct StageStats {
   /// its claim) and would have been re-extracted without the handoff.
   std::size_t cache_pin_hits = 0;
 
+  /// Fault-tolerance accounting (all zero on a healthy stack).
+  /// Extra dispatch attempts the backend's retry layer consumed for this
+  /// stage's diffusions (BackendResult::attempts - 1 summed).
+  std::size_t dispatch_retries = 0;
+  /// Attempts discarded for missing the dispatch deadline.
+  std::size_t deadline_misses = 0;
+  /// Diffusions served by a fallback backend after the primary failed —
+  /// bit-identical scores (fixed-point failover), degraded throughput.
+  std::size_t failovers = 0;
+  /// Balls whose diffusion (or extraction) failed past every retry and
+  /// failover: their contribution is missing from the scores.
+  std::size_t failed_balls = 0;
+  /// Ball extractions that threw an environmental error and were retried
+  /// (the engine's extraction_attempts budget).
+  std::size_t extraction_faults = 0;
+
   /// Folds another task's increments into this stage's totals (sums, with
   /// max for the max_* fields). Schedulers use this to combine per-task
   /// StageStats deltas — in deterministic task order when parallel.
@@ -59,8 +75,38 @@ struct StageStats {
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     cache_pin_hits += other.cache_pin_hits;
+    dispatch_retries += other.dispatch_retries;
+    deadline_misses += other.deadline_misses;
+    failovers += other.failovers;
+    failed_balls += other.failed_balls;
+    extraction_faults += other.extraction_faults;
   }
 };
+
+/// Per-query degradation verdict derived from the stage stats.
+enum class QueryOutcome : std::uint8_t {
+  /// Every ball diffused on the primary path; scores are the full answer.
+  kOk = 0,
+  /// At least one diffusion was served by the failover backend (or burned
+  /// retries). Scores are still bit-identical to the healthy fixed-point
+  /// path — the degradation is throughput, not correctness.
+  kDegraded,
+  /// At least one ball's contribution is missing (extraction or diffusion
+  /// failed past every retry and failover). Scores are a lower bound.
+  kFailed,
+};
+
+[[nodiscard]] inline const char* to_string(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kOk:
+      return "ok";
+    case QueryOutcome::kDegraded:
+      return "degraded";
+    case QueryOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 struct QueryStats {
   std::vector<StageStats> stages;
@@ -168,6 +214,42 @@ struct QueryStats {
     return total == 0 ? 0.0
                       : static_cast<double>(cache_hits()) /
                             static_cast<double>(total);
+  }
+
+  [[nodiscard]] std::size_t dispatch_retries() const {
+    std::size_t s = 0;
+    for (const auto& st : stages) s += st.dispatch_retries;
+    return s;
+  }
+  [[nodiscard]] std::size_t deadline_misses() const {
+    std::size_t s = 0;
+    for (const auto& st : stages) s += st.deadline_misses;
+    return s;
+  }
+  [[nodiscard]] std::size_t failovers() const {
+    std::size_t s = 0;
+    for (const auto& st : stages) s += st.failovers;
+    return s;
+  }
+  [[nodiscard]] std::size_t failed_balls() const {
+    std::size_t s = 0;
+    for (const auto& st : stages) s += st.failed_balls;
+    return s;
+  }
+  [[nodiscard]] std::size_t extraction_faults() const {
+    std::size_t s = 0;
+    for (const auto& st : stages) s += st.extraction_faults;
+    return s;
+  }
+
+  /// Degradation verdict: any missing ball → kFailed; any failover or
+  /// retry → kDegraded; else kOk.
+  [[nodiscard]] QueryOutcome outcome() const {
+    if (failed_balls() > 0) return QueryOutcome::kFailed;
+    if (failovers() > 0 || dispatch_retries() > 0 || extraction_faults() > 0) {
+      return QueryOutcome::kDegraded;
+    }
+    return QueryOutcome::kOk;
   }
 };
 

@@ -303,9 +303,11 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
   BallPtr ball;
   try {
     ball = std::make_shared<const graph::Subgraph>(
-        graph::extract_ball(*graph_, root, radius));
+        extractor_ ? extractor_(*graph_, root, radius)
+                   : graph::extract_ball(*graph_, root, radius));
   } catch (...) {
     // Unblock any waiters with the same failure, then unclaim the key.
+    extraction_failures_.fetch_add(1, std::memory_order_relaxed);
     promise.set_exception(std::current_exception());
     {
       std::lock_guard<std::mutex> lock(shard.mu);
@@ -481,6 +483,8 @@ ShardedBallCache::Stats ShardedBallCache::stats() const {
   s.pin_displacements = pin_displacements_.load(std::memory_order_relaxed);
   s.root_reextractions =
       root_reextractions_.load(std::memory_order_relaxed);
+  s.extraction_failures =
+      extraction_failures_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -557,6 +561,7 @@ void ShardedBallCache::clear() {
   pins_expired_.store(0);
   pin_displacements_.store(0);
   root_reextractions_.store(0);
+  extraction_failures_.store(0);
 }
 
 }  // namespace meloppr::core

@@ -63,6 +63,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <limits>
 #include <list>
@@ -82,6 +83,11 @@ namespace meloppr::core {
 class ShardedBallCache {
  public:
   using BallPtr = std::shared_ptr<const graph::Subgraph>;
+  /// Pluggable extraction function (fault injection / alternate storage):
+  /// called as extractor(graph, root, radius) on every miss.
+  using Extractor =
+      std::function<graph::Subgraph(const graph::Graph&, graph::NodeId,
+                                    unsigned)>;
 
   /// Who is asking — demand fetches feed hit_rate(); prefetch fetches are
   /// tallied separately so lookahead traffic cannot inflate it. The two
@@ -144,6 +150,17 @@ class ShardedBallCache {
     return fetch(root, radius).ball;
   }
 
+  /// Replaces the extraction function used on misses (empty restores the
+  /// built-in graph::extract_ball). Intended for fault injection and tests;
+  /// must not be called concurrently with fetches — install it before the
+  /// cache is shared. An extractor that throws fails only the fetches of
+  /// that one key attempt: waiters parked on the in-flight future are woken
+  /// with the same exception, the key is unclaimed so the next fetch
+  /// re-attempts, and extraction_failures counts the event.
+  void set_extractor(Extractor extractor) {
+    extractor_ = std::move(extractor);
+  }
+
   static constexpr std::size_t kDefaultShards = 16;
   /// Default bound of the pinned side-table: sized for a deep root-prefetch
   /// horizon (the adaptive window tops out well below this) times a few
@@ -191,6 +208,10 @@ class ShardedBallCache {
     /// fetch — the waste the pinned handoff exists to eliminate (0 while
     /// pinning is on and the pin table has capacity).
     std::size_t root_reextractions = 0;
+    /// Extractions that threw (flaky extractor / storage fault). Each one
+    /// fails exactly the fetches joined to that attempt; the key is
+    /// re-attemptable immediately afterwards.
+    std::size_t extraction_failures = 0;
     /// Demand hit rate (prefetch traffic excluded).
     [[nodiscard]] double hit_rate() const {
       const std::size_t total = hits + misses;
@@ -246,6 +267,10 @@ class ShardedBallCache {
   /// Root-prefetched balls re-extracted by the demand path (see Stats).
   [[nodiscard]] std::size_t root_reextractions() const {
     return root_reextractions_.load();
+  }
+  /// Extractions that threw (see Stats::extraction_failures).
+  [[nodiscard]] std::size_t extraction_failures() const {
+    return extraction_failures_.load();
   }
   /// Currently pinned balls / their footprint (outside bytes()).
   [[nodiscard]] std::size_t pinned_entries() const {
@@ -456,6 +481,10 @@ class ShardedBallCache {
   std::atomic<std::size_t> pins_expired_{0};
   std::atomic<std::size_t> pin_displacements_{0};
   std::atomic<std::size_t> root_reextractions_{0};
+  std::atomic<std::size_t> extraction_failures_{0};
+  /// Miss-path extraction function; empty → graph::extract_ball. Set
+  /// before sharing the cache (not synchronized against fetches).
+  Extractor extractor_;
   /// Live pin table occupancy/footprint (outside the byte budget).
   std::atomic<std::size_t> pinned_count_{0};
   std::atomic<std::size_t> pinned_bytes_{0};

@@ -1,0 +1,257 @@
+#include "util/fault_injection.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "graph/bfs.hpp"
+
+namespace meloppr {
+namespace {
+
+// Splits "key=value" out of one comma-separated segment; throws on a
+// segment without '='.
+std::pair<std::string, std::string> split_kv(const std::string& segment) {
+  const std::size_t eq = segment.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("FaultPlan: segment without '=': \"" +
+                                segment + "\"");
+  }
+  return {segment.substr(0, eq), segment.substr(eq + 1)};
+}
+
+double parse_probability(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan: bad value for " + key + ": \"" +
+                                value + "\"");
+  }
+  if (consumed != value.size() || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("FaultPlan: " + key +
+                                " must be a probability in [0,1], got \"" +
+                                value + "\"");
+  }
+  return p;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  unsigned long long n = 0;
+  try {
+    n = std::stoull(value, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan: bad value for " + key + ": \"" +
+                                value + "\"");
+  }
+  if (consumed != value.size()) {
+    throw std::invalid_argument("FaultPlan: bad value for " + key + ": \"" +
+                                value + "\"");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const {
+  return transient_probability == 0.0 && spike_probability == 0.0 &&
+         extractor_probability == 0.0 && !death_scheduled;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::size_t end = (comma == std::string::npos) ? spec.size() : comma;
+    std::string segment = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (comma == std::string::npos) pos = spec.size() + 1;
+    // Trim surrounding whitespace.
+    const std::size_t first = segment.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;  // empty segment
+    const std::size_t last = segment.find_last_not_of(" \t");
+    segment = segment.substr(first, last - first + 1);
+
+    auto [key, value] = split_kv(segment);
+    if (key == "transient") {
+      plan.transient_probability = parse_probability(key, value);
+    } else if (key == "spike") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument(
+            "FaultPlan: spike wants P:SECONDS, got \"" + value + "\"");
+      }
+      plan.spike_probability =
+          parse_probability("spike", value.substr(0, colon));
+      try {
+        plan.spike_seconds = std::stod(value.substr(colon + 1));
+      } catch (const std::exception&) {
+        throw std::invalid_argument(
+            "FaultPlan: bad spike duration in \"" + value + "\"");
+      }
+      if (plan.spike_seconds < 0.0) {
+        throw std::invalid_argument("FaultPlan: negative spike duration");
+      }
+    } else if (key == "death") {
+      const std::size_t at = value.find('@');
+      plan.death_after_runs = parse_u64("death", value.substr(0, at));
+      plan.death_instance =
+          (at == std::string::npos) ? 0 : parse_u64("death", value.substr(at + 1));
+      plan.death_scheduled = true;
+    } else if (key == "extractor") {
+      plan.extractor_probability = parse_probability(key, value);
+    } else if (key == "seed") {
+      plan.seed = parse_u64(key, value);
+    }
+    // Unknown keys ignored: plans stay forward compatible.
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* raw = std::getenv("MELOPPR_FAULT_PLAN");
+  if (raw == nullptr || raw[0] == '\0') return {};
+  return parse(raw);
+}
+
+std::string FaultPlan::summary() const {
+  if (empty()) return "fault-plan: none";
+  std::ostringstream os;
+  os << "fault-plan: seed=" << seed;
+  if (transient_probability > 0.0) os << " transient=" << transient_probability;
+  if (spike_probability > 0.0) {
+    os << " spike=" << spike_probability << ":" << spike_seconds << "s";
+  }
+  if (death_scheduled) {
+    os << " death=" << death_after_runs << "@" << death_instance;
+  }
+  if (extractor_probability > 0.0) {
+    os << " extractor=" << extractor_probability;
+  }
+  return os.str();
+}
+
+namespace core {
+
+FaultyBackend::FaultyBackend(DiffusionBackend& inner, const FaultPlan& plan,
+                             std::uint64_t instance)
+    : inner_(&inner),
+      plan_(plan),
+      instance_(instance),
+      rng_(plan.seed ^ (instance * 0x9e3779b97f4a7c15ULL)) {}
+
+FaultyBackend::FaultyBackend(std::unique_ptr<DiffusionBackend> inner,
+                             const FaultPlan& plan, std::uint64_t instance)
+    : inner_(inner.get()),
+      owned_inner_(std::move(inner)),
+      plan_(plan),
+      instance_(instance),
+      rng_(plan.seed ^ (instance * 0x9e3779b97f4a7c15ULL)) {}
+
+BackendResult FaultyBackend::run(const graph::Subgraph& ball, double mass,
+                                 unsigned length) {
+  double spike_seconds = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dead_ || (plan_.death_scheduled && instance_ == plan_.death_instance &&
+                  successful_runs_ >= plan_.death_after_runs)) {
+      dead_ = true;
+      BackendResult out;
+      out.status = RunStatus::kDeviceDead;
+      out.error = "injected sticky death (instance " +
+                  std::to_string(instance_) + ")";
+      return out;
+    }
+    if (plan_.spike_probability > 0.0 && rng_.chance(plan_.spike_probability)) {
+      ++injected_spikes_;
+      spike_seconds = plan_.spike_seconds;
+    }
+    if (plan_.transient_probability > 0.0 &&
+        rng_.chance(plan_.transient_probability)) {
+      ++injected_transients_;
+      BackendResult out;
+      out.status = RunStatus::kTransientFault;
+      out.error = "injected transient fault (instance " +
+                  std::to_string(instance_) + ")";
+      if (spike_seconds > 0.0) {
+        // The spike still costs wall time even though the run fails.
+        out.compute_seconds = spike_seconds;
+      }
+      return out;
+    }
+  }
+  if (spike_seconds > 0.0) {
+    // Real sleep, outside the mutex: wall-clock dispatch deadlines must
+    // genuinely trip on spikes, and other devices must keep dispatching.
+    std::this_thread::sleep_for(std::chrono::duration<double>(spike_seconds));
+  }
+  BackendResult out = inner_->run(ball, mass, length);
+  out.compute_seconds += spike_seconds;
+  if (out.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++successful_runs_;
+  }
+  return out;
+}
+
+std::string FaultyBackend::name() const {
+  std::ostringstream os;
+  os << "faulty(" << inner_->name() << ")";
+  return os.str();
+}
+
+std::unique_ptr<DiffusionBackend> FaultyBackend::clone() const {
+  // Fresh fault stream and counters, same plan and instance tag — clones
+  // replay the same decision sequence from the start.
+  return std::make_unique<FaultyBackend>(inner_->clone(), plan_, instance_);
+}
+
+std::size_t FaultyBackend::injected_transients() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_transients_;
+}
+
+std::size_t FaultyBackend::injected_spikes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_spikes_;
+}
+
+bool FaultyBackend::device_dead() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dead_;
+}
+
+std::size_t FaultyBackend::runs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return successful_runs_;
+}
+
+}  // namespace core
+
+std::function<graph::Subgraph(const graph::Graph&, graph::NodeId, unsigned)>
+make_flaky_extractor(const FaultPlan& plan, std::uint64_t tag) {
+  auto rng = std::make_shared<Rng>(plan.seed ^ 0xe7f1a2b3c4d5e6f7ULL ^
+                                   (tag * 0x9e3779b97f4a7c15ULL));
+  auto mutex = std::make_shared<std::mutex>();
+  const double p = plan.extractor_probability;
+  return [rng, mutex, p](const graph::Graph& g, graph::NodeId seed,
+                         unsigned radius) -> graph::Subgraph {
+    bool fail = false;
+    if (p > 0.0) {
+      std::lock_guard<std::mutex> lock(*mutex);
+      fail = rng->chance(p);
+    }
+    if (fail) {
+      throw std::runtime_error("injected extractor fault at seed " +
+                               std::to_string(seed));
+    }
+    return graph::extract_ball(g, seed, radius);
+  };
+}
+
+}  // namespace meloppr

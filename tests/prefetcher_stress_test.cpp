@@ -14,6 +14,7 @@
 #include "core/sharded_ball_cache.hpp"
 #include "graph/generators.hpp"
 #include "test_support.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 
 namespace meloppr::core {
@@ -145,6 +146,34 @@ TEST(PrefetcherStress, StageLookaheadDrainsBeforeSpeculativeRoots) {
   while (prefetcher.completed() < roots + 1) std::this_thread::yield();
   prefetcher.quiesce();
   EXPECT_GT(cache.pinned_entries(), 0u);
+}
+
+TEST(PrefetcherStress, WorkerSurvivesExtractorFaults) {
+  // A prefetch is advisory: an extraction that throws must not kill the
+  // worker thread. With a single worker, one uncaught exception would
+  // orphan the queue and hang the completion spins below.
+  Graph g = graph::fixtures::cycle(600);
+  ShardedBallCache cache(g, 1 << 20, 4);
+  meloppr::FaultPlan plan = meloppr::FaultPlan::parse("extractor=1");
+  cache.set_extractor(meloppr::make_flaky_extractor(plan));
+  BallPrefetcher prefetcher(1);
+
+  const std::size_t faults = meloppr::test::stress_iters(40);
+  for (std::size_t i = 0; i < faults; ++i) {
+    const std::size_t before = prefetcher.completed();
+    prefetcher.enqueue(cache, static_cast<graph::NodeId>(i % 600), 2);
+    while (prefetcher.completed() == before) std::this_thread::yield();
+  }
+  EXPECT_EQ(prefetcher.failures(), faults);  // counted, not fatal
+  EXPECT_EQ(prefetcher.balls_fetched(), 0u);
+  EXPECT_EQ(cache.extraction_failures(), faults);
+
+  // The same worker still serves once the extractor heals.
+  cache.set_extractor({});
+  prefetcher.enqueue(cache, 5, 2);
+  prefetcher.quiesce();
+  EXPECT_TRUE(cache.fetch(5, 2).hit) << "worker died on the faults above";
+  EXPECT_EQ(prefetcher.failures(), faults);
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "graph/bfs.hpp"
 #include "graph/generators.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 
 namespace meloppr::core {
@@ -314,6 +316,69 @@ TEST(ShardedBallCache, FailedExtractionStillCountsTheAccess) {
   const ShardedBallCache::Stats s = cache.stats();
   EXPECT_EQ(s.misses, 1 + kThreads * kIters);
   EXPECT_EQ(s.hits, 0u);
+}
+
+TEST(ShardedBallCache, FlakyExtractorWakesWaitersForReattempt) {
+  // When the claiming thread's extraction throws, every thread deduped
+  // onto the in-flight slot must be woken with the same exception and the
+  // key left unclaimed — a later attempt (the engine's extraction-retry
+  // budget) claims afresh and can succeed. A waiter left sleeping on the
+  // doomed promise would hang this test.
+  Graph g = graph::fixtures::cycle(200);
+  ShardedBallCache cache(g, 1 << 20, 1);
+  std::atomic<int> extractions{0};
+  // In-flight dedup serializes extractor calls for a single key, so the
+  // counter decides deterministically: the first 3 claims fail.
+  cache.set_extractor(
+      [&extractions](const Graph& graph, graph::NodeId root,
+                     unsigned radius) -> graph::Subgraph {
+        if (extractions.fetch_add(1) < 3) {
+          throw std::runtime_error("injected extractor fault");
+        }
+        return graph::extract_ball(graph, root, radius);
+      });
+
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::atomic<std::size_t> served{0};
+  std::atomic<std::size_t> faulted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (;;) {
+        try {
+          const auto ball = cache.get(7, 2);
+          EXPECT_EQ(ball->root_global(), 7u);
+          served.fetch_add(1, std::memory_order_relaxed);
+          return;
+        } catch (const std::runtime_error&) {
+          faulted.fetch_add(1, std::memory_order_relaxed);  // woken — retry
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(served.load(), static_cast<std::size_t>(kThreads));
+  EXPECT_GE(faulted.load(), 3u);  // each failed claim surfaced at least once
+  EXPECT_EQ(cache.extraction_failures(), 3u);
+  EXPECT_EQ(cache.entries(), 1u);  // the eventual success was cached
+}
+
+TEST(ShardedBallCache, SetExtractorSwapsAndRestoresDefault) {
+  Graph g = graph::fixtures::cycle(100);
+  ShardedBallCache cache(g, 1 << 20, 1);
+  cache.set_extractor(
+      meloppr::make_flaky_extractor(meloppr::FaultPlan::parse("extractor=1")));
+  EXPECT_THROW(cache.get(3, 2), std::runtime_error);
+  EXPECT_EQ(cache.extraction_failures(), 1u);
+  EXPECT_EQ(cache.stats().extraction_failures, 1u);
+  cache.set_extractor({});  // empty restores graph::extract_ball
+  EXPECT_EQ(cache.get(3, 2)->root_global(), 3u);
+  cache.clear();
+  EXPECT_EQ(cache.extraction_failures(), 0u);
 }
 
 TEST(ShardedBallCache, PinnedSideTableIsBoundedAndDroppable) {
