@@ -3,15 +3,61 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
-#include <chrono>
+#include <cstdint>
 #include <exception>
 #include <optional>
+#include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/stats.hpp"
 #include "util/timer.hpp"
 
 namespace meloppr::core {
+
+std::size_t SeedStream::push(graph::NodeId seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    throw std::logic_error("SeedStream::push: stream is closed");
+  }
+  const std::size_t index = slots_.size();
+  slots_.push_back({seed, clock_.elapsed_seconds()});
+  // The wake hook runs under mu_ by contract: the draining scheduler clears
+  // it under the same lock, so no invocation can outlive its frame.
+  if (on_event_) on_event_();
+  return index;
+}
+
+std::size_t SeedStream::push_all(std::span<const graph::NodeId> seeds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    throw std::logic_error("SeedStream::push_all: stream is closed");
+  }
+  const std::size_t first = slots_.size();
+  const double now = clock_.elapsed_seconds();
+  slots_.reserve(slots_.size() + seeds.size());
+  for (graph::NodeId seed : seeds) slots_.push_back({seed, now});
+  if (on_event_ && !seeds.empty()) on_event_();
+  return first;
+}
+
+void SeedStream::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  closed_ = true;
+  if (on_event_) on_event_();
+}
+
+bool SeedStream::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t SeedStream::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
 
 QueryPipeline::QueryPipeline(const Engine& engine, DiffusionBackend& backend,
                              PipelineConfig config)
@@ -201,6 +247,11 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
   // completion latch orders its writes before the coordinator's reads.
   std::vector<MemoryMeter> meters(threads_);
   std::vector<double> busy_seconds(threads_, 0.0);
+  // One flag per worker that ran any of this query's tasks: threads_used
+  // reports distinct EXECUTING workers (the stealing scheduler's popcount
+  // semantics), not the pool size — a 2-task query on a 16-thread pool
+  // says 2, and speedup math against it stops flattering the pool.
+  std::vector<std::uint8_t> worker_used(threads_, 0);
 
   // Stage-lookahead: children discovered by a finishing task are handed to
   // the prefetch threads immediately, so their balls stream into the shared
@@ -248,6 +299,7 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
     // decomposition), so BFS + diffusion fan out across the pool.
     std::vector<StageOutcome> outcomes(frontier.size());
     run_jobs(frontier.size(), [&](std::size_t i, std::size_t w) {
+      worker_used[w] = 1;  // a worker runs one job at a time: no race
       const StageTask& task = frontier[i];
       if (!(task.mass > 0.0)) return;  // skip, as the serial schedule does
       StageOutcome out = engine_->run_task(task, backend_for(w), meters[w]);
@@ -304,7 +356,9 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
 
   result.top = aggregator.top(engine_->config().k);
   result.stats.total_seconds = total.elapsed_seconds();
-  result.stats.threads_used = threads_;
+  std::size_t used = 0;
+  for (const std::uint8_t flag : worker_used) used += flag;
+  result.stats.threads_used = std::max<std::size_t>(used, 1);
   result.stats.diffusion_serial_seconds =
       result.stats.compute_seconds() + result.stats.transfer_seconds();
   // Worker-level makespan, floored by the backend's own execution slots: a
@@ -341,61 +395,210 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
   return result;
 }
 
+namespace {
+
+/// Per-result accounting shared by the pinned batch path and query_stream:
+/// the per-query sums plus the arrival-stamped response-time distribution.
+/// Callers serialize add() themselves (the stream sink locks around it;
+/// the pinned path folds after its completion barrier).
+struct QueryTally {
+  std::size_t queries = 0;
+  std::size_t executed_tasks = 0;
+  std::size_t stolen_tasks = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  double demand_bfs_seconds = 0.0;
+  std::size_t peak_bytes = 0;
+  std::size_t aggregator_evictions = 0;
+  std::size_t peak_aggregator_entries = 0;
+  std::size_t dispatch_retries = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t failovers = 0;
+  std::size_t failed_balls = 0;
+  std::size_t degraded_queries = 0;
+  std::size_t failed_queries = 0;
+  Samples response;
+  double queue_sum = 0.0;
+
+  void add(const QueryStats& s) {
+    ++queries;
+    executed_tasks += s.total_balls();
+    stolen_tasks += s.stolen_tasks;
+    cache_hits += s.cache_hits();
+    cache_misses += s.cache_misses();
+    demand_bfs_seconds += s.bfs_seconds();
+    peak_bytes = std::max(peak_bytes, s.peak_bytes);
+    aggregator_evictions += s.aggregator_evictions;
+    peak_aggregator_entries =
+        std::max(peak_aggregator_entries, s.aggregator_entries);
+    dispatch_retries += s.dispatch_retries();
+    deadline_misses += s.deadline_misses();
+    failovers += s.failovers();
+    failed_balls += s.failed_balls();
+    switch (s.outcome()) {
+      case QueryOutcome::kOk:
+        break;
+      case QueryOutcome::kDegraded:
+        ++degraded_queries;
+        break;
+      case QueryOutcome::kFailed:
+        ++failed_queries;
+        break;
+    }
+    response.add(s.total_seconds);
+    queue_sum += s.queue_seconds;
+  }
+
+  void fill(QueryPipeline::BatchStats& bs) const {
+    bs.queries = queries;
+    bs.executed_tasks = executed_tasks;
+    bs.stolen_tasks = stolen_tasks;
+    bs.cache_hits = cache_hits;
+    bs.cache_misses = cache_misses;
+    bs.demand_bfs_seconds = demand_bfs_seconds;
+    bs.peak_bytes = peak_bytes;
+    bs.aggregator_evictions = aggregator_evictions;
+    bs.peak_aggregator_entries = peak_aggregator_entries;
+    bs.dispatch_retries = dispatch_retries;
+    bs.deadline_misses = deadline_misses;
+    bs.failovers = failovers;
+    bs.failed_balls = failed_balls;
+    bs.degraded_queries = degraded_queries;
+    bs.failed_queries = failed_queries;
+    if (!response.empty()) {
+      bs.response_p50_seconds = response.percentile(50.0);
+      bs.response_p99_seconds = response.percentile(99.0);
+      bs.response_p999_seconds = response.percentile(99.9);
+      bs.max_response_seconds = response.max();
+      bs.mean_queue_seconds = queue_sum / static_cast<double>(queries);
+    }
+  }
+};
+
+/// Serving-layer counters (cache + prefetcher + shared-backend health)
+/// measured as deltas around one batch/stream call: snapshot at
+/// construction, fill() writes current-minus-snapshot into BatchStats.
+class ServingDeltas {
+ public:
+  ServingDeltas(ShardedBallCache* cache, BallPrefetcher* prefetcher,
+                DiffusionBackend* backend)
+      : cache_(cache), prefetcher_(prefetcher), backend_(backend) {
+    if (cache_ != nullptr) {
+      dedup_ = cache_->dedup_hits();
+      rejects_ = cache_->admission_rejects();
+      pin_hits_ = cache_->pin_hits();
+      reextract_ = cache_->root_reextractions();
+    }
+    if (prefetcher_ != nullptr) {
+      issued_ = prefetcher_->issued();
+      fetched_ = prefetcher_->balls_fetched();
+      hidden_ = prefetcher_->hidden_seconds();
+      failures_ = prefetcher_->failures();
+    }
+    // Shared-backend health (farm breaker/probe counters) is cumulative,
+    // so trips/probes are deltas too; device counts are absolute state.
+    if (backend_ != nullptr) health_ = backend_->dispatch_health();
+  }
+
+  void fill(QueryPipeline::BatchStats& bs) const {
+    if (backend_ != nullptr) {
+      const DispatchHealth health = backend_->dispatch_health();
+      bs.breaker_trips = health.breaker_trips - health_.breaker_trips;
+      bs.breaker_probes = health.probes - health_.probes;
+      bs.devices = health.devices;
+      bs.healthy_devices = health.healthy_devices;
+      bs.dead_devices = health.dead_devices;
+    }
+    if (cache_ != nullptr) {
+      bs.dedup_hits = cache_->dedup_hits() - dedup_;
+      bs.cache_admission_rejects = cache_->admission_rejects() - rejects_;
+      bs.root_prefetch_pin_hits = cache_->pin_hits() - pin_hits_;
+      bs.root_reextractions = cache_->root_reextractions() - reextract_;
+    }
+    if (prefetcher_ != nullptr) {
+      bs.prefetch_issued = prefetcher_->issued() - issued_;
+      bs.prefetched_balls = prefetcher_->balls_fetched() - fetched_;
+      bs.prefetch_hidden_seconds = prefetcher_->hidden_seconds() - hidden_;
+      bs.prefetch_failures = prefetcher_->failures() - failures_;
+    }
+  }
+
+ private:
+  ShardedBallCache* cache_;
+  BallPrefetcher* prefetcher_;
+  DiffusionBackend* backend_;
+  std::size_t dedup_ = 0;
+  std::size_t rejects_ = 0;
+  std::size_t pin_hits_ = 0;
+  std::size_t reextract_ = 0;
+  std::size_t issued_ = 0;
+  std::size_t fetched_ = 0;
+  std::size_t failures_ = 0;
+  double hidden_ = 0.0;
+  DispatchHealth health_{};
+};
+
+}  // namespace
+
 std::vector<QueryResult> QueryPipeline::query_batch(
     std::span<const graph::NodeId> seeds, BatchStats* batch_stats) {
   check_cache_free();
-  Timer wall;
-  // Spawn prefetch threads (when eligible) before the delta snapshot.
+  if (config_.work_stealing && threads_ > 1 && seeds.size() > 1) {
+    // The stealing batch IS a pre-filled, already-closed seed stream: one
+    // scheduler serves closed batches and continuous ingest, and closed
+    // batches inherit the arrival-stamped attribution (every seed arrives
+    // at submission, so total_seconds spans submission→finalize and
+    // queue_seconds is the wait behind earlier seeds).
+    SeedStream stream;
+    stream.push_all(seeds);
+    stream.close();
+    std::vector<QueryResult> results(seeds.size());
+    query_stream(
+        stream,
+        [&results](std::size_t index, QueryResult&& r) {
+          // Stream indices are distinct: concurrent finalizes write
+          // disjoint slots, no lock needed.
+          results[index] = std::move(r);
+        },
+        batch_stats);
+    return results;
+  }
+
+  // Query-pinned scheduling (stealing off, one worker, or a single seed):
+  // each query keeps the serial depth-first schedule (scores bit-identical
+  // to Engine::query) on one worker; parallelism is across queries.
   ShardedBallCache* lookahead = activate_lookahead();
+  // The wall clock starts AFTER activation so the first batch's q/s does
+  // not pay the one-time prefetch-thread spawn.
+  Timer wall;
   if (lookahead != nullptr) {
     active_batches_.fetch_add(1, std::memory_order_acq_rel);
   }
   LookaheadDrain drain(lookahead != nullptr ? prefetcher_.get() : nullptr,
                        lookahead, &active_batches_);
+  ServingDeltas deltas(engine_->shared_ball_cache(), prefetcher_.get(),
+                       shared_backend_);
 
-  // Serving-layer counters, measured as deltas around the batch.
-  ShardedBallCache* cache = engine_->shared_ball_cache();
-  const std::size_t dedup_before = cache != nullptr ? cache->dedup_hits() : 0;
-  const std::size_t rejects_before =
-      cache != nullptr ? cache->admission_rejects() : 0;
-  const std::size_t pin_hits_before = cache != nullptr ? cache->pin_hits() : 0;
-  const std::size_t reextract_before =
-      cache != nullptr ? cache->root_reextractions() : 0;
-  const std::size_t issued_before =
-      prefetcher_ != nullptr ? prefetcher_->issued() : 0;
-  const std::size_t fetched_before =
-      prefetcher_ != nullptr ? prefetcher_->balls_fetched() : 0;
-  const double hidden_before =
-      prefetcher_ != nullptr ? prefetcher_->hidden_seconds() : 0.0;
-  const std::size_t prefetch_failures_before =
-      prefetcher_ != nullptr ? prefetcher_->failures() : 0;
-  // Shared-backend health (farm breaker/probe counters) is cumulative, so
-  // measure trips/probes as deltas around the batch like the cache stats.
-  const DispatchHealth health_before =
-      shared_backend_ != nullptr ? shared_backend_->dispatch_health()
-                                 : DispatchHealth{};
-
-  RootPrefetchTelemetry root_telemetry;
   std::vector<QueryResult> results(seeds.size());
-  if (config_.work_stealing && threads_ > 1 && seeds.size() > 1) {
-    run_stealing_batch(seeds, results, &root_telemetry);
-  } else {
-    run_jobs(seeds.size(), [&](std::size_t i, std::size_t w) {
-      // Query-pinned scheduling: each query keeps the serial depth-first
-      // schedule (scores bit-identical to Engine::query) on one worker;
-      // the batch's parallelism is across queries.
-      if (agg_pool_ != nullptr) {
-        AggregatorPool::Lease lease = agg_pool_->acquire(w);
-        results[i] = engine_->query(seeds[i], backend_for(w), *lease);
-      } else {
-        const MelopprConfig& ecfg = engine_->config();
-        const std::unique_ptr<ScoreAggregator> aggregator =
-            make_serial_aggregator(ecfg.aggregation, ecfg.k, ecfg.topck_c,
-                                   ecfg.topck_epsilon);
-        results[i] = engine_->query(seeds[i], backend_for(w), *aggregator);
-      }
-    });
-  }
+  run_jobs(seeds.size(), [&](std::size_t i, std::size_t w) {
+    const double claim_seconds = wall.elapsed_seconds();
+    if (agg_pool_ != nullptr) {
+      AggregatorPool::Lease lease = agg_pool_->acquire(w);
+      results[i] = engine_->query(seeds[i], backend_for(w), *lease);
+    } else {
+      const MelopprConfig& ecfg = engine_->config();
+      const std::unique_ptr<ScoreAggregator> aggregator =
+          make_serial_aggregator(ecfg.aggregation, ecfg.k, ecfg.topck_c,
+                                 ecfg.topck_epsilon);
+      results[i] = engine_->query(seeds[i], backend_for(w), *aggregator);
+    }
+    // Arrival attribution: every seed of a closed batch arrived at
+    // submission (wall zero), so the response time runs to the finalize
+    // stamp and queue_seconds is how long the job sat behind earlier
+    // queries in the pool — same semantics as the stream scheduler.
+    results[i].stats.queue_seconds = claim_seconds;
+    results[i].stats.total_seconds = wall.elapsed_seconds();
+  });
 
   // Quiesce before reading deltas (and before the caller may tear the
   // cache down): queued lookahead from the batch's tail would otherwise
@@ -407,66 +610,60 @@ std::vector<QueryResult> QueryPipeline::query_batch(
 
   if (batch_stats != nullptr) {
     *batch_stats = BatchStats{};  // caller may reuse one instance per batch
+    QueryTally tally;
+    for (const QueryResult& r : results) tally.add(r.stats);
+    tally.fill(*batch_stats);
     batch_stats->queries = seeds.size();
     batch_stats->wall_seconds = wall.elapsed_seconds();
-    for (const QueryResult& r : results) {
-      batch_stats->executed_tasks += r.stats.total_balls();
-      batch_stats->stolen_tasks += r.stats.stolen_tasks;
-      batch_stats->cache_hits += r.stats.cache_hits();
-      batch_stats->cache_misses += r.stats.cache_misses();
-      batch_stats->demand_bfs_seconds += r.stats.bfs_seconds();
-      batch_stats->peak_bytes =
-          std::max(batch_stats->peak_bytes, r.stats.peak_bytes);
-      batch_stats->aggregator_evictions += r.stats.aggregator_evictions;
-      batch_stats->peak_aggregator_entries = std::max(
-          batch_stats->peak_aggregator_entries, r.stats.aggregator_entries);
-      batch_stats->dispatch_retries += r.stats.dispatch_retries();
-      batch_stats->deadline_misses += r.stats.deadline_misses();
-      batch_stats->failovers += r.stats.failovers();
-      batch_stats->failed_balls += r.stats.failed_balls();
-      switch (r.stats.outcome()) {
-        case QueryOutcome::kOk:
-          break;
-        case QueryOutcome::kDegraded:
-          ++batch_stats->degraded_queries;
-          break;
-        case QueryOutcome::kFailed:
-          ++batch_stats->failed_queries;
-          break;
+    deltas.fill(*batch_stats);
+    // No root lookahead on this path: telemetry fields stay zero.
+  }
+  return results;
+}
+
+void QueryPipeline::query_stream(SeedStream& stream,
+                                 const ResultSink& on_result,
+                                 BatchStats* batch_stats) {
+  check_cache_free();
+  ShardedBallCache* lookahead = activate_lookahead();
+  // Wall clock after activation: first-call prefetch spawn is not billed.
+  Timer wall;
+  if (lookahead != nullptr) {
+    active_batches_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  LookaheadDrain drain(lookahead != nullptr ? prefetcher_.get() : nullptr,
+                       lookahead, &active_batches_);
+  ServingDeltas deltas(engine_->shared_ball_cache(), prefetcher_.get(),
+                       shared_backend_);
+
+  RootPrefetchTelemetry root_telemetry;
+  std::mutex tally_mu;
+  QueryTally tally;
+  if (batch_stats != nullptr) {
+    const ResultSink sink = [&](std::size_t index, QueryResult&& r) {
+      {
+        std::lock_guard<std::mutex> lock(tally_mu);
+        tally.add(r.stats);
       }
-    }
-    if (shared_backend_ != nullptr) {
-      const DispatchHealth health = shared_backend_->dispatch_health();
-      batch_stats->breaker_trips =
-          health.breaker_trips - health_before.breaker_trips;
-      batch_stats->breaker_probes = health.probes - health_before.probes;
-      batch_stats->devices = health.devices;
-      batch_stats->healthy_devices = health.healthy_devices;
-      batch_stats->dead_devices = health.dead_devices;
-    }
-    if (cache != nullptr) {
-      batch_stats->dedup_hits = cache->dedup_hits() - dedup_before;
-      batch_stats->cache_admission_rejects =
-          cache->admission_rejects() - rejects_before;
-      batch_stats->root_prefetch_pin_hits =
-          cache->pin_hits() - pin_hits_before;
-      batch_stats->root_reextractions =
-          cache->root_reextractions() - reextract_before;
-    }
-    if (prefetcher_ != nullptr) {
-      batch_stats->prefetch_issued = prefetcher_->issued() - issued_before;
-      batch_stats->prefetched_balls =
-          prefetcher_->balls_fetched() - fetched_before;
-      batch_stats->prefetch_hidden_seconds =
-          prefetcher_->hidden_seconds() - hidden_before;
-      batch_stats->root_prefetch_issued = root_telemetry.issued;
-      batch_stats->prefetch_failures =
-          prefetcher_->failures() - prefetch_failures_before;
-    }
+      on_result(index, std::move(r));
+    };
+    run_stream_batch(stream, sink, &root_telemetry);
+  } else {
+    run_stream_batch(stream, on_result, &root_telemetry);
+  }
+
+  // Same drain discipline as the closed batch (see query_batch).
+  if (lookahead != nullptr) prefetcher_->quiesce();
+
+  if (batch_stats != nullptr) {
+    *batch_stats = BatchStats{};
+    tally.fill(*batch_stats);
+    batch_stats->wall_seconds = wall.elapsed_seconds();
+    deltas.fill(*batch_stats);
+    batch_stats->root_prefetch_issued = root_telemetry.issued;
     batch_stats->last_root_prefetch_window = root_telemetry.last_window;
     batch_stats->prefetch_idle_fraction = root_telemetry.idle_fraction;
   }
-  return results;
 }
 
 namespace {
@@ -490,7 +687,11 @@ struct BatchQuery {
   /// thread count; words allocated by the scheduler).
   std::unique_ptr<std::atomic<std::uint64_t>[]> worker_words;
   std::atomic<std::size_t> stolen{0};
-  double start_seconds = 0.0;
+  /// Stamps on the stream's clock: push time and first-claim time. The
+  /// difference is QueryStats::queue_seconds; arrival→finalize is the
+  /// response time the scheduler reports as total_seconds.
+  double arrival_seconds = 0.0;
+  double claim_seconds = 0.0;
 };
 
 struct StealTask {
@@ -537,10 +738,9 @@ std::size_t tree_bytes(const TreeNode& node) {
 
 }  // namespace
 
-void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
-                                       std::vector<QueryResult>& results,
-                                       RootPrefetchTelemetry* telemetry) {
-  const std::size_t n = seeds.size();
+void QueryPipeline::run_stream_batch(SeedStream& stream,
+                                     const ResultSink& on_result,
+                                     RootPrefetchTelemetry* telemetry) {
   ShardedBallCache* lookahead = activate_lookahead();
   const std::size_t mask_words = (threads_ + 63) / 64;
 
@@ -586,24 +786,40 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
     const std::size_t window = window_controller_->window(
         prefetcher_->busy_seconds(), uptime_.elapsed_seconds(),
         prefetcher_->threads(), ewma, cap_bytes);
-    const std::size_t to = std::min(n, next_unclaimed + window);
-    std::size_t from = root_horizon.load(std::memory_order_relaxed);
-    while (from < to && !root_horizon.compare_exchange_weak(
-                            from, to, std::memory_order_relaxed)) {
+    // Snapshot the upcoming seeds under the stream lock: the window is
+    // additionally clamped to what has actually ARRIVED (a later claim
+    // re-extends the horizon as the stream grows), and the CAS still
+    // guarantees each stream index is issued at most once however many
+    // workers claim concurrently.
+    std::vector<graph::NodeId> upcoming;
+    std::size_t from = 0;
+    {
+      std::lock_guard<std::mutex> lock(stream.mu_);
+      const std::size_t to =
+          std::min(stream.slots_.size(), next_unclaimed + window);
+      from = root_horizon.load(std::memory_order_relaxed);
+      while (from < to && !root_horizon.compare_exchange_weak(
+                              from, to, std::memory_order_relaxed)) {
+      }
+      if (from >= to) return;  // covered already, or nothing arrived yet
+      // The horizon can lag the claim cursor (a narrowed window leaves a
+      // gap; concurrent claims land out of order): seeds below
+      // `next_unclaimed` are already claimed, so prefetching them is pure
+      // waste — advance the horizon past them without issuing.
+      from = std::max(from, next_unclaimed);
+      upcoming.reserve(to - from);
+      for (std::size_t i = from; i < to; ++i) {
+        upcoming.push_back(stream.slots_[i].seed);
+      }
     }
-    if (from >= to) return;  // another worker already covered this span
-    // The horizon can lag the claim cursor (a narrowed window leaves a
-    // gap; concurrent claims land out of order): seeds below
-    // `next_unclaimed` are already claimed, so prefetching them is pure
-    // waste — advance the horizon past them without issuing.
-    from = std::max(from, next_unclaimed);
-    for (std::size_t i = from; i < to; ++i) {
+    // Issue outside the lock so extraction enqueue never blocks arrivals.
+    for (std::size_t j = 0; j < upcoming.size(); ++j) {
       // The stream index doubles as the claim priority: under pin-table
       // capacity pressure the seeds closest to claim keep their pins.
-      prefetcher_->enqueue(*lookahead, seeds[i], root_radius, root_kind,
-                           /*claim_priority=*/i);
+      prefetcher_->enqueue(*lookahead, upcoming[j], root_radius, root_kind,
+                           /*claim_priority=*/from + j);
     }
-    roots_issued.fetch_add(to - from, std::memory_order_relaxed);
+    roots_issued.fetch_add(upcoming.size(), std::memory_order_relaxed);
   };
   // Queue the head of the stream up front. Against a CPU-style backend
   // (no wait meter) these run immediately, before the workers' first
@@ -615,37 +831,70 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
   // duplicating the BFS.
   root_lookahead(0);
 
-  std::vector<std::unique_ptr<BatchQuery>> queries;
-  queries.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto q = std::make_unique<BatchQuery>();
-    q->index = i;
-    q->worker_words =
-        std::make_unique<std::atomic<std::uint64_t>[]>(mask_words);
-    for (std::size_t word = 0; word < mask_words; ++word) {
-      q->worker_words[word].store(0, std::memory_order_relaxed);
-    }
-    queries.push_back(std::move(q));
-  }
-
   std::vector<std::unique_ptr<WorkerDeque>> deques;
   deques.reserve(threads_);
   for (std::size_t w = 0; w < threads_; ++w) {
     deques.push_back(std::make_unique<WorkerDeque>());
   }
 
+  // In-flight queries, keyed by stream index, created at claim time.
+  // Ownership leaves the map at finalize, so an unbounded stream never
+  // accumulates finished outcome trees; on the failure path whatever is
+  // left unwinds with the map.
+  std::mutex inflight_mu;
+  std::unordered_map<std::size_t, std::unique_ptr<BatchQuery>> inflight;
+
   std::vector<MemoryMeter> meters(threads_);
-  std::atomic<std::size_t> next_root{0};
-  std::atomic<std::size_t> live{n};  // known-but-unfinished tasks
+  // Per-worker transient peaks, republished after every task so a
+  // finalizing worker can fold ALL workers' ball/device footprints into
+  // the query's peak without reading a foreign MemoryMeter mid-flight.
+  // Peaks are monotone, and every executor of a query publishes before
+  // its release-decrement on `remaining`, so the sum read at finalize is
+  // always ≥ the footprint while this query's tasks ran — an honest
+  // upper bound, same convention as the closed batch always used.
+  auto transient_peaks =
+      std::make_unique<std::atomic<std::size_t>[]>(threads_);
+  for (std::size_t w = 0; w < threads_; ++w) {
+    transient_peaks[w].store(0, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::size_t> live{0};  // known-but-unfinished tasks
   std::atomic<bool> failed{false};
   std::mutex error_mu;
   std::exception_ptr first_error;
-  // Idle workers park here instead of spinning: signaled when new tasks
-  // are published, when the batch drains, and on failure. The timed wait
-  // below makes a lost wakeup cost a millisecond, never a hang.
+  // Idle workers park event-driven on this epoch: every state change a
+  // parked worker could act on (task published, seed pushed, stream
+  // closed, last task finished, failure) bumps the epoch under idle_mu
+  // and notifies. A worker snapshots the epoch BEFORE scanning for work,
+  // so a publication racing its scan flips the wait predicate — no lost
+  // wakeup, and no timed polling (the 1 ms wait_for this replaces).
   std::mutex idle_mu;
   std::condition_variable idle_cv;
-  Timer wall;
+  std::uint64_t wake_epoch = 0;  // guarded by idle_mu
+  const auto wake_all = [&idle_mu, &idle_cv, &wake_epoch] {
+    {
+      std::lock_guard<std::mutex> lock(idle_mu);
+      ++wake_epoch;
+    }
+    idle_cv.notify_all();
+  };
+
+  // Arrivals wake parked workers through the stream's hook, which push()
+  // and close() invoke under the stream lock; registering and clearing it
+  // under that same lock means no invocation can outlive this frame.
+  {
+    std::lock_guard<std::mutex> lock(stream.mu_);
+    MELO_CHECK_MSG(stream.on_event_ == nullptr,
+                   "SeedStream: already drained by another query_stream");
+    stream.on_event_ = wake_all;
+  }
+  struct HookClear {
+    SeedStream* s;
+    ~HookClear() {
+      std::lock_guard<std::mutex> lock(s->mu_);
+      s->on_event_ = nullptr;
+    }
+  } hook_clear{&stream};
 
   const auto finalize_query = [&](BatchQuery& q, std::size_t self) {
     std::optional<AggregatorPool::Lease> lease;
@@ -665,7 +914,14 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
     r.stats.stages.resize(engine_->config().num_stages());
     reduce_tree(*q.root, *aggregator, r.stats);
     r.top = aggregator->top(engine_->config().k);
-    r.stats.total_seconds = wall.elapsed_seconds() - q.start_seconds;
+    // Arrival-stamped attribution — the headline fix. The stream clock
+    // stamps arrival at push, claim at first execution, and now: so
+    // total_seconds is the arrival→finalize RESPONSE time (queueing
+    // included, the quantity an SLO bounds) and queue_seconds the
+    // arrival→claim wait, instead of the claim-clocked service time the
+    // scheduler used to report.
+    r.stats.total_seconds = stream.now() - q.arrival_seconds;
+    r.stats.queue_seconds = q.claim_seconds - q.arrival_seconds;
     r.stats.diffusion_serial_seconds =
         r.stats.compute_seconds() + r.stats.transfer_seconds();
     // Per-query makespan equals the serial sum: this query's *internal*
@@ -682,15 +938,32 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
     r.stats.aggregator_bytes = aggregator->bytes();
     r.stats.aggregator_entries = aggregator->entries();
     r.stats.aggregator_evictions = aggregator->evictions();
-    // Retained footprint: the outcome tree coexists with the aggregator at
-    // reduction time. The transient ball/device footprints live in the
-    // per-worker meters and are folded into every query's peak once the
-    // batch drains (tasks of any query may run on any worker).
+    // Retained footprint (the outcome tree coexists with the aggregator
+    // at reduction time) plus every worker's published transient peak:
+    // tasks of any query may run on any worker, and summed peaks never
+    // under-report the true simultaneous footprint.
+    std::size_t transient = 0;
+    for (std::size_t w = 0; w < threads_; ++w) {
+      transient += transient_peaks[w].load(std::memory_order_relaxed);
+    }
     MemoryMeter meter;
     meter.set("aggregator", aggregator->bytes());
     meter.set("outcome_tree", tree_bytes(*q.root));
-    r.stats.peak_bytes = meter.peak_bytes();
-    results[q.index] = std::move(r);
+    r.stats.peak_bytes = meter.peak_bytes() + transient;
+
+    // Retire the query BEFORE delivering the result: the tree is freed
+    // here, mid-stream, so a long-lived stream holds only in-flight state.
+    const std::size_t index = q.index;
+    std::unique_ptr<BatchQuery> owned;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu);
+      auto it = inflight.find(index);
+      MELO_CHECK(it != inflight.end());
+      owned = std::move(it->second);
+      inflight.erase(it);
+    }
+    owned.reset();  // `q` is dangling past this point
+    on_result(index, std::move(r));
   };
 
   const auto execute_task = [&](const StealTask& t, std::size_t self,
@@ -724,7 +997,7 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
             deques[self]->tasks.push_back({&q, it->get()});
           }
         }
-        idle_cv.notify_all();  // parked workers can steal these
+        wake_all();  // parked workers can steal these
         if (lookahead != nullptr) {
           // This worker dives into children[0] next; its siblings' balls
           // are lookahead work for the prefetch threads.
@@ -736,6 +1009,11 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
         }
       }
     }
+    // Republish this worker's transient peak before the release on
+    // `remaining`: whoever finalizes a query this worker touched reads a
+    // peak at least as large as during this task.
+    transient_peaks[w].store(meters[w].peak_bytes(),
+                             std::memory_order_relaxed);
     q.worker_words[self / 64].fetch_or(std::uint64_t{1} << (self % 64),
                                        std::memory_order_relaxed);
     // acq_rel: the winner of the final decrement observes every executor's
@@ -745,7 +1023,7 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
       finalize_query(q, self);
     }
     if (live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      idle_cv.notify_all();  // batch drained: release parked workers
+      wake_all();  // nothing in flight: parked workers re-check exit
     }
   };
 
@@ -753,54 +1031,96 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
     WorkerDeque& own = *deques[self];
     for (;;) {
       if (failed.load(std::memory_order_acquire)) break;
-      StealTask task;
-      bool have = false;
-      {  // 1. own deque, LIFO — depth-first, newest (hottest) subtree
-        std::lock_guard<std::mutex> lock(own.mu);
-        if (!own.tasks.empty()) {
-          task = own.tasks.back();
-          own.tasks.pop_back();
-          have = true;
+      try {
+        // Epoch snapshot BEFORE the scans: a publication/arrival landing
+        // after this line bumps the epoch and defeats the wait below, so
+        // scanning-then-parking can never sleep through it.
+        std::uint64_t epoch;
+        {
+          std::lock_guard<std::mutex> lock(idle_mu);
+          epoch = wake_epoch;
         }
-      }
-      if (!have) {  // 2. claim a fresh query root
-        const std::size_t r =
-            next_root.fetch_add(1, std::memory_order_relaxed);
-        if (r < n) {
-          BatchQuery& q = *queries[r];
-          q.start_seconds = wall.elapsed_seconds();
-          q.root = std::make_unique<TreeNode>();
-          q.root->task = {seeds[r], 1.0, 0};
-          task = {&q, q.root.get()};
-          have = true;
-          // Slide the root-lookahead window past the seed just claimed.
-          root_lookahead(r + 1);
-        }
-      }
-      if (!have) {  // 3. steal, FIFO — the victim's oldest (biggest) subtree
-        for (std::size_t d = 1; d < deques.size() && !have; ++d) {
-          WorkerDeque& victim = *deques[(self + d) % deques.size()];
-          std::lock_guard<std::mutex> lock(victim.mu);
-          if (!victim.tasks.empty()) {
-            task = victim.tasks.front();
-            victim.tasks.pop_front();
+        StealTask task;
+        bool have = false;
+        {  // 1. own deque, LIFO — depth-first, newest (hottest) subtree
+          std::lock_guard<std::mutex> lock(own.mu);
+          if (!own.tasks.empty()) {
+            task = own.tasks.back();
+            own.tasks.pop_back();
             have = true;
           }
         }
-        if (have) {
-          task.query->stolen.fetch_add(1, std::memory_order_relaxed);
+        if (!have) {  // 2. claim a fresh query root from the stream
+          graph::NodeId seed = graph::kInvalidNode;
+          double arrival = 0.0;
+          std::size_t index = 0;
+          std::size_t cursor_after = 0;
+          {
+            std::lock_guard<std::mutex> lock(stream.mu_);
+            if (stream.next_claim_ < stream.slots_.size()) {
+              index = stream.next_claim_++;
+              seed = stream.slots_[index].seed;
+              arrival = stream.slots_[index].arrival_seconds;
+              cursor_after = stream.next_claim_;
+              // Raise `live` INSIDE the claim section: an exiting worker
+              // re-reads the cursor under this lock, so it can never see
+              // "fully claimed" without also seeing this query in flight.
+              live.fetch_add(1, std::memory_order_acq_rel);
+              have = true;
+            }
+          }
+          if (have) {
+            auto fresh = std::make_unique<BatchQuery>();
+            fresh->index = index;
+            fresh->arrival_seconds = arrival;
+            fresh->claim_seconds = stream.now();
+            fresh->worker_words =
+                std::make_unique<std::atomic<std::uint64_t>[]>(mask_words);
+            for (std::size_t word = 0; word < mask_words; ++word) {
+              fresh->worker_words[word].store(0, std::memory_order_relaxed);
+            }
+            fresh->root = std::make_unique<TreeNode>();
+            fresh->root->task = {seed, 1.0, 0};
+            task = {fresh.get(), fresh->root.get()};
+            {
+              std::lock_guard<std::mutex> lock(inflight_mu);
+              inflight.emplace(index, std::move(fresh));
+            }
+            // Slide the root-lookahead window past the seed just claimed.
+            root_lookahead(cursor_after);
+          }
         }
-      }
-      if (!have) {
-        if (live.load(std::memory_order_acquire) == 0) break;
-        // A peer still runs tasks we may inherit; park until something is
-        // published (bounded wait: a missed notify costs 1 ms, not a hang,
-        // and leaves the cores to the prefetch threads meanwhile).
-        std::unique_lock<std::mutex> lock(idle_mu);
-        idle_cv.wait_for(lock, std::chrono::milliseconds(1));
-        continue;
-      }
-      try {
+        if (!have) {  // 3. steal, FIFO — victim's oldest (biggest) subtree
+          for (std::size_t d = 1; d < deques.size() && !have; ++d) {
+            WorkerDeque& victim = *deques[(self + d) % deques.size()];
+            std::lock_guard<std::mutex> lock(victim.mu);
+            if (!victim.tasks.empty()) {
+              task = victim.tasks.front();
+              victim.tasks.pop_front();
+              have = true;
+            }
+          }
+          if (have) {
+            task.query->stolen.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (!have) {
+          // Exit only when the stream can produce no more work (closed
+          // AND fully claimed) and nothing is in flight; the claim-section
+          // live increment makes this two-step check race-free.
+          bool exhausted;
+          {
+            std::lock_guard<std::mutex> lock(stream.mu_);
+            exhausted = stream.closed_ &&
+                        stream.next_claim_ == stream.slots_.size();
+          }
+          if (exhausted && live.load(std::memory_order_acquire) == 0) break;
+          // Park event-driven: a push, a task publication, close(), the
+          // final task's completion, or a failure each bump the epoch.
+          std::unique_lock<std::mutex> lock(idle_mu);
+          idle_cv.wait(lock, [&] { return wake_epoch != epoch; });
+          continue;
+        }
         execute_task(task, self, w);
       } catch (...) {
         {
@@ -810,7 +1130,7 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
           }
         }
         failed.store(true, std::memory_order_release);
-        idle_cv.notify_all();
+        wake_all();
         break;
       }
     }
@@ -818,6 +1138,12 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
 
   if (first_error != nullptr) std::rethrow_exception(first_error);
   MELO_CHECK(live.load() == 0);
+  {
+    // Every claimed query was finalized and delivered (the failure path
+    // returns above, where leftovers unwind with the map instead).
+    std::lock_guard<std::mutex> lock(inflight_mu);
+    MELO_CHECK(inflight.empty());
+  }
   if (telemetry != nullptr) {
     telemetry->issued = roots_issued.load(std::memory_order_relaxed);
     // Window/idle telemetry belongs to THIS batch: zeros unless root
@@ -827,16 +1153,6 @@ void QueryPipeline::run_stealing_batch(std::span<const graph::NodeId> seeds,
       telemetry->last_window = window_controller_->last_window();
       telemetry->idle_fraction = window_controller_->idle_fraction();
     }
-  }
-
-  // Fold the workers' transient ball/device peaks into every query's peak:
-  // summed worker peaks never under-report the true simultaneous footprint
-  // (the same convention the stage-parallel query uses), so per-query
-  // peak_bytes stays an honest sizing figure under the default scheduler.
-  MemoryMeter transient;
-  for (const MemoryMeter& m : meters) transient.merge_peak(m);
-  for (QueryResult& r : results) {
-    r.stats.peak_bytes += transient.peak_bytes();
   }
 }
 

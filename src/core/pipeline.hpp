@@ -23,6 +23,18 @@
 //                        first order, so scores stay bit-identical to
 //                        Engine::query. With work_stealing off, queries
 //                        are pinned whole to workers (the PR 1 scheduler).
+//   query_stream(stream) — continuous ingest: the same stealing scheduler
+//                        draining a SeedStream that other threads may still
+//                        be pushing into. Fresh seeds are claimed the moment
+//                        they arrive (idle workers park event-driven on
+//                        stream arrival), results are delivered through a
+//                        sink as each query finalizes, and per-query times
+//                        are arrival-stamped: total_seconds is
+//                        arrival→finalize response time, queue_seconds the
+//                        arrival→claim wait. The serving front end
+//                        (core/serving.hpp) builds its admission queue,
+//                        deadline-aware batch formation, and tenant fair
+//                        queueing on top of this call.
 //
 // Aggregation (MelopprConfig::aggregation) is orthogonal to scheduling:
 // in bounded mode every per-query reduction runs through a c·k-entry
@@ -88,6 +100,68 @@
 #include "util/timer.hpp"
 
 namespace meloppr::core {
+
+/// A growable, lock-protected seed stream — the continuous-ingest face of
+/// the stealing batch scheduler. Seeds may be pushed from any thread WHILE
+/// a QueryPipeline::query_stream call is draining the stream: workers claim
+/// fresh roots in push order the moment they arrive (the same fresh-root
+/// claiming index the closed batch used, now reading a stream that grows),
+/// and idle workers park event-driven until a push, a task publication, or
+/// close() wakes them. Each push stamps the seed's arrival time on the
+/// stream's own monotonic clock; that stamp is what makes
+/// QueryStats::total_seconds an arrival→finalize response time (and
+/// queue_seconds the arrival→claim wait) instead of the claim-clocked
+/// service time the scheduler used to report. The root-prefetch lookahead
+/// window reads upcoming seeds from the same stream, clamped to what has
+/// actually arrived.
+///
+/// A stream is single-use: fill/close it, hand it to exactly one
+/// query_stream call (pushes may continue while that call runs), and
+/// discard it afterwards. close() is the end-of-stream marker — a draining
+/// scheduler finishes every pushed seed and returns.
+class SeedStream {
+ public:
+  SeedStream() = default;
+  SeedStream(const SeedStream&) = delete;
+  SeedStream& operator=(const SeedStream&) = delete;
+
+  /// Appends one seed; thread-safe against concurrent pushes and a running
+  /// query_stream. Returns the seed's stream index (results are delivered
+  /// with it). Throws std::logic_error after close().
+  std::size_t push(graph::NodeId seed);
+
+  /// Bulk push; returns the index of the first appended seed.
+  std::size_t push_all(std::span<const graph::NodeId> seeds);
+
+  /// Marks the end of the stream: no further pushes are accepted, and a
+  /// draining query_stream returns once every pushed seed has finished.
+  /// Idempotent.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  /// Seeds pushed so far.
+  [[nodiscard]] std::size_t size() const;
+  /// Seconds since construction — the arrival clock every stamp uses.
+  [[nodiscard]] double now() const { return clock_.elapsed_seconds(); }
+
+ private:
+  friend class QueryPipeline;
+
+  struct Slot {
+    graph::NodeId seed = graph::kInvalidNode;
+    double arrival_seconds = 0.0;  ///< push time on the stream clock
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;     // guarded by mu_
+  std::size_t next_claim_ = 0;  // guarded by mu_; scheduler claim cursor
+  bool closed_ = false;         // guarded by mu_
+  /// Scheduler wake hook, registered by the draining query_stream call and
+  /// cleared before it returns; invoked (under mu_) on push and close so
+  /// parked workers never poll for arrivals.
+  std::function<void()> on_event_;  // guarded by mu_
+  Timer clock_;
+};
 
 class QueryPipeline {
  public:
@@ -158,6 +232,18 @@ class QueryPipeline {
     std::size_t healthy_devices = 0;   ///< breaker-closed at batch end
     std::size_t dead_devices = 0;      ///< sticky-dead at batch end
 
+    /// Arrival-stamped response-time distribution (seconds) over the
+    /// batch: percentiles of QueryStats::total_seconds, which under both
+    /// batch schedulers is arrival→finalize — the SLO-facing quantity,
+    /// queueing delay included. All zero for an empty batch.
+    double response_p50_seconds = 0.0;
+    double response_p99_seconds = 0.0;
+    double response_p999_seconds = 0.0;
+    double max_response_seconds = 0.0;
+    /// Mean arrival→claim wait (QueryStats::queue_seconds) — how much of
+    /// the response time was scheduler queueing rather than service.
+    double mean_queue_seconds = 0.0;
+
     [[nodiscard]] double cache_hit_rate() const {
       const std::size_t total = cache_hits + cache_misses;
       return total == 0 ? 0.0
@@ -190,6 +276,24 @@ class QueryPipeline {
   /// `batch_stats` (optional) receives the serving-layer accounting.
   std::vector<QueryResult> query_batch(std::span<const graph::NodeId> seeds,
                                        BatchStats* batch_stats = nullptr);
+
+  /// Delivers one finished query: the seed's stream index and its result.
+  /// Invoked on a worker thread; implementations must be thread-safe
+  /// against each other and must not re-enter the pipeline.
+  using ResultSink =
+      std::function<void(std::size_t stream_index, QueryResult&& result)>;
+
+  /// Continuous-ingest batch: drains `stream`, claiming seeds as they
+  /// arrive (pushes are allowed while this call runs) and blocking until
+  /// the stream is closed and every pushed seed finished. Always uses the
+  /// work-stealing scheduler, at any thread count (threads == 1 included).
+  /// Scores for every seed are bit-identical to Engine::query regardless
+  /// of when it was injected; QueryStats::total_seconds is arrival→finalize
+  /// on the stream's clock and queue_seconds the arrival→claim wait. The
+  /// first task exception is rethrown after the workers stop; seeds not yet
+  /// finished at that point deliver no result.
+  void query_stream(SeedStream& stream, const ResultSink& on_result,
+                    BatchStats* batch_stats = nullptr);
 
   [[nodiscard]] std::size_t threads() const { return threads_; }
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
@@ -237,13 +341,14 @@ class QueryPipeline {
     double idle_fraction = 0.0;   ///< 0 unless the controller ran
   };
 
-  /// The work-stealing batch scheduler (config.work_stealing, threads > 1).
-  /// Fills `results` positionally; serving-layer deltas are taken by the
-  /// caller around this call. `telemetry` (optional) receives this
-  /// batch's root-lookahead accounting.
-  void run_stealing_batch(std::span<const graph::NodeId> seeds,
-                          std::vector<QueryResult>& results,
-                          RootPrefetchTelemetry* telemetry = nullptr);
+  /// The work-stealing scheduler over a (possibly still growing) seed
+  /// stream — both query_batch (which wraps its span in a pre-filled,
+  /// closed stream) and query_stream run through here. Results are
+  /// delivered through `on_result` as each query finalizes; serving-layer
+  /// deltas are taken by the caller around this call. `telemetry`
+  /// (optional) receives this batch's root-lookahead accounting.
+  void run_stream_batch(SeedStream& stream, const ResultSink& on_result,
+                        RootPrefetchTelemetry* telemetry = nullptr);
 
   [[nodiscard]] DiffusionBackend& backend_for(std::size_t worker_id) {
     return shared_backend_ != nullptr ? *shared_backend_

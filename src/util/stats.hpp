@@ -43,7 +43,10 @@ class Samples {
   Samples() = default;
   explicit Samples(std::vector<double> values) : values_(std::move(values)) {}
 
-  void add(double x) { values_.push_back(x); }
+  void add(double x) {
+    values_.push_back(x);
+    sorted_valid_ = false;
+  }
   [[nodiscard]] std::size_t count() const { return values_.size(); }
   [[nodiscard]] bool empty() const { return values_.empty(); }
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
@@ -57,12 +60,18 @@ class Samples {
   /// Geometric mean; requires all samples > 0.
   [[nodiscard]] double geomean() const;
 
-  /// Linear-interpolation percentile, p in [0,100].
+  /// Linear-interpolation percentile, p in [0,100]. The sorted order is
+  /// cached across calls and invalidated by add(), so reading p50/p99/p999
+  /// off the same sample set sorts once instead of once per quantile. The
+  /// cache makes this const method non-thread-safe: guard concurrent
+  /// readers externally (every user in this repo already does).
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
 
  private:
   std::vector<double> values_;
+  mutable std::vector<double> sorted_;  // percentile() cache
+  mutable bool sorted_valid_ = false;
 };
 
 /// Builds a fixed-width histogram over log10(x) — used to reproduce the

@@ -85,6 +85,19 @@ TEST(Samples, PercentileInterpolation) {
   EXPECT_NEAR(s.percentile(25.0), 17.5, 1e-12);
 }
 
+TEST(Samples, PercentileCacheInvalidatedByAdd) {
+  // percentile() caches the sorted order; add() must invalidate it or the
+  // second read reports quantiles of the stale set.
+  Samples s({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);  // primes the cache
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  s.add(40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+}
+
 TEST(Samples, PercentileSingleElement) {
   Samples s({7.0});
   EXPECT_DOUBLE_EQ(s.percentile(99.0), 7.0);
