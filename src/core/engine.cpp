@@ -38,7 +38,8 @@ QueryResult Engine::query(graph::NodeId seed, DiffusionBackend& backend,
   // resulting aggregator operation sequence is exactly the one the original
   // recursive engine produced, so scores are bit-identical.
   std::vector<StageTask> stack;
-  stack.push_back({seed, 1.0, 0});
+  stack.push_back(make_root_task(seed));
+  result.stats.graph_version = stack.back().version;
   meter.set("pending", vector_bytes(stack));
   while (!stack.empty()) {
     const StageTask task = stack.back();
@@ -117,8 +118,11 @@ StageOutcome Engine::run_task(const StageTask& task, DiffusionBackend& backend,
   for (std::size_t attempt = 1;; ++attempt) {
     try {
       if (shared_cache_ != nullptr) {
-        ShardedBallCache::Fetch fetch =
-            shared_cache_->fetch(task.root, length);
+        // task.version (the query's admission stamp) is the freshness
+        // floor: the cache never serves this task a ball older than it.
+        ShardedBallCache::Fetch fetch = shared_cache_->fetch(
+            task.root, length, ShardedBallCache::FetchKind::kDemand,
+            ShardedBallCache::kNoClaimPriority, task.version);
         fetch.hit ? ++st.cache_hits : ++st.cache_misses;
         if (fetch.pinned) ++st.cache_pin_hits;
         pinned = std::move(fetch.ball);
@@ -129,6 +133,12 @@ StageOutcome Engine::run_task(const StageTask& task, DiffusionBackend& backend,
         ball_ptr = &cache_->get(task.root, length);
         cache_->hits() > hits_before ? ++st.cache_hits : ++st.cache_misses;
         meter.set("ball_cache", cache_->bytes());
+      } else if (dynamic_ != nullptr) {
+        // Cacheless dynamic extraction: the delta overlay serves the
+        // current state directly (the serial reference path the
+        // equivalence suite compares against a full rebuild).
+        owned.emplace(dynamic_->extract_ball(task.root, length));
+        ball_ptr = &*owned;
       } else {
         owned.emplace(graph::extract_ball(*graph_, task.root, length));
         ball_ptr = &*owned;
@@ -210,8 +220,10 @@ StageOutcome Engine::run_task(const StageTask& task, DiffusionBackend& backend,
     }
     out.children.reserve(selected.size());
     for (const SelectedNode& sn : selected) {
-      out.children.push_back(
-          {ball.to_global(sn.local), sn.residual, task.stage + 1});
+      // Children inherit the admission stamp: every ball of one query
+      // shares the same freshness floor.
+      out.children.push_back({ball.to_global(sn.local), sn.residual,
+                              task.stage + 1, task.version});
     }
   }
   // Charge the outcome buffers while the ball and device working set are

@@ -50,6 +50,7 @@
 #include "core/config.hpp"
 #include "core/query_stats.hpp"
 #include "core/sharded_ball_cache.hpp"
+#include "graph/dynamic_graph.hpp"
 #include "graph/graph.hpp"
 #include "ppr/topk.hpp"
 #include "util/memory_meter.hpp"
@@ -68,6 +69,13 @@ struct StageTask {
   graph::NodeId root = graph::kInvalidNode;
   double mass = 0.0;
   std::size_t stage = 0;
+  /// Graph version the query was admitted at (dynamic graphs; 0 static).
+  /// Stamped on the root task by Engine::make_root_task and inherited by
+  /// every child, it is the floor the cache's fetch enforces: no ball
+  /// served to this task reflects state older than the admission version,
+  /// so one query never mixes pre- and post-update balls older than its
+  /// stamp.
+  std::uint64_t version = 0;
 };
 
 /// Everything one executed stage task hands back to its scheduler.
@@ -139,11 +147,32 @@ class Engine {
     return shared_cache_;
   }
 
+  /// Serves cacheless ball extractions through `dyn`'s delta overlay and
+  /// stamps every root task with the graph version at admission (nullptr
+  /// restores the static graph). Pair with a sharded cache bound to the
+  /// SAME DynamicGraph (bind_dynamic_graph) for the full dynamic stack;
+  /// either alone is also coherent. `dyn` must outlive the engine's
+  /// queries, and must wrap the same base graph this engine was built on
+  /// (the quantized numerics path derives its scale from that graph).
+  void set_dynamic_graph(const graph::DynamicGraph* dyn) { dynamic_ = dyn; }
+  [[nodiscard]] const graph::DynamicGraph* dynamic_graph() const {
+    return dynamic_;
+  }
+
+  /// The stage-0 task for `seed`, stamped with the current graph version —
+  /// every scheduler (the serial stack, the stage-parallel frontier, the
+  /// stealing stream) creates its root tasks here so admission stamping
+  /// cannot diverge between them.
+  [[nodiscard]] StageTask make_root_task(graph::NodeId seed) const {
+    return {seed, 1.0, 0, dynamic_ == nullptr ? 0 : dynamic_->version()};
+  }
+
  private:
   const graph::Graph* graph_;
   MelopprConfig config_;
   BallCache* cache_ = nullptr;
   ShardedBallCache* shared_cache_ = nullptr;
+  const graph::DynamicGraph* dynamic_ = nullptr;
 };
 
 }  // namespace meloppr::core

@@ -293,7 +293,8 @@ QueryResult QueryPipeline::query(graph::NodeId seed) {
   // outcome buffer of the stage (they all coexist until the reduction).
   MemoryMeter coordinator_meter;
   std::vector<StageTask> frontier;
-  frontier.push_back({seed, 1.0, 0});
+  frontier.push_back(engine_->make_root_task(seed));
+  result.stats.graph_version = frontier.back().version;
   while (!frontier.empty()) {
     // Dispatch: every task in the frontier is independent (linearity of the
     // decomposition), so BFS + diffusion fan out across the pool.
@@ -912,6 +913,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
 
     QueryResult r;
     r.stats.stages.resize(engine_->config().num_stages());
+    r.stats.graph_version = q.root->task.version;
     reduce_tree(*q.root, *aggregator, r.stats);
     r.top = aggregator->top(engine_->config().k);
     // Arrival-stamped attribution — the headline fix. The stream clock
@@ -1080,7 +1082,9 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
               fresh->worker_words[word].store(0, std::memory_order_relaxed);
             }
             fresh->root = std::make_unique<TreeNode>();
-            fresh->root->task = {seed, 1.0, 0};
+            // Claim time IS admission for a stream query: the version
+            // stamp (dynamic graphs) freezes here, before any extraction.
+            fresh->root->task = engine_->make_root_task(seed);
             task = {fresh.get(), fresh->root.get()};
             {
               std::lock_guard<std::mutex> lock(inflight_mu);

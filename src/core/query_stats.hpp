@@ -111,6 +111,11 @@ enum class QueryOutcome : std::uint8_t {
 struct QueryStats {
   std::vector<StageStats> stages;
 
+  /// Graph version the query was admitted at (dynamic graphs; 0 on a
+  /// static graph). Every ball served to the query reflects at least this
+  /// version — the freshness stamp the serving layer reports.
+  std::uint64_t graph_version = 0;
+
   /// Peak simultaneously-live bytes: ball + device working set + aggregator
   /// + pending next-stage lists. The "Memory (MB)" column of Table II.
   std::size_t peak_bytes = 0;

@@ -272,11 +272,26 @@ void ServingFrontEnd::shutdown() {
   }
 }
 
+std::uint64_t ServingFrontEnd::submit_update(const graph::EdgeUpdate& update) {
+  if (dynamic_ == nullptr) {
+    throw std::invalid_argument(
+        "ServingFrontEnd::submit_update: no dynamic graph bound");
+  }
+  // DynamicGraph::apply carries its own writer lock and runs the cache
+  // invalidation listener before publishing the new version, so nothing
+  // here needs mu_ — update producers never contend with admission.
+  const std::uint64_t version = dynamic_->apply(update);
+  updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  return version;
+}
+
 ServingStats ServingFrontEnd::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServingStats s = counters_;
   s.queued = queued_;
   s.in_flight = dispatched_.size();
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.graph_version = dynamic_ == nullptr ? 0 : dynamic_->version();
   s.service_estimate_seconds = service_estimate_;
   if (!response_samples_.empty()) {
     s.response_p50_seconds = response_samples_.percentile(50.0);

@@ -34,6 +34,7 @@
 // waiters are released — never a hang — and drain()/shutdown() rethrow it.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -167,6 +168,13 @@ struct ServingStats {
   std::size_t in_flight = 0;      ///< dispatched, not yet completed
   std::size_t batches_formed = 0;
   std::size_t max_batch_size = 0;
+  /// Edge updates applied through submit_update (0 without a dynamic
+  /// graph).
+  std::size_t updates_applied = 0;
+  /// Dynamic-graph version at the snapshot (0 without a dynamic graph).
+  /// Every query admitted after this snapshot is served state at least
+  /// this fresh.
+  std::uint64_t graph_version = 0;
   double service_estimate_seconds = 0.0;  ///< current EWMA
   /// submit()→completion percentiles over every completed query (sheds
   /// excluded — they carry no service). Zero until the first completion.
@@ -198,6 +206,23 @@ class ServingFrontEnd {
   /// for a tenant out of range — that is caller misuse, not load.
   Admission submit(graph::NodeId seed, std::size_t tenant = 0,
                    double deadline_seconds = -1.0);
+
+  /// Routes submit_update() through `dyn` — the graph the pipeline's
+  /// engine/cache stack must also be bound to. Call before traffic starts;
+  /// `dyn` must outlive the front end.
+  void set_dynamic_graph(graph::DynamicGraph* dyn) { dynamic_ = dyn; }
+
+  /// Applies one edge update to the bound dynamic graph and returns the
+  /// new graph version. Safe from any producer thread, interleaved freely
+  /// with submit(): queries admitted before the update keep their older
+  /// admission stamp (and may be served either state — monotone
+  /// freshness), queries admitted after are served state at least this
+  /// fresh, and the bound cache invalidates exactly the balls the update
+  /// touches before the version publishes. Throws std::invalid_argument
+  /// when no dynamic graph is bound or the update itself is invalid
+  /// (self-loop, out of range, double insert/delete) — caller misuse, not
+  /// load.
+  std::uint64_t submit_update(const graph::EdgeUpdate& update);
 
   /// Blocks until every admitted query has completed or been shed, then
   /// returns everything finished since the last drain (completion order).
@@ -238,6 +263,8 @@ class ServingFrontEnd {
   QueryPipeline* pipeline_;
   ServingConfig config_;
   Timer clock_;
+  graph::DynamicGraph* dynamic_ = nullptr;
+  std::atomic<std::size_t> updates_applied_{0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;  // dispatcher + drain waiters + backpressure

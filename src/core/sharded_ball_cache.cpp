@@ -53,6 +53,103 @@ std::size_t ShardedBallCache::FrequencySketch::index(std::uint64_t mixed,
          kCounters;
 }
 
+ShardedBallCache::~ShardedBallCache() {
+  if (dynamic_ != nullptr) dynamic_->remove_listener(listener_id_);
+}
+
+void ShardedBallCache::bind_dynamic_graph(graph::DynamicGraph& dyn) {
+  MELO_CHECK(dynamic_ == nullptr);
+  dynamic_ = &dyn;
+  listener_id_ = dyn.add_update_listener(
+      [this](const graph::EdgeUpdate& update, std::uint64_t version) {
+        invalidate_edge(update, version);
+      });
+}
+
+void ShardedBallCache::index_ball(Shard& shard, const BallKey& key,
+                                  const graph::Subgraph& ball) {
+  for (const graph::NodeId global : ball.local_to_global()) {
+    shard.reverse_index[global].insert(key);
+  }
+  reverse_index_entries_.fetch_add(ball.num_nodes(),
+                                   std::memory_order_relaxed);
+}
+
+void ShardedBallCache::unindex_ball(Shard& shard, const BallKey& key,
+                                    const graph::Subgraph& ball) {
+  for (const graph::NodeId global : ball.local_to_global()) {
+    const auto it = shard.reverse_index.find(global);
+    if (it == shard.reverse_index.end()) continue;
+    it->second.erase(key);
+    if (it->second.empty()) shard.reverse_index.erase(it);
+  }
+  reverse_index_entries_.fetch_sub(ball.num_nodes(),
+                                   std::memory_order_relaxed);
+}
+
+void ShardedBallCache::invalidate_edge(const graph::EdgeUpdate& update,
+                                       std::uint64_t version) {
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.last_invalidation_version = version;
+    // Residents: the reverse index lists exactly the balls containing an
+    // endpoint — no scan of unaffected entries. A ball containing both
+    // endpoints appears under each; the map re-check makes the second
+    // lookup a no-op.
+    std::vector<BallKey> victims;
+    for (const graph::NodeId endpoint : {update.u, update.v}) {
+      const auto it = shard.reverse_index.find(endpoint);
+      if (it == shard.reverse_index.end()) continue;
+      victims.insert(victims.end(), it->second.begin(), it->second.end());
+    }
+    for (const BallKey& key : victims) {
+      const auto it = shard.map.find(key);
+      if (it == shard.map.end()) continue;
+      const Entry& entry = *it->second;
+      shard.bytes -= entry.ball_bytes;
+      total_bytes_.fetch_sub(entry.ball_bytes, std::memory_order_relaxed);
+      unindex_ball(shard, key, *entry.ball);
+      shard.lru.erase(it->second);
+      shard.map.erase(it);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Pins: the table is small and bounded, a direct membership scan is
+    // cheaper than indexing it.
+    for (auto it = shard.pinned.begin(); it != shard.pinned.end();) {
+      if (it->second.ball->contains(update.u) ||
+          it->second.ball->contains(update.v)) {
+        pinned_bytes_.fetch_sub(it->second.ball->bytes(),
+                                std::memory_order_relaxed);
+        pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+        pins_expired_.fetch_add(1, std::memory_order_relaxed);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        it = shard.pinned.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // In-flight extractions are left alone: the insert-time staleness gate
+    // (and the joiners' min_version check) keeps their results out.
+  }
+}
+
+std::vector<BallKey> ShardedBallCache::resident_keys() const {
+  std::vector<BallKey> keys;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, it] : shard->map) keys.push_back(key);
+  }
+  return keys;
+}
+
+ShardedBallCache::BallPtr ShardedBallCache::peek(const BallKey& key) const {
+  Shard& shard = *shards_[(splitmix64(key.packed()) >> 40) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : it->second->ball;
+}
+
 ShardedBallCache::ShardedBallCache(const graph::Graph& g,
                                    std::size_t byte_budget,
                                    std::size_t shards,
@@ -128,7 +225,8 @@ void ShardedBallCache::note_extraction(Shard& shard, const BallKey& key,
 
 void ShardedBallCache::maybe_pin(Shard& shard, const BallKey& key,
                                  const BallPtr& ball,
-                                 std::size_t claim_priority) {
+                                 std::size_t claim_priority,
+                                 std::uint64_t version) {
   if (pin_capacity_ == 0 || ball == nullptr) return;
   if (const auto it = shard.pinned.find(key); it != shard.pinned.end()) {
     // Re-pinned key: keep the better (closer-to-claim) priority so a
@@ -173,7 +271,7 @@ void ShardedBallCache::maybe_pin(Shard& shard, const BallKey& key,
       return;
     }
   }
-  shard.pinned.emplace(key, Shard::Pin{ball, claim_priority});
+  shard.pinned.emplace(key, Shard::Pin{ball, claim_priority, version});
   pinned_bytes_.fetch_add(ball->bytes(), std::memory_order_relaxed);
   pins_installed_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -181,11 +279,17 @@ void ShardedBallCache::maybe_pin(Shard& shard, const BallKey& key,
 ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
                                                 unsigned radius,
                                                 FetchKind kind,
-                                                std::size_t claim_priority) {
+                                                std::size_t claim_priority,
+                                                std::uint64_t min_version) {
   const BallKey key{root, radius};
   Shard& shard = shard_for(key);
 
-  std::promise<BallPtr> promise;
+  // The loop re-enters only when a joined in-flight extraction turns out
+  // to predate the caller's min_version (dynamic mode): the retry either
+  // finds a fresh resident or claims its own extraction at the current
+  // version, which always satisfies min_version — so it terminates.
+  for (;;) {
+  std::promise<Extracted> promise;
   {
     std::unique_lock<std::mutex> lock(shard.mu);
     // Every access (hit, miss, prefetch) feeds the frequency estimate —
@@ -219,11 +323,12 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
       } else if (kind == FetchKind::kPinnedRootPrefetch) {
         // Resident today is not resident at claim time: pin the ball so an
         // eviction between now and the claim cannot undo the lookahead.
-        maybe_pin(shard, key, it->second->ball, claim_priority);
+        maybe_pin(shard, key, it->second->ball, claim_priority,
+                  it->second->version);
       }
       count_hit(kind, /*deduped=*/false);
       return {it->second->ball, /*hit=*/true, /*deduped=*/false,
-              /*pinned=*/false, 0.0};
+              /*pinned=*/false, 0.0, it->second->version};
     }
     if (!shard.pinned.empty()) {
       if (const auto pin = shard.pinned.find(key); pin != shard.pinned.end()) {
@@ -231,6 +336,7 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
         // retained (TinyLFU rejection, or evicted since) — the pin makes
         // the prefetch BFS useful anyway.
         BallPtr ball = pin->second.ball;
+        const std::uint64_t pin_version = pin->second.version;
         if (kind == FetchKind::kDemand) {
           // The seed is claimed: consume the pin (and settle the root-
           // prefetch record — the speculation paid off). The claim is
@@ -244,15 +350,16 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
           shard.pinned.erase(pin);
           const std::size_t incoming = ball->bytes();
           if (incoming <= shard_budget_ && admit(shard, key, incoming)) {
-            shard.lru.push_front(Entry{key, ball, incoming});
+            shard.lru.push_front(Entry{key, ball, incoming, pin_version});
             shard.map.emplace(key, shard.lru.begin());
             shard.bytes += incoming;
             total_bytes_.fetch_add(incoming, std::memory_order_relaxed);
+            if (dynamic_ != nullptr) index_ball(shard, key, *ball);
           }
         }
         count_hit(kind, /*deduped=*/false);
         return {std::move(ball), /*hit=*/true, /*deduped=*/false,
-                /*pinned=*/true, 0.0};
+                /*pinned=*/true, 0.0, pin_version};
       }
     }
     if (const auto it = shard.in_flight.find(key);
@@ -278,11 +385,11 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
       }
       // Another thread is extracting this very ball; wait for its result
       // outside the lock instead of duplicating the BFS.
-      std::shared_future<BallPtr> pending = it->second;
+      std::shared_future<Extracted> pending = it->second;
       lock.unlock();
-      BallPtr ball;
+      Extracted extracted;
       try {
-        ball = pending.get();  // rethrows the extractor's exception
+        extracted = pending.get();  // rethrows the extractor's exception
       } catch (...) {
         // The access still happened: count it before surfacing the
         // extractor's failure, or hit/miss totals silently drift under
@@ -290,21 +397,38 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
         count_miss(kind);
         throw;
       }
+      if (dynamic_ != nullptr && extracted.version < min_version &&
+          dynamic_->touched_since(*extracted.ball, extracted.version)) {
+        // The joined extraction started before this query was admitted and
+        // an update has touched its ball since: serving it would hand the
+        // query state older than its admission stamp. Retry — the next
+        // pass serves a fresh resident or extracts at the current version.
+        stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       count_hit(kind, /*deduped=*/true);
-      return {std::move(ball), /*hit=*/true, /*deduped=*/true,
-              /*pinned=*/false, 0.0};
+      return {std::move(extracted.ball), /*hit=*/true, /*deduped=*/true,
+              /*pinned=*/false, 0.0, extracted.version};
     }
     shard.in_flight.emplace(key, promise.get_future().share());
   }
 
   // Miss with the extraction claimed: run the BFS unlocked so other shards
-  // (and other keys of this shard, briefly) keep serving.
+  // (and other keys of this shard, briefly) keep serving. In dynamic mode
+  // the extraction runs under the graph's shared lock, which serializes it
+  // against updates and stamps it with an exact version.
   Timer timer;
   BallPtr ball;
+  std::uint64_t ball_version = 0;
   try {
-    ball = std::make_shared<const graph::Subgraph>(
-        extractor_ ? extractor_(*graph_, root, radius)
-                   : graph::extract_ball(*graph_, root, radius));
+    if (dynamic_ != nullptr) {
+      ball = std::make_shared<const graph::Subgraph>(
+          dynamic_->extract_ball(root, radius, &ball_version));
+    } else {
+      ball = std::make_shared<const graph::Subgraph>(
+          extractor_ ? extractor_(*graph_, root, radius)
+                     : graph::extract_ball(*graph_, root, radius));
+    }
   } catch (...) {
     // Unblock any waiters with the same failure, then unclaim the key.
     extraction_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -321,14 +445,34 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
     throw;
   }
   const double extract_seconds = timer.elapsed_seconds();
-  promise.set_value(ball);
+  promise.set_value({ball, ball_version});
   count_miss(kind);
+
+  // Freshness probe BEFORE taking the shard lock (lock order is graph →
+  // shard, never the reverse): has any update touched this ball since its
+  // extraction? `checked_version` is the version that answer is valid for.
+  bool fresh = true;
+  std::uint64_t checked_version = ball_version;
+  if (dynamic_ != nullptr) {
+    fresh = !dynamic_->touched_since(*ball, ball_version, &checked_version);
+  }
 
   const std::size_t incoming = ball->bytes();
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.in_flight.erase(key);
     shard.extraction_seconds += extract_seconds;
+    // Insert-time staleness gate: retain only if the ball is untouched up
+    // to checked_version AND no invalidation scan has visited this shard
+    // after that — a scan that passed between the probe and this lock
+    // could not have seen the entry, so retaining would leave a stale
+    // resident behind. (A scan arriving AFTER the insert finds the entry
+    // in the reverse index and removes it normally.) The caller is still
+    // served: its admission version can't exceed the extraction version.
+    const bool retain =
+        dynamic_ == nullptr ||
+        (fresh && shard.last_invalidation_version <= checked_version);
+    if (!retain) stale_rejects_.fetch_add(1, std::memory_order_relaxed);
     // A deduped pinned root prefetch may have asked this extraction to
     // pin on its behalf; honoring it counts as a root-prefetch extraction
     // for the re-extraction records too, and the pin carries the best
@@ -346,22 +490,25 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
     note_extraction(shard, key,
                     pin_requested ? FetchKind::kPinnedRootPrefetch : kind,
                     incoming);
-    if (kind == FetchKind::kPinnedRootPrefetch || pin_requested) {
-      maybe_pin(shard, key, ball, pin_priority);
+    if (retain && (kind == FetchKind::kPinnedRootPrefetch || pin_requested)) {
+      maybe_pin(shard, key, ball, pin_priority, ball_version);
     }
     // clear() may have raced ahead of this insertion; re-check the map in
     // case another extraction of the same key landed first (possible only
     // across a clear()).
-    if (incoming <= shard_budget_ && shard.map.find(key) == shard.map.end() &&
+    if (retain && incoming <= shard_budget_ &&
+        shard.map.find(key) == shard.map.end() &&
         admit(shard, key, incoming)) {
-      shard.lru.push_front(Entry{key, ball, incoming});
+      shard.lru.push_front(Entry{key, ball, incoming, ball_version});
       shard.map.emplace(key, shard.lru.begin());
       shard.bytes += incoming;
       total_bytes_.fetch_add(incoming, std::memory_order_relaxed);
+      if (dynamic_ != nullptr) index_ball(shard, key, *ball);
     }
   }
   return {std::move(ball), /*hit=*/false, /*deduped=*/false,
-          /*pinned=*/false, extract_seconds};
+          /*pinned=*/false, extract_seconds, ball_version};
+  }  // for (;;)
 }
 
 void ShardedBallCache::evict_lru_until_fits(Shard& shard,
@@ -372,6 +519,7 @@ void ShardedBallCache::evict_lru_until_fits(Shard& shard,
     const Entry& victim = shard.lru.back();
     shard.bytes -= victim.ball_bytes;
     total_bytes_.fetch_sub(victim.ball_bytes, std::memory_order_relaxed);
+    if (dynamic_ != nullptr) unindex_ball(shard, victim.key, *victim.ball);
     shard.map.erase(victim.key);
     shard.lru.pop_back();  // pinned readers keep the ball alive via BallPtr
     evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -429,6 +577,7 @@ void ShardedBallCache::evict(
   for (const auto& it : victims) {
     shard.bytes -= it->ball_bytes;
     total_bytes_.fetch_sub(it->ball_bytes, std::memory_order_relaxed);
+    if (dynamic_ != nullptr) unindex_ball(shard, it->key, *it->ball);
     shard.map.erase(it->key);
     shard.lru.erase(it);  // pinned readers keep the ball alive via BallPtr
     evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -485,6 +634,10 @@ ShardedBallCache::Stats ShardedBallCache::stats() const {
       root_reextractions_.load(std::memory_order_relaxed);
   s.extraction_failures =
       extraction_failures_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.stale_rejects = stale_rejects_.load(std::memory_order_relaxed);
+  s.reverse_index_entries =
+      reverse_index_entries_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -539,6 +692,17 @@ void ShardedBallCache::clear() {
     shard->pinned.clear();
     shard->root_prefetched.clear();
     shard->pin_on_complete.clear();
+    // The reverse index mirrors the residents, so it empties with them;
+    // the gauge drops by exactly this shard's live pairs. NOTE:
+    // last_invalidation_version is deliberately NOT reset — forgetting
+    // that an update happened would let a racing pre-update extraction
+    // slip past the insert-time staleness gate.
+    std::size_t indexed = 0;
+    for (const auto& [vertex, keys] : shard->reverse_index) {
+      indexed += keys.size();
+    }
+    reverse_index_entries_.fetch_sub(indexed, std::memory_order_relaxed);
+    shard->reverse_index.clear();
     // in_flight is left alone: those extractions complete normally.
   }
   ewma_ball_bytes_.store(0.0, std::memory_order_relaxed);
@@ -562,6 +726,10 @@ void ShardedBallCache::clear() {
   pin_displacements_.store(0);
   root_reextractions_.store(0);
   extraction_failures_.store(0);
+  // The dynamic-mode counters reset with the rest (the PR 5 lesson:
+  // every counter a snapshot reports must reset as one unit with it).
+  invalidations_.store(0);
+  stale_rejects_.store(0);
 }
 
 }  // namespace meloppr::core

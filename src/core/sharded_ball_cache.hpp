@@ -57,6 +57,22 @@
 //     also record their keys so root_reextractions can count the PR 4
 //     failure mode (a root-prefetched ball re-extracted on the demand
 //     path) — zero when pinning is on and the pin table has capacity.
+//
+//   * Surgical invalidation (bind_dynamic_graph). Bound to a DynamicGraph,
+//     each shard maintains a reverse-reachability index (vertex → the
+//     cached BallKeys whose ball contains it, updated at insert/evict
+//     under the shard lock). An edge update then invalidates exactly the
+//     resident and pinned balls containing either endpoint — instead of
+//     clear() — inside the graph's update listener, BEFORE the new version
+//     publishes. That ordering plus an insert-time staleness gate (an
+//     extraction that raced an update is served to its caller but never
+//     retained — stale_rejects) yields the serving invariant: every
+//     resident and pinned ball reflects all updates up to the current
+//     graph version, so a query stamped at admission is always served
+//     balls at least as fresh as its stamp. In-flight extractions are
+//     version-stamped; a demand fetch joining one whose result predates
+//     the fetch's min_version re-extracts rather than serve stale state.
+//     Static-mode caches (never bound) pay nothing for any of this.
 #pragma once
 
 #include <algorithm>
@@ -75,6 +91,7 @@
 
 #include "core/ball_cache.hpp"
 #include "core/config.hpp"
+#include "graph/dynamic_graph.hpp"
 #include "graph/graph.hpp"
 #include "graph/subgraph.hpp"
 
@@ -111,6 +128,10 @@ class ShardedBallCache {
     bool deduped = false;  ///< joined/observed another thread's extraction
     bool pinned = false;   ///< served from the pinned prefetch side-table
     double extract_seconds = 0.0;  ///< BFS time paid by THIS call (0 on hit)
+    /// Graph version the ball was extracted at (dynamic mode; 0 static).
+    /// Resident/pinned balls are additionally current: they reflect every
+    /// update up to the graph version at the time they were served.
+    std::uint64_t version = 0;
   };
 
   /// `byte_budget` is split evenly across `shards` (0 → kDefaultShards).
@@ -125,6 +146,8 @@ class ShardedBallCache {
                    std::size_t shards = 0,
                    CacheAdmission admission = CacheAdmission::kAlways,
                    std::size_t pin_capacity = kDefaultPinCapacity);
+  /// Unregisters the dynamic-graph listener, if bound.
+  ~ShardedBallCache();
 
   /// "No claim-order information": the default claim priority, losing every
   /// pin-table capacity duel (see fetch()).
@@ -141,9 +164,24 @@ class ShardedBallCache {
   /// win: a new pin strictly closer than the shard's farthest-from-claim
   /// pin displaces it (pin_displacements counts these); with the default
   /// kNoClaimPriority the new pin is simply skipped, as before.
+  ///
+  /// `min_version` (dynamic mode only) is the graph version the caller's
+  /// query was admitted at: the fetch never serves a ball reflecting an
+  /// older state. Residents and pins always satisfy it (they are kept
+  /// current by invalidation); only a joined in-flight extraction that
+  /// started before the caller's admission can fail it, in which case the
+  /// fetch re-extracts at the current version instead.
   Fetch fetch(graph::NodeId root, unsigned radius,
               FetchKind kind = FetchKind::kDemand,
-              std::size_t claim_priority = kNoClaimPriority);
+              std::size_t claim_priority = kNoClaimPriority,
+              std::uint64_t min_version = 0);
+
+  /// Routes miss-path extraction through `dyn` (delta-aware, version
+  /// stamped under the graph's shared lock) and registers this cache for
+  /// surgical invalidation on every update. Overrides set_extractor. Call
+  /// before the cache is shared; `dyn` must outlive this cache. The
+  /// Graph passed to the constructor is ignored while bound.
+  void bind_dynamic_graph(graph::DynamicGraph& dyn);
 
   /// Convenience wrapper when the caller only wants the ball.
   BallPtr get(graph::NodeId root, unsigned radius) {
@@ -212,6 +250,15 @@ class ShardedBallCache {
     /// fails exactly the fetches joined to that attempt; the key is
     /// re-attemptable immediately afterwards.
     std::size_t extraction_failures = 0;
+    /// Resident + pinned balls removed by edge-update invalidation
+    /// (dynamic mode): exactly the balls containing an updated endpoint.
+    std::size_t invalidations = 0;
+    /// Extractions that raced an update and were served but not retained,
+    /// plus stale in-flight joins that re-extracted (dynamic mode).
+    std::size_t stale_rejects = 0;
+    /// Live reverse-index (vertex, BallKey) pairs — a gauge, not a
+    /// counter: Σ over resident balls of their node count.
+    std::size_t reverse_index_entries = 0;
     /// Demand hit rate (prefetch traffic excluded).
     [[nodiscard]] double hit_rate() const {
       const std::size_t total = hits + misses;
@@ -272,6 +319,28 @@ class ShardedBallCache {
   [[nodiscard]] std::size_t extraction_failures() const {
     return extraction_failures_.load();
   }
+  /// Balls removed by edge-update invalidation (see Stats::invalidations).
+  [[nodiscard]] std::size_t invalidations() const {
+    return invalidations_.load();
+  }
+  /// Stale extractions served-but-not-retained (see Stats::stale_rejects).
+  [[nodiscard]] std::size_t stale_rejects() const {
+    return stale_rejects_.load();
+  }
+  /// Live reverse-index (vertex, BallKey) pairs (dynamic mode gauge).
+  [[nodiscard]] std::size_t reverse_index_entries() const {
+    return reverse_index_entries_.load(std::memory_order_relaxed);
+  }
+  /// The bound DynamicGraph's current version (0 when not bound).
+  [[nodiscard]] std::uint64_t current_version() const {
+    return dynamic_ == nullptr ? 0 : dynamic_->version();
+  }
+
+  /// Test/introspection: every resident key, no LRU or stats effects.
+  [[nodiscard]] std::vector<BallKey> resident_keys() const;
+  /// Test/introspection: the resident ball for `key` (nullptr on a miss),
+  /// without touching LRU order, stats, or the sketch.
+  [[nodiscard]] BallPtr peek(const BallKey& key) const;
   /// Currently pinned balls / their footprint (outside bytes()).
   [[nodiscard]] std::size_t pinned_entries() const {
     return pinned_count_.load(std::memory_order_relaxed);
@@ -334,6 +403,15 @@ class ShardedBallCache {
     BallKey key;
     BallPtr ball;
     std::size_t ball_bytes = 0;
+    /// Graph version the ball was extracted at (0 in static mode).
+    std::uint64_t version = 0;
+  };
+
+  /// In-flight extraction result: the ball plus the graph version it was
+  /// extracted at (captured under the graph's shared lock).
+  struct Extracted {
+    BallPtr ball;
+    std::uint64_t version = 0;
   };
 
   /// TinyLFU's frequency estimator: a count-min sketch of 4-bit saturating
@@ -371,7 +449,7 @@ class ShardedBallCache {
     std::list<Entry> lru;  ///< MRU at front
     std::unordered_map<BallKey, std::list<Entry>::iterator, BallKeyHash> map;
     /// Extractions in progress: later fetches of the same key wait here.
-    std::unordered_map<BallKey, std::shared_future<BallPtr>, BallKeyHash>
+    std::unordered_map<BallKey, std::shared_future<Extracted>, BallKeyHash>
         in_flight;
     std::size_t bytes = 0;
     double extraction_seconds = 0.0;  ///< guarded by mu
@@ -383,6 +461,8 @@ class ShardedBallCache {
     struct Pin {
       BallPtr ball;
       std::size_t priority = kNoClaimPriority;
+      /// Graph version the ball was extracted at (0 in static mode).
+      std::uint64_t version = 0;
     };
     /// Pinned prefetch handoff: root-prefetched balls held until their
     /// seed is claimed or drop_pins(); guarded by mu, bounded globally by
@@ -398,6 +478,19 @@ class ShardedBallCache {
     /// on these keys' behalf, so the handoff guarantee holds even when
     /// root and stage lookahead race on one key; guarded by mu.
     std::unordered_map<BallKey, std::size_t, BallKeyHash> pin_on_complete;
+    /// Reverse-reachability index (dynamic mode only): vertex → the
+    /// resident BallKeys whose ball contains it. Maintained at
+    /// insert/evict under `mu`; empty when no DynamicGraph is bound, so
+    /// static stacks pay nothing.
+    std::unordered_map<graph::NodeId,
+                       std::unordered_set<BallKey, BallKeyHash>>
+        reverse_index;
+    /// Version of the latest update whose invalidation scan visited this
+    /// shard. The insert-time staleness gate compares against it: a ball
+    /// whose freshness was probed at an older version may have been
+    /// missed by a scan that already passed, so it is served, not
+    /// retained. Never reset (clear() must not forget an update happened).
+    std::uint64_t last_invalidation_version = 0;
   };
 
   [[nodiscard]] Shard& shard_for(const BallKey& key) {
@@ -460,9 +553,29 @@ class ShardedBallCache {
   /// shard's farthest-from-claim pin displaces it (ROADMAP "Pin-table
   /// admission"); otherwise the new pin is skipped.
   void maybe_pin(Shard& shard, const BallKey& key, const BallPtr& ball,
-                 std::size_t claim_priority);
+                 std::size_t claim_priority, std::uint64_t version);
+
+  /// Must hold `shard.mu`; dynamic mode only. Adds/removes `key` under
+  /// every member vertex of `ball` in the shard's reverse index.
+  void index_ball(Shard& shard, const BallKey& key,
+                  const graph::Subgraph& ball);
+  void unindex_ball(Shard& shard, const BallKey& key,
+                    const graph::Subgraph& ball);
+
+  /// The DynamicGraph update listener: removes every resident ball listed
+  /// under either endpoint in the reverse index and every pinned ball
+  /// containing one, and records `version` as each shard's
+  /// last_invalidation_version. Runs under the graph's writer lock before
+  /// the version publishes; takes each shard's lock in turn (lock order
+  /// graph → shard, matching nothing that holds a shard lock while taking
+  /// the graph lock).
+  void invalidate_edge(const graph::EdgeUpdate& update,
+                       std::uint64_t version);
 
   const graph::Graph* graph_;
+  /// Bound by bind_dynamic_graph; null in static mode.
+  graph::DynamicGraph* dynamic_ = nullptr;
+  std::size_t listener_id_ = 0;
   std::size_t budget_;
   std::size_t shard_budget_;
   CacheAdmission admission_;
@@ -482,6 +595,10 @@ class ShardedBallCache {
   std::atomic<std::size_t> pin_displacements_{0};
   std::atomic<std::size_t> root_reextractions_{0};
   std::atomic<std::size_t> extraction_failures_{0};
+  std::atomic<std::size_t> invalidations_{0};
+  std::atomic<std::size_t> stale_rejects_{0};
+  /// Gauge: live (vertex, BallKey) reverse-index pairs across all shards.
+  std::atomic<std::size_t> reverse_index_entries_{0};
   /// Miss-path extraction function; empty → graph::extract_ball. Set
   /// before sharing the cache (not synchronized against fetches).
   Extractor extractor_;

@@ -1,0 +1,131 @@
+#include "graph/update_streams.hpp"
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+
+namespace meloppr::graph {
+namespace {
+
+std::uint64_t pack_edge(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// Evolving edge state: membership set + dense list for uniform delete
+/// sampling + live degrees for the no-isolation guarantee.
+struct EdgeState {
+  explicit EdgeState(const Graph& base)
+      : degrees(base.num_nodes()) {
+    const std::size_t n = base.num_nodes();
+    edges.reserve(base.num_edges() * 2);
+    list.reserve(base.num_edges());
+    for (NodeId u = 0; u < n; ++u) {
+      degrees[u] = static_cast<std::uint32_t>(base.degree(u));
+      for (NodeId w : base.neighbors(u)) {
+        if (w > u) {
+          edges.insert(pack_edge(u, w));
+          list.emplace_back(u, w);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(NodeId u, NodeId v) const {
+    return edges.count(pack_edge(u, v)) != 0;
+  }
+
+  void insert(NodeId u, NodeId v) {
+    edges.insert(pack_edge(u, v));
+    list.emplace_back(u, v);
+    ++degrees[u];
+    ++degrees[v];
+  }
+
+  void erase_at(std::size_t index) {
+    const auto [u, v] = list[index];
+    edges.erase(pack_edge(u, v));
+    list[index] = list.back();
+    list.pop_back();
+    --degrees[u];
+    --degrees[v];
+  }
+
+  std::unordered_set<std::uint64_t> edges;
+  std::vector<std::pair<NodeId, NodeId>> list;
+  std::vector<std::uint32_t> degrees;
+};
+
+constexpr std::size_t kAttempts = 64;
+
+}  // namespace
+
+std::vector<EdgeUpdate> make_update_stream(const Graph& base,
+                                           UpdateWorkload workload,
+                                           const UpdateStreamConfig& cfg,
+                                           Rng& rng) {
+  const std::size_t n = base.num_nodes();
+  std::vector<EdgeUpdate> stream;
+  if (n < 2 || cfg.count == 0) return stream;
+  stream.reserve(cfg.count);
+  EdgeState state(base);
+
+  // Degree-biased endpoint: either end of a uniform base arc. Falls back to
+  // uniform when the base has no arcs at all.
+  const std::vector<NodeId>& arcs = base.targets();
+  const auto biased_node = [&]() -> NodeId {
+    if (arcs.empty() || !rng.chance(cfg.hub_bias)) {
+      return static_cast<NodeId>(rng.below(n));
+    }
+    return arcs[rng.below(arcs.size())];
+  };
+
+  const auto try_insert = [&](bool prefer_uniform_u) -> bool {
+    for (std::size_t attempt = 0; attempt < kAttempts; ++attempt) {
+      const NodeId u = prefer_uniform_u ? static_cast<NodeId>(rng.below(n))
+                                        : biased_node();
+      const NodeId v = biased_node();
+      if (u == v || state.has(u, v)) continue;
+      state.insert(u, v);
+      stream.push_back({u, v, true});
+      return true;
+    }
+    return false;
+  };
+
+  const auto try_delete = [&]() -> bool {
+    for (std::size_t attempt = 0; attempt < kAttempts; ++attempt) {
+      if (state.list.empty()) return false;
+      const std::size_t index = rng.below(state.list.size());
+      const auto [u, v] = state.list[index];
+      // Never isolate: every prefix of the stream keeps originally
+      // connected vertices connected, so queries racing the stream cannot
+      // land on an edgeless root.
+      if (state.degrees[u] <= 1 || state.degrees[v] <= 1) continue;
+      state.erase_at(index);
+      stream.push_back({u, v, false});
+      return true;
+    }
+    return false;
+  };
+
+  while (stream.size() < cfg.count) {
+    bool produced = false;
+    switch (workload) {
+      case UpdateWorkload::kRecommenderChurn:
+        if (rng.chance(cfg.delete_fraction)) {
+          produced = try_delete() || try_insert(false);
+        } else {
+          produced = try_insert(false) || try_delete();
+        }
+        break;
+      case UpdateWorkload::kCitationGrowth:
+        produced = try_insert(true);
+        break;
+    }
+    if (!produced) break;  // out of legal moves (dense/tiny corner case)
+  }
+  return stream;
+}
+
+}  // namespace meloppr::graph

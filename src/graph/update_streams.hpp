@@ -1,0 +1,56 @@
+// Update-stream workload generators for the dynamic-graph path.
+//
+// A DynamicGraph is only as testable as the update sequences thrown at it,
+// so these generators produce *valid* streams against the evolving edge
+// state (inserts only of absent edges, deletes only of present ones — the
+// sequences apply cleanly in order) across any base graph the generator
+// suite produces (ER/BA/WS/RMAT/community alike):
+//
+//   * recommender churn — mixed insert/delete traffic with degree-biased
+//     endpoints: hot items gain and lose edges constantly, the workload
+//     that stresses invalidation precision (hub updates touch many cached
+//     balls, cold-pair updates touch few). Deletes never isolate a vertex
+//     (both endpoints keep degree >= 1), so concurrent queries racing the
+//     stream can never pick up a child root with no edges.
+//   * citation growth — insert-only preferential attachment: a "young"
+//     vertex (uniform) cites established hubs (degree-biased), the
+//     append-mostly regime where surgical invalidation should shine.
+//
+// Degree bias samples an endpoint of a uniform BASE arc — proportional to
+// base-graph degree, cheap, and stable as the stream evolves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace meloppr::graph {
+
+enum class UpdateWorkload {
+  kRecommenderChurn,
+  kCitationGrowth,
+};
+
+struct UpdateStreamConfig {
+  /// Updates to generate.
+  std::size_t count = 0;
+  /// Fraction of churn steps that attempt a delete (ignored by citation
+  /// growth, which is insert-only).
+  double delete_fraction = 0.3;
+  /// Probability an insert endpoint is degree-biased rather than uniform.
+  double hub_bias = 0.75;
+};
+
+/// Generates a stream valid against `base` evolved by its own prefix:
+/// applying the result to DynamicGraph(base) in order never throws, and no
+/// prefix isolates a vertex that had degree >= 1. May return fewer than
+/// `count` updates only if the graph runs out of legal moves (dense or
+/// edgeless corner cases).
+[[nodiscard]] std::vector<EdgeUpdate> make_update_stream(
+    const Graph& base, UpdateWorkload workload, const UpdateStreamConfig& cfg,
+    Rng& rng);
+
+}  // namespace meloppr::graph
