@@ -18,7 +18,7 @@ std::size_t AdaptiveWindowController::window(double busy_seconds,
                                              std::size_t cap_bytes) {
   std::size_t desired;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const double dt = wall_seconds - last_wall_seconds_;
     if (dt >= kMinIntervalSeconds && prefetch_threads > 0) {
       // Busy seconds accumulate across all prefetch threads, so the
@@ -53,7 +53,7 @@ std::size_t AdaptiveWindowController::window(double busy_seconds,
 }
 
 double AdaptiveWindowController::idle_fraction() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return idle_;
 }
 

@@ -36,7 +36,8 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace meloppr::core {
 
@@ -77,13 +78,13 @@ class AdaptiveWindowController {
   const std::size_t min_window_;
   const std::size_t max_window_;
 
-  mutable std::mutex mu_;
-  double last_busy_seconds_ = 0.0;   ///< guarded by mu_
-  double last_wall_seconds_ = 0.0;   ///< guarded by mu_
+  mutable util::Mutex mu_;
+  double last_busy_seconds_ MELOPPR_GUARDED_BY(mu_) = 0.0;
+  double last_wall_seconds_ MELOPPR_GUARDED_BY(mu_) = 0.0;
   /// Starts at 1.0: before any measurement the threads have done no work,
   /// which is exactly "fully idle" — the window widens as soon as the
   /// first ball-size estimate lets the byte cap be applied.
-  double idle_ = 1.0;                ///< guarded by mu_
+  double idle_ MELOPPR_GUARDED_BY(mu_) = 1.0;
 
   std::atomic<std::size_t> last_window_{0};
 };

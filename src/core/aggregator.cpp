@@ -187,14 +187,14 @@ StripedAggregator::StripedAggregator(std::size_t stripes) {
 
 void StripedAggregator::add(graph::NodeId node, double delta) {
   Stripe& stripe = stripe_for(node);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  util::MutexLock lock(stripe.mu);
   stripe.scores[node] += delta;
 }
 
 std::vector<ScoredNode> StripedAggregator::top(std::size_t k) const {
   std::vector<ScoredNode> all;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    util::MutexLock lock(stripe->mu);
     all.reserve(all.size() + stripe->scores.size());
     for (const auto& [node, score] : stripe->scores) {
       all.push_back({node, score});
@@ -206,7 +206,7 @@ std::vector<ScoredNode> StripedAggregator::top(std::size_t k) const {
 std::size_t StripedAggregator::entries() const {
   std::size_t n = 0;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    util::MutexLock lock(stripe->mu);
     n += stripe->scores.size();
   }
   return n;
@@ -218,7 +218,7 @@ std::size_t StripedAggregator::bytes() const {
       sizeof(graph::NodeId) + sizeof(double) + 2 * sizeof(void*);
   std::size_t total = stripes_.size() * sizeof(Stripe);
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    util::MutexLock lock(stripe->mu);
     total += stripe->scores.bucket_count() * sizeof(void*) +
              stripe->scores.size() * per_entry;
   }
@@ -227,7 +227,7 @@ std::size_t StripedAggregator::bytes() const {
 
 void StripedAggregator::clear() {
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    util::MutexLock lock(stripe->mu);
     stripe->scores.clear();
   }
 }
@@ -261,51 +261,50 @@ AggregatorPool::AggregatorPool(std::size_t slots, Factory factory)
   if (!factory_) {
     factory_ = [] { return std::make_unique<ExactAggregator>(); };
   }
-  slots_.reserve(slots);
+  arenas_.reserve(slots);
   for (std::size_t s = 0; s < slots; ++s) {
-    auto slot = std::make_unique<Slot>();
-    slot->aggregator = factory_();
-    slots_.push_back(std::move(slot));
+    arenas_.push_back(factory_());
   }
+  busy_.assign(slots, 0);
+  used_once_.assign(slots, 0);
 }
 
 AggregatorPool::Lease AggregatorPool::acquire(std::size_t preferred) {
-  const std::size_t want = preferred % slots_.size();
+  const std::size_t want = preferred % arenas_.size();
   std::size_t picked = want;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (;;) {
-      if (!slots_[want]->busy) {
+      if (!busy_[want]) {
         picked = want;
         break;
       }
       // Preferred slot busy (another batch shares the pool): any free slot
       // keeps the arena warm for *someone*.
       bool found = false;
-      for (std::size_t s = 0; s < slots_.size() && !found; ++s) {
-        if (!slots_[s]->busy) {
+      for (std::size_t s = 0; s < busy_.size() && !found; ++s) {
+        if (!busy_[s]) {
           picked = s;
           found = true;
         }
       }
       if (found) break;
-      slot_free_.wait(lock);
+      slot_free_.wait(lock.native());
     }
-    Slot& slot = *slots_[picked];
-    slot.busy = true;
-    if (slot.used_once) reuses_.fetch_add(1, std::memory_order_relaxed);
-    slot.used_once = true;
+    busy_[picked] = 1;
+    if (used_once_[picked]) reuses_.fetch_add(1, std::memory_order_relaxed);
+    used_once_[picked] = 1;
   }
   acquires_.fetch_add(1, std::memory_order_relaxed);
   // clear() keeps the arena's storage (buckets / BRAM slots) — the point.
-  slots_[picked]->aggregator->clear();
+  arenas_[picked]->clear();
   return Lease(this, picked);
 }
 
 void AggregatorPool::release(std::size_t slot) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    slots_[slot]->busy = false;
+    util::MutexLock lock(mu_);
+    busy_[slot] = 0;
   }
   slot_free_.notify_one();
 }
@@ -315,11 +314,11 @@ AggregatorPool::Lease::~Lease() {
 }
 
 ScoreAggregator& AggregatorPool::Lease::operator*() const {
-  return *pool_->slots_[slot_]->aggregator;
+  return *pool_->arenas_[slot_];
 }
 
 ScoreAggregator* AggregatorPool::Lease::operator->() const {
-  return pool_->slots_[slot_]->aggregator.get();
+  return pool_->arenas_[slot_].get();
 }
 
 }  // namespace meloppr::core

@@ -31,12 +31,12 @@
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
 #include "ppr/topk.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace meloppr::core {
 
@@ -202,8 +202,8 @@ class StripedAggregator final : public ScoreAggregator {
 
  private:
   struct Stripe {
-    mutable std::mutex mu;
-    ppr::ScoreMap scores;
+    mutable util::Mutex mu;
+    ppr::ScoreMap scores MELOPPR_GUARDED_BY(mu);
   };
   [[nodiscard]] Stripe& stripe_for(graph::NodeId node) const {
     return *stripes_[static_cast<std::size_t>(node) % stripes_.size()];
@@ -281,7 +281,7 @@ class AggregatorPool {
   /// every slot is busy).
   [[nodiscard]] Lease acquire(std::size_t preferred);
 
-  [[nodiscard]] std::size_t slots() const { return slots_.size(); }
+  [[nodiscard]] std::size_t slots() const { return arenas_.size(); }
   /// Total leases handed out (each beyond the first per slot reused a warm
   /// arena instead of allocating a fresh map).
   [[nodiscard]] std::size_t acquires() const { return acquires_.load(); }
@@ -290,16 +290,16 @@ class AggregatorPool {
   [[nodiscard]] std::size_t reuses() const { return reuses_.load(); }
 
  private:
-  struct Slot {
-    std::unique_ptr<ScoreAggregator> aggregator;  ///< built by factory_
-    bool busy = false;       ///< guarded by mu_
-    bool used_once = false;  ///< guarded by mu_
-  };
-  void release(std::size_t slot);
+  void release(std::size_t slot) MELOPPR_EXCLUDES(mu_);
 
   Factory factory_;
-  std::vector<std::unique_ptr<Slot>> slots_;
-  std::mutex mu_;
+  /// Built once at construction and never resized; a leased arena is
+  /// accessed unlocked — the lease's exclusivity (busy_[slot]) is the
+  /// synchronization, the same reasoning as a checked-out farm device.
+  std::vector<std::unique_ptr<ScoreAggregator>> arenas_;
+  util::Mutex mu_;
+  std::vector<unsigned char> busy_ MELOPPR_GUARDED_BY(mu_);
+  std::vector<unsigned char> used_once_ MELOPPR_GUARDED_BY(mu_);
   std::condition_variable slot_free_;
   std::atomic<std::size_t> acquires_{0};
   std::atomic<std::size_t> reuses_{0};

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 
 #include "core/ball_cache.hpp"  // splitmix64
@@ -35,7 +34,10 @@ ConcurrentTopCKAggregator::ConcurrentTopCKAggregator(std::size_t capacity,
   for (std::size_t s = 0; s < shards; ++s) {
     auto shard = std::make_unique<Shard>();
     // Σ shard capacities == capacity exactly, so the total entry bound is
-    // the BRAM budget even when capacity % shards != 0.
+    // the BRAM budget even when capacity % shards != 0. Locked so the
+    // fresh shard's guarded fields are initialized under its capability
+    // (no other thread can see it yet; this is for the analysis).
+    util::WriterLock lock(shard->mu);
     shard->cap = capacity / shards + (s < capacity % shards ? 1 : 0);
     shard->slots = std::make_unique<Slot[]>(shard->cap);
     shard->index.reserve(shard->cap);
@@ -79,7 +81,7 @@ void ConcurrentTopCKAggregator::add(graph::NodeId node, double delta) {
     // proceed here in parallel, ordered by the atomic fetch_add. Positive
     // updates leave their heap snapshots stale *low*, which lazy eviction
     // tolerates (pop_min_locked refreshes them), so no heap traffic here.
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    util::ReaderLock lock(shard.mu);
     auto it = shard.index.find(node);
     if (it != shard.index.end()) {
       shard.slots[it->second].score.fetch_add(delta,
@@ -88,7 +90,7 @@ void ConcurrentTopCKAggregator::add(graph::NodeId node, double delta) {
       return;
     }
   }
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  util::WriterLock lock(shard.mu);
   auto it = shard.index.find(node);
   if (it != shard.index.end()) {
     // Resident, but either we lost an insert race or the delta is negative.
@@ -174,7 +176,7 @@ std::vector<ScoredNode> ConcurrentTopCKAggregator::top(std::size_t k) const {
   std::vector<ScoredNode> all;
   all.reserve(entries());
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    util::ReaderLock lock(shard->mu);
     for (std::size_t s = 0; s < shard->size; ++s) {
       all.push_back({shard->slots[s].node,
                      shard->slots[s].score.load(std::memory_order_relaxed)});
@@ -186,7 +188,7 @@ std::vector<ScoredNode> ConcurrentTopCKAggregator::top(std::size_t k) const {
 std::size_t ConcurrentTopCKAggregator::entries() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    util::ReaderLock lock(shard->mu);
     n += shard->size;
   }
   return n;
@@ -201,7 +203,7 @@ std::size_t ConcurrentTopCKAggregator::bytes() const {
 std::size_t ConcurrentTopCKAggregator::evictions() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    util::ReaderLock lock(shard->mu);
     n += shard->evictions;
   }
   return n;
@@ -210,7 +212,7 @@ std::size_t ConcurrentTopCKAggregator::evictions() const {
 std::size_t ConcurrentTopCKAggregator::margin_drops() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    util::ReaderLock lock(shard->mu);
     n += shard->margin_drops;
   }
   return n;
@@ -219,7 +221,7 @@ std::size_t ConcurrentTopCKAggregator::margin_drops() const {
 double ConcurrentTopCKAggregator::eviction_bound() const {
   double bound = kNoBound;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    util::ReaderLock lock(shard->mu);
     bound = std::max(bound, shard->bound);
   }
   return bound;
@@ -227,7 +229,7 @@ double ConcurrentTopCKAggregator::eviction_bound() const {
 
 void ConcurrentTopCKAggregator::clear() {
   for (const auto& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    util::WriterLock lock(shard->mu);
     shard->index.clear();
     shard->heap.clear();
     shard->size = 0;

@@ -48,11 +48,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/aggregator.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace meloppr::core {
 
@@ -130,15 +130,24 @@ class ConcurrentTopCKAggregator final : public ScoreAggregator {
   }
 
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<graph::NodeId, std::uint32_t> index;  ///< node → slot
-    std::unique_ptr<Slot[]> slots;  ///< `cap` fixed slots (the BRAM arena)
-    std::size_t cap = 0;
-    std::size_t size = 0;           ///< live slots, dense in [0, size)
-    std::vector<HeapEntry> heap;    ///< lazy min-heap over live scores
-    std::size_t evictions = 0;
-    std::size_t margin_drops = 0;
-    double bound;                   ///< max displaced score (init -inf)
+    mutable util::SharedMutex mu;
+    /// node → slot
+    std::unordered_map<graph::NodeId, std::uint32_t> index
+        MELOPPR_GUARDED_BY(mu);
+    /// `cap` fixed slots (the BRAM arena). The pointer is guarded; the
+    /// pointees are deliberately not — Slot::score is atomic precisely so
+    /// the fast path can fetch_add it under a *shared* hold, and
+    /// Slot::node only changes under the exclusive hold (structural path).
+    std::unique_ptr<Slot[]> slots MELOPPR_GUARDED_BY(mu);
+    std::size_t cap = 0;  ///< immutable after construction
+    /// live slots, dense in [0, size)
+    std::size_t size MELOPPR_GUARDED_BY(mu) = 0;
+    /// lazy min-heap over live scores
+    std::vector<HeapEntry> heap MELOPPR_GUARDED_BY(mu);
+    std::size_t evictions MELOPPR_GUARDED_BY(mu) = 0;
+    std::size_t margin_drops MELOPPR_GUARDED_BY(mu) = 0;
+    /// max displaced score (init -inf)
+    double bound MELOPPR_GUARDED_BY(mu);
   };
 
   [[nodiscard]] Shard& shard_for(graph::NodeId node) const;
@@ -146,17 +155,20 @@ class ConcurrentTopCKAggregator final : public ScoreAggregator {
   /// evicting the shard minimum when full. Returns without inserting when
   /// the delta loses to the current minimum plus the ε margin (the drop
   /// that costs precision for small c).
-  void insert_locked(Shard& shard, graph::NodeId node, double delta);
+  void insert_locked(Shard& shard, graph::NodeId node, double delta)
+      MELOPPR_REQUIRES(shard.mu);
   /// Pops the shard's lazy heap down to a trustworthy minimum slot.
-  static std::uint32_t pop_min_locked(Shard& shard);
+  static std::uint32_t pop_min_locked(Shard& shard)
+      MELOPPR_REQUIRES(shard.mu);
   /// Discards stale snapshots by rebuilding from the live slots, O(cap).
-  static void rebuild_heap_locked(Shard& shard);
+  static void rebuild_heap_locked(Shard& shard) MELOPPR_REQUIRES(shard.mu);
   /// Pushes a snapshot, rebuilding first when the heap has outgrown a
   /// small multiple of the shard capacity — keeps the heap (and the c·k
   /// memory envelope) bounded under negative-update churn that never
   /// reaches pop_min_locked.
   static void push_snapshot_locked(Shard& shard, double key,
-                                   std::uint32_t slot);
+                                   std::uint32_t slot)
+      MELOPPR_REQUIRES(shard.mu);
 
   std::size_t capacity_;
   double epsilon_;

@@ -17,7 +17,7 @@
 namespace meloppr::core {
 
 std::size_t SeedStream::push(graph::NodeId seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (closed_) {
     throw std::logic_error("SeedStream::push: stream is closed");
   }
@@ -30,7 +30,7 @@ std::size_t SeedStream::push(graph::NodeId seed) {
 }
 
 std::size_t SeedStream::push_all(std::span<const graph::NodeId> seeds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (closed_) {
     throw std::logic_error("SeedStream::push_all: stream is closed");
   }
@@ -43,19 +43,19 @@ std::size_t SeedStream::push_all(std::span<const graph::NodeId> seeds) {
 }
 
 void SeedStream::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (closed_) return;
   closed_ = true;
   if (on_event_) on_event_();
 }
 
 bool SeedStream::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return closed_;
 }
 
 std::size_t SeedStream::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return slots_.size();
 }
 
@@ -92,7 +92,7 @@ QueryPipeline::QueryPipeline(const Engine& engine, DiffusionBackend& backend,
 
 QueryPipeline::~QueryPipeline() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
   work_available_.notify_all();
@@ -156,9 +156,10 @@ void QueryPipeline::worker_loop(std::size_t worker_id) {
   for (;;) {
     std::function<void(std::size_t)> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!(stop_ || !queue_.empty())) {
+        work_available_.wait(lock.native());
+      }
       if (queue_.empty()) return;  // stop_ set and queue drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -172,15 +173,20 @@ void QueryPipeline::run_jobs(
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
   struct Latch {
-    std::mutex mu;
+    util::Mutex mu;
     std::condition_variable done;
-    std::size_t remaining;
-    std::exception_ptr error;
+    std::size_t remaining MELOPPR_GUARDED_BY(mu);
+    std::exception_ptr error MELOPPR_GUARDED_BY(mu);
   };
   auto latch = std::make_shared<Latch>();
-  latch->remaining = count;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Lock for the analysis: the latch is not shared until the jobs below
+    // are enqueued.
+    util::MutexLock lock(latch->mu);
+    latch->remaining = count;
+  }
+  {
+    util::MutexLock lock(mu_);
     for (std::size_t i = 0; i < count; ++i) {
       queue_.emplace_back([&fn, i, latch](std::size_t worker_id) {
         std::exception_ptr err;
@@ -189,15 +195,15 @@ void QueryPipeline::run_jobs(
         } catch (...) {
           err = std::current_exception();
         }
-        std::lock_guard<std::mutex> l(latch->mu);
+        util::MutexLock l(latch->mu);
         if (err != nullptr && latch->error == nullptr) latch->error = err;
         if (--latch->remaining == 0) latch->done.notify_all();
       });
     }
   }
   work_available_.notify_all();
-  std::unique_lock<std::mutex> lock(latch->mu);
-  latch->done.wait(lock, [&] { return latch->remaining == 0; });
+  util::MutexLock lock(latch->mu);
+  while (latch->remaining != 0) latch->done.wait(lock.native());
   if (latch->error != nullptr) std::rethrow_exception(latch->error);
 }
 
@@ -638,12 +644,12 @@ void QueryPipeline::query_stream(SeedStream& stream,
                        shared_backend_);
 
   RootPrefetchTelemetry root_telemetry;
-  std::mutex tally_mu;
+  util::Mutex tally_mu;
   QueryTally tally;
   if (batch_stats != nullptr) {
     const ResultSink sink = [&](std::size_t index, QueryResult&& r) {
       {
-        std::lock_guard<std::mutex> lock(tally_mu);
+        util::MutexLock lock(tally_mu);
         tally.add(r.stats);
       }
       on_result(index, std::move(r));
@@ -701,8 +707,8 @@ struct StealTask {
 };
 
 struct WorkerDeque {
-  std::mutex mu;
-  std::deque<StealTask> tasks;
+  util::Mutex mu;
+  std::deque<StealTask> tasks MELOPPR_GUARDED_BY(mu);
 };
 
 /// Applies one query's outcomes in the exact operation order of
@@ -795,7 +801,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
     std::vector<graph::NodeId> upcoming;
     std::size_t from = 0;
     {
-      std::lock_guard<std::mutex> lock(stream.mu_);
+      util::MutexLock lock(stream.mu_);
       const std::size_t to =
           std::min(stream.slots_.size(), next_unclaimed + window);
       from = root_horizon.load(std::memory_order_relaxed);
@@ -842,7 +848,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
   // Ownership leaves the map at finalize, so an unbounded stream never
   // accumulates finished outcome trees; on the failure path whatever is
   // left unwinds with the map.
-  std::mutex inflight_mu;
+  util::Mutex inflight_mu;
   std::unordered_map<std::size_t, std::unique_ptr<BatchQuery>> inflight;
 
   std::vector<MemoryMeter> meters(threads_);
@@ -861,7 +867,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
 
   std::atomic<std::size_t> live{0};  // known-but-unfinished tasks
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
+  util::Mutex error_mu;
   std::exception_ptr first_error;
   // Idle workers park event-driven on this epoch: every state change a
   // parked worker could act on (task published, seed pushed, stream
@@ -869,12 +875,12 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
   // and notifies. A worker snapshots the epoch BEFORE scanning for work,
   // so a publication racing its scan flips the wait predicate — no lost
   // wakeup, and no timed polling (the 1 ms wait_for this replaces).
-  std::mutex idle_mu;
+  util::Mutex idle_mu;
   std::condition_variable idle_cv;
   std::uint64_t wake_epoch = 0;  // guarded by idle_mu
   const auto wake_all = [&idle_mu, &idle_cv, &wake_epoch] {
     {
-      std::lock_guard<std::mutex> lock(idle_mu);
+      util::MutexLock lock(idle_mu);
       ++wake_epoch;
     }
     idle_cv.notify_all();
@@ -884,7 +890,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
   // and close() invoke under the stream lock; registering and clearing it
   // under that same lock means no invocation can outlive this frame.
   {
-    std::lock_guard<std::mutex> lock(stream.mu_);
+    util::MutexLock lock(stream.mu_);
     MELO_CHECK_MSG(stream.on_event_ == nullptr,
                    "SeedStream: already drained by another query_stream");
     stream.on_event_ = wake_all;
@@ -892,7 +898,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
   struct HookClear {
     SeedStream* s;
     ~HookClear() {
-      std::lock_guard<std::mutex> lock(s->mu_);
+      util::MutexLock lock(s->mu_);
       s->on_event_ = nullptr;
     }
   } hook_clear{&stream};
@@ -958,7 +964,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
     const std::size_t index = q.index;
     std::unique_ptr<BatchQuery> owned;
     {
-      std::lock_guard<std::mutex> lock(inflight_mu);
+      util::MutexLock lock(inflight_mu);
       auto it = inflight.find(index);
       MELO_CHECK(it != inflight.end());
       owned = std::move(it->second);
@@ -993,7 +999,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
           // Publish in reverse selection order: this worker pops LIFO, so
           // it continues depth-first with the first-selected child while
           // thieves take from the other end (the last-selected tail).
-          std::lock_guard<std::mutex> lock(deques[self]->mu);
+          util::MutexLock lock(deques[self]->mu);
           for (auto it = node.children.rbegin();
                it != node.children.rend(); ++it) {
             deques[self]->tasks.push_back({&q, it->get()});
@@ -1039,13 +1045,13 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
         // scanning-then-parking can never sleep through it.
         std::uint64_t epoch;
         {
-          std::lock_guard<std::mutex> lock(idle_mu);
+          util::MutexLock lock(idle_mu);
           epoch = wake_epoch;
         }
         StealTask task;
         bool have = false;
         {  // 1. own deque, LIFO — depth-first, newest (hottest) subtree
-          std::lock_guard<std::mutex> lock(own.mu);
+          util::MutexLock lock(own.mu);
           if (!own.tasks.empty()) {
             task = own.tasks.back();
             own.tasks.pop_back();
@@ -1058,7 +1064,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
           std::size_t index = 0;
           std::size_t cursor_after = 0;
           {
-            std::lock_guard<std::mutex> lock(stream.mu_);
+            util::MutexLock lock(stream.mu_);
             if (stream.next_claim_ < stream.slots_.size()) {
               index = stream.next_claim_++;
               seed = stream.slots_[index].seed;
@@ -1087,7 +1093,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
             fresh->root->task = engine_->make_root_task(seed);
             task = {fresh.get(), fresh->root.get()};
             {
-              std::lock_guard<std::mutex> lock(inflight_mu);
+              util::MutexLock lock(inflight_mu);
               inflight.emplace(index, std::move(fresh));
             }
             // Slide the root-lookahead window past the seed just claimed.
@@ -1097,7 +1103,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
         if (!have) {  // 3. steal, FIFO — victim's oldest (biggest) subtree
           for (std::size_t d = 1; d < deques.size() && !have; ++d) {
             WorkerDeque& victim = *deques[(self + d) % deques.size()];
-            std::lock_guard<std::mutex> lock(victim.mu);
+            util::MutexLock lock(victim.mu);
             if (!victim.tasks.empty()) {
               task = victim.tasks.front();
               victim.tasks.pop_front();
@@ -1114,21 +1120,21 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
           // live increment makes this two-step check race-free.
           bool exhausted;
           {
-            std::lock_guard<std::mutex> lock(stream.mu_);
+            util::MutexLock lock(stream.mu_);
             exhausted = stream.closed_ &&
                         stream.next_claim_ == stream.slots_.size();
           }
           if (exhausted && live.load(std::memory_order_acquire) == 0) break;
           // Park event-driven: a push, a task publication, close(), the
           // final task's completion, or a failure each bump the epoch.
-          std::unique_lock<std::mutex> lock(idle_mu);
-          idle_cv.wait(lock, [&] { return wake_epoch != epoch; });
+          util::MutexLock lock(idle_mu);
+          while (wake_epoch == epoch) idle_cv.wait(lock.native());
           continue;
         }
         execute_task(task, self, w);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(error_mu);
+          util::MutexLock lock(error_mu);
           if (first_error == nullptr) {
             first_error = std::current_exception();
           }
@@ -1145,7 +1151,7 @@ void QueryPipeline::run_stream_batch(SeedStream& stream,
   {
     // Every claimed query was finalized and delivered (the failure path
     // returns above, where leftovers unwind with the map instead).
-    std::lock_guard<std::mutex> lock(inflight_mu);
+    util::MutexLock lock(inflight_mu);
     MELO_CHECK(inflight.empty());
   }
   if (telemetry != nullptr) {

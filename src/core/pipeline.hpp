@@ -88,7 +88,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag (the mutexes are util::Mutex)
 #include <span>
 #include <thread>
 #include <vector>
@@ -97,6 +97,7 @@
 #include "core/config.hpp"
 #include "core/engine.hpp"
 #include "core/prefetcher.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace meloppr::core {
@@ -152,14 +153,15 @@ class SeedStream {
     double arrival_seconds = 0.0;  ///< push time on the stream clock
   };
 
-  mutable std::mutex mu_;
-  std::vector<Slot> slots_;     // guarded by mu_
-  std::size_t next_claim_ = 0;  // guarded by mu_; scheduler claim cursor
-  bool closed_ = false;         // guarded by mu_
+  mutable util::Mutex mu_;
+  std::vector<Slot> slots_ MELOPPR_GUARDED_BY(mu_);
+  /// Scheduler claim cursor.
+  std::size_t next_claim_ MELOPPR_GUARDED_BY(mu_) = 0;
+  bool closed_ MELOPPR_GUARDED_BY(mu_) = false;
   /// Scheduler wake hook, registered by the draining query_stream call and
   /// cleared before it returns; invoked (under mu_) on push and close so
   /// parked workers never poll for arrivals.
-  std::function<void()> on_event_;  // guarded by mu_
+  std::function<void()> on_event_ MELOPPR_GUARDED_BY(mu_);
   Timer clock_;
 };
 
@@ -393,10 +395,11 @@ class QueryPipeline {
   std::unique_ptr<AggregatorPool> agg_pool_;
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void(std::size_t)>> queue_;
-  std::mutex mu_;
+  util::Mutex mu_;
+  std::deque<std::function<void(std::size_t)>> queue_
+      MELOPPR_GUARDED_BY(mu_);
   std::condition_variable work_available_;
-  bool stop_ = false;
+  bool stop_ MELOPPR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace meloppr::core

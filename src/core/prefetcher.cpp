@@ -1,8 +1,8 @@
 #include "core/prefetcher.hpp"
 
 #include <algorithm>
-#include <chrono>
 
+#include "util/sleep.hpp"
 #include "util/timer.hpp"
 
 namespace meloppr::core {
@@ -19,7 +19,7 @@ BallPrefetcher::BallPrefetcher(std::size_t threads,
 
 BallPrefetcher::~BallPrefetcher() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
     stage_queue_.clear();
     root_queue_.clear();
@@ -36,7 +36,7 @@ void BallPrefetcher::enqueue(ShardedBallCache& cache, graph::NodeId root,
       kind == ShardedBallCache::FetchKind::kRootPrefetch ||
       kind == ShardedBallCache::FetchKind::kPinnedRootPrefetch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (stop_) return;
     (speculative ? root_queue_ : stage_queue_)
         .push_back({&cache, root, radius, kind, claim_priority});
@@ -46,25 +46,25 @@ void BallPrefetcher::enqueue(ShardedBallCache& cache, graph::NodeId root,
 }
 
 void BallPrefetcher::drop_pending() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   stage_queue_.clear();
   root_queue_.clear();
 }
 
 void BallPrefetcher::quiesce() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   stage_queue_.clear();
   root_queue_.clear();
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  while (in_flight_ != 0) idle_.wait(lock.native());
 }
 
 double BallPrefetcher::hidden_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return hidden_seconds_;
 }
 
 double BallPrefetcher::busy_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return busy_seconds_;
 }
 
@@ -72,10 +72,12 @@ void BallPrefetcher::worker_loop() {
   for (;;) {
     Request req{};
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this] {
-        return stop_ || !stage_queue_.empty() || !root_queue_.empty();
-      });
+      util::MutexLock lock(mu_);
+      // Explicit wait loop: the thread-safety analysis cannot see guarded
+      // accesses inside a predicate lambda.
+      while (!(stop_ || !stage_queue_.empty() || !root_queue_.empty())) {
+        work_available_.wait(lock.native());
+      }
       if (stop_) return;  // pending requests are best-effort; drop on stop
       if (pause_ && pause_()) {
         // Farm-wait meter: the device side is idle, so host cores belong
@@ -85,7 +87,7 @@ void BallPrefetcher::worker_loop() {
         // query()/query_batch() quiesces before returning, which empties
         // the queues and parks workers back on the condition variable.
         lock.unlock();
-        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        util::pause_for_seconds(200e-6);
         continue;
       }
       // Strict two-class priority: stage lookahead (needed by the query in
@@ -116,7 +118,7 @@ void BallPrefetcher::worker_loop() {
     completed_.fetch_add(1, std::memory_order_relaxed);
     if (fetched) balls_fetched_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       hidden_seconds_ += extract_seconds;
       busy_seconds_ += request_seconds;
       if (--in_flight_ == 0) idle_.notify_all();

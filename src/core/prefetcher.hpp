@@ -30,12 +30,12 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/sharded_ball_cache.hpp"
 #include "graph/graph.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace meloppr::core {
 
@@ -122,21 +122,21 @@ class BallPrefetcher {
     std::size_t claim_priority;
   };
 
-  void worker_loop();
+  void worker_loop() MELOPPR_EXCLUDES(mu_);
 
   std::function<bool()> pause_;  ///< farm-wait meter gate (may be empty)
+  mutable util::Mutex mu_;
   /// Two-class queue: stage lookahead strictly before speculative roots.
   /// Workers drain stage_queue_ first; root_queue_ is only popped when no
-  /// stage request is pending. Both guarded by mu_.
-  std::deque<Request> stage_queue_;
-  std::deque<Request> root_queue_;
-  mutable std::mutex mu_;
+  /// stage request is pending.
+  std::deque<Request> stage_queue_ MELOPPR_GUARDED_BY(mu_);
+  std::deque<Request> root_queue_ MELOPPR_GUARDED_BY(mu_);
   std::condition_variable work_available_;
   std::condition_variable idle_;      ///< signaled when in-flight drains
-  bool stop_ = false;
-  std::size_t in_flight_ = 0;         ///< guarded by mu_
-  double hidden_seconds_ = 0.0;       ///< guarded by mu_
-  double busy_seconds_ = 0.0;         ///< guarded by mu_
+  bool stop_ MELOPPR_GUARDED_BY(mu_) = false;
+  std::size_t in_flight_ MELOPPR_GUARDED_BY(mu_) = 0;
+  double hidden_seconds_ MELOPPR_GUARDED_BY(mu_) = 0.0;
+  double busy_seconds_ MELOPPR_GUARDED_BY(mu_) = 0.0;
 
   std::atomic<std::size_t> issued_{0};
   std::atomic<std::size_t> completed_{0};

@@ -71,7 +71,7 @@ Admission ServingFrontEnd::submit(graph::NodeId seed, std::size_t tenant,
   if (tenant >= config_.tenants) {
     throw std::invalid_argument("ServingFrontEnd::submit: tenant out of range");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++counters_.submitted;
   if (shutting_down_ || pipeline_dead_) {
     ++counters_.rejected_shutdown;
@@ -106,13 +106,16 @@ Admission ServingFrontEnd::submit(graph::NodeId seed, std::size_t tenant,
 
 void ServingFrontEnd::dispatcher_loop() {
   const std::size_t max_in_flight = resolved_max_in_flight();
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] {
-      return pipeline_dead_ ||
+    // Explicit wait loop (not a predicate lambda): the thread-safety
+    // analysis checks this function's guarded accesses, but cannot see
+    // into a lambda body.
+    while (!(pipeline_dead_ ||
              (queued_ > 0 && dispatched_.size() < max_in_flight) ||
-             (shutting_down_ && queued_ == 0);
-    });
+             (shutting_down_ && queued_ == 0))) {
+      cv_.wait(lock.native());
+    }
     if (pipeline_dead_) break;
     if (shutting_down_ && queued_ == 0) break;
 
@@ -191,7 +194,7 @@ void ServingFrontEnd::pipeline_loop() {
         },
         &pipeline_stats_);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     pipeline_dead_ = true;
     pipeline_error_ = std::current_exception();
   }
@@ -200,7 +203,7 @@ void ServingFrontEnd::pipeline_loop() {
 
 void ServingFrontEnd::on_completion(std::size_t stream_index,
                                     QueryResult&& result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = dispatched_.find(stream_index);
   MELO_CHECK_MSG(it != dispatched_.end(),
                  "ServingFrontEnd: completion for unknown stream index "
@@ -243,10 +246,10 @@ void ServingFrontEnd::on_completion(std::size_t stream_index,
 }
 
 std::vector<ServedQuery> ServingFrontEnd::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return pipeline_dead_ || (queued_ == 0 && dispatched_.empty());
-  });
+  util::MutexLock lock(mu_);
+  while (!(pipeline_dead_ || (queued_ == 0 && dispatched_.empty()))) {
+    cv_.wait(lock.native());
+  }
   if (pipeline_dead_ && pipeline_error_ != nullptr &&
       !pipeline_error_thrown_) {
     pipeline_error_thrown_ = true;
@@ -259,13 +262,13 @@ std::vector<ServedQuery> ServingFrontEnd::drain() {
 
 void ServingFrontEnd::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     shutting_down_ = true;
   }
   cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
   if (driver_.joinable()) driver_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (pipeline_error_ != nullptr && !pipeline_error_thrown_) {
     pipeline_error_thrown_ = true;
     std::rethrow_exception(pipeline_error_);
@@ -286,7 +289,7 @@ std::uint64_t ServingFrontEnd::submit_update(const graph::EdgeUpdate& update) {
 }
 
 ServingStats ServingFrontEnd::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ServingStats s = counters_;
   s.queued = queued_;
   s.in_flight = dispatched_.size();

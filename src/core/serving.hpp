@@ -40,13 +40,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace meloppr::core {
@@ -266,25 +266,31 @@ class ServingFrontEnd {
   graph::DynamicGraph* dynamic_ = nullptr;
   std::atomic<std::size_t> updates_applied_{0};
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   std::condition_variable cv_;  // dispatcher + drain waiters + backpressure
-  std::vector<std::deque<Pending>> tenant_queues_;  // guarded by mu_
-  std::size_t queued_ = 0;                          // Σ sub-queue sizes
-  std::size_t rr_cursor_ = 0;      // next tenant formation starts from
-  std::uint64_t next_ticket_ = 1;  // 0 never issued
+  std::vector<std::deque<Pending>> tenant_queues_ MELOPPR_GUARDED_BY(mu_);
+  /// Σ sub-queue sizes
+  std::size_t queued_ MELOPPR_GUARDED_BY(mu_) = 0;
+  /// next tenant formation starts from
+  std::size_t rr_cursor_ MELOPPR_GUARDED_BY(mu_) = 0;
+  /// 0 never issued
+  std::uint64_t next_ticket_ MELOPPR_GUARDED_BY(mu_) = 1;
   /// Dispatched queries awaiting completion, keyed by stream index.
-  std::unordered_map<std::size_t, Pending> dispatched_;
-  std::vector<ServedQuery> finished_;  // completed+shed since last drain
-  bool shutting_down_ = false;
-  bool pipeline_dead_ = false;
-  std::exception_ptr pipeline_error_;
-  bool pipeline_error_thrown_ = false;
-  double service_estimate_ = 0.0;  // EWMA, guarded by mu_
+  std::unordered_map<std::size_t, Pending> dispatched_
+      MELOPPR_GUARDED_BY(mu_);
+  /// completed+shed since last drain
+  std::vector<ServedQuery> finished_ MELOPPR_GUARDED_BY(mu_);
+  bool shutting_down_ MELOPPR_GUARDED_BY(mu_) = false;
+  bool pipeline_dead_ MELOPPR_GUARDED_BY(mu_) = false;
+  std::exception_ptr pipeline_error_ MELOPPR_GUARDED_BY(mu_);
+  bool pipeline_error_thrown_ MELOPPR_GUARDED_BY(mu_) = false;
+  /// EWMA of observed service time
+  double service_estimate_ MELOPPR_GUARDED_BY(mu_) = 0.0;
 
-  // Counters (guarded by mu_).
-  ServingStats counters_;
-  Samples response_samples_;
-  double queue_sum_ = 0.0;
+  // Counters.
+  ServingStats counters_ MELOPPR_GUARDED_BY(mu_);
+  Samples response_samples_ MELOPPR_GUARDED_BY(mu_);
+  double queue_sum_ MELOPPR_GUARDED_BY(mu_) = 0.0;
 
   SeedStream stream_;
   QueryPipeline::BatchStats pipeline_stats_;

@@ -91,7 +91,7 @@ void ShardedBallCache::invalidate_edge(const graph::EdgeUpdate& update,
                                        std::uint64_t version) {
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     shard.last_invalidation_version = version;
     // Residents: the reverse index lists exactly the balls containing an
     // endpoint — no scan of unaffected entries. A ball containing both
@@ -137,7 +137,7 @@ void ShardedBallCache::invalidate_edge(const graph::EdgeUpdate& update,
 std::vector<BallKey> ShardedBallCache::resident_keys() const {
   std::vector<BallKey> keys;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     for (const auto& [key, it] : shard->map) keys.push_back(key);
   }
   return keys;
@@ -145,7 +145,7 @@ std::vector<BallKey> ShardedBallCache::resident_keys() const {
 
 ShardedBallCache::BallPtr ShardedBallCache::peek(const BallKey& key) const {
   Shard& shard = *shards_[(splitmix64(key.packed()) >> 40) % shards_.size()];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   const auto it = shard.map.find(key);
   return it == shard.map.end() ? nullptr : it->second->ball;
 }
@@ -170,7 +170,12 @@ ShardedBallCache::ShardedBallCache(const graph::Graph& g,
   for (std::size_t s = 0; s < n; ++s) {
     shards_.push_back(std::make_unique<Shard>());
     if (admission_ == CacheAdmission::kTinyLFU) {
-      shards_.back()->sketch = std::make_unique<FrequencySketch>();
+      // Lock for the analysis: no other thread can see this fresh shard,
+      // but `sketch` is a guarded field and ctor exemption only covers
+      // members of the class under construction, not heap objects.
+      Shard& shard = *shards_.back();
+      util::MutexLock lock(shard.mu);
+      shard.sketch = std::make_unique<FrequencySketch>();
     }
   }
 }
@@ -291,7 +296,7 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
   for (;;) {
   std::promise<Extracted> promise;
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     // Every access (hit, miss, prefetch) feeds the frequency estimate —
     // admission later compares these counts, so prefetch traffic for a
     // seed about to be queried legitimately raises its standing.
@@ -434,7 +439,7 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
     extraction_failures_.fetch_add(1, std::memory_order_relaxed);
     promise.set_exception(std::current_exception());
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::MutexLock lock(shard.mu);
       shard.in_flight.erase(key);
       // A deduped pinned root prefetch may have asked this extraction to
       // pin for it; the request dies with the extraction — a stale entry
@@ -459,7 +464,7 @@ ShardedBallCache::Fetch ShardedBallCache::fetch(graph::NodeId root,
 
   const std::size_t incoming = ball->bytes();
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     shard.in_flight.erase(key);
     shard.extraction_seconds += extract_seconds;
     // Insert-time staleness gate: retain only if the ball is untouched up
@@ -617,7 +622,7 @@ bool ShardedBallCache::admit(Shard& shard, const BallKey& key,
 }
 
 ShardedBallCache::Stats ShardedBallCache::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  util::MutexLock lock(stats_mu_);
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
@@ -643,7 +648,7 @@ ShardedBallCache::Stats ShardedBallCache::stats() const {
 
 void ShardedBallCache::drop_pins() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     for (const auto& [key, pin] : shard->pinned) {
       pinned_bytes_.fetch_sub(pin.ball->bytes(), std::memory_order_relaxed);
       pinned_count_.fetch_sub(1, std::memory_order_relaxed);
@@ -658,7 +663,7 @@ void ShardedBallCache::drop_pins() {
 std::size_t ShardedBallCache::entries() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     total += shard->map.size();
   }
   return total;
@@ -667,7 +672,7 @@ std::size_t ShardedBallCache::entries() const {
 double ShardedBallCache::extraction_seconds() const {
   double total = 0.0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     total += shard->extraction_seconds;
   }
   return total;
@@ -675,7 +680,7 @@ double ShardedBallCache::extraction_seconds() const {
 
 void ShardedBallCache::clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->map.clear();
     total_bytes_.fetch_sub(shard->bytes, std::memory_order_relaxed);
@@ -712,7 +717,7 @@ void ShardedBallCache::clear() {
   // Zero the counters as one unit: stats() holds the same mutex, so a
   // snapshot sees either the pre-reset or the post-reset world, never a
   // mix (the hit-rate race this fixes).
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  util::MutexLock lock(stats_mu_);
   hits_.store(0);
   misses_.store(0);
   dedup_hits_.store(0);

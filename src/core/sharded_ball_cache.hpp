@@ -84,7 +84,6 @@
 #include <limits>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -94,6 +93,7 @@
 #include "graph/dynamic_graph.hpp"
 #include "graph/graph.hpp"
 #include "graph/subgraph.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace meloppr::core {
 
@@ -445,16 +445,17 @@ class ShardedBallCache {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  ///< MRU at front
-    std::unordered_map<BallKey, std::list<Entry>::iterator, BallKeyHash> map;
+    util::Mutex mu;
+    std::list<Entry> lru MELOPPR_GUARDED_BY(mu);  ///< MRU at front
+    std::unordered_map<BallKey, std::list<Entry>::iterator, BallKeyHash> map
+        MELOPPR_GUARDED_BY(mu);
     /// Extractions in progress: later fetches of the same key wait here.
     std::unordered_map<BallKey, std::shared_future<Extracted>, BallKeyHash>
-        in_flight;
-    std::size_t bytes = 0;
-    double extraction_seconds = 0.0;  ///< guarded by mu
-    /// Ball access frequencies (kTinyLFU only); guarded by mu.
-    std::unique_ptr<FrequencySketch> sketch;
+        in_flight MELOPPR_GUARDED_BY(mu);
+    std::size_t bytes MELOPPR_GUARDED_BY(mu) = 0;
+    double extraction_seconds MELOPPR_GUARDED_BY(mu) = 0.0;
+    /// Ball access frequencies (kTinyLFU only).
+    std::unique_ptr<FrequencySketch> sketch MELOPPR_GUARDED_BY(mu);
     /// One pinned prefetch handoff entry: the ball plus how close its seed
     /// is to claim (lower = sooner; kNoClaimPriority = unknown). The
     /// priority decides who yields under capacity pressure.
@@ -467,30 +468,33 @@ class ShardedBallCache {
     /// Pinned prefetch handoff: root-prefetched balls held until their
     /// seed is claimed or drop_pins(); guarded by mu, bounded globally by
     /// pin_capacity_.
-    std::unordered_map<BallKey, Pin, BallKeyHash> pinned;
+    std::unordered_map<BallKey, Pin, BallKeyHash> pinned
+        MELOPPR_GUARDED_BY(mu);
     /// Keys extracted by a root-prefetch fetch since the last drop_pins(),
     /// so a later demand extraction of one of them can be counted as a
-    /// re-extraction; guarded by mu, capped at kRootRecordCap entries.
-    std::unordered_set<BallKey, BallKeyHash> root_prefetched;
+    /// re-extraction; capped at kRootRecordCap entries.
+    std::unordered_set<BallKey, BallKeyHash> root_prefetched
+        MELOPPR_GUARDED_BY(mu);
     /// Keys whose in-flight extraction (claimed by another fetch kind) a
     /// kPinnedRootPrefetch deduped onto, with the best (lowest) claim
     /// priority requested so far: the completing extraction pins the ball
     /// on these keys' behalf, so the handoff guarantee holds even when
-    /// root and stage lookahead race on one key; guarded by mu.
-    std::unordered_map<BallKey, std::size_t, BallKeyHash> pin_on_complete;
+    /// root and stage lookahead race on one key.
+    std::unordered_map<BallKey, std::size_t, BallKeyHash> pin_on_complete
+        MELOPPR_GUARDED_BY(mu);
     /// Reverse-reachability index (dynamic mode only): vertex → the
     /// resident BallKeys whose ball contains it. Maintained at
     /// insert/evict under `mu`; empty when no DynamicGraph is bound, so
     /// static stacks pay nothing.
     std::unordered_map<graph::NodeId,
                        std::unordered_set<BallKey, BallKeyHash>>
-        reverse_index;
+        reverse_index MELOPPR_GUARDED_BY(mu);
     /// Version of the latest update whose invalidation scan visited this
     /// shard. The insert-time staleness gate compares against it: a ball
     /// whose freshness was probed at an older version may have been
     /// missed by a scan that already passed, so it is served, not
     /// retained. Never reset (clear() must not forget an update happened).
-    std::uint64_t last_invalidation_version = 0;
+    std::uint64_t last_invalidation_version MELOPPR_GUARDED_BY(mu) = 0;
   };
 
   [[nodiscard]] Shard& shard_for(const BallKey& key) {
@@ -518,7 +522,8 @@ class ShardedBallCache {
   /// Must hold `shard.mu`. kAlways eviction: walks the LRU tail in place
   /// (allocation-free — this is the hot insert path) until `incoming`
   /// fits.
-  void evict_lru_until_fits(Shard& shard, std::size_t incoming);
+  void evict_lru_until_fits(Shard& shard, std::size_t incoming)
+      MELOPPR_REQUIRES(shard.mu);
 
   /// Must hold `shard.mu`; kTinyLFU only (`shard.sketch != nullptr`).
   /// Selects the victims (in eviction order) that would make room for
@@ -527,25 +532,27 @@ class ShardedBallCache {
   /// residents), each entry estimated once as it enters the window (ties
   /// keep the least-recently-used). Stops once enough bytes are covered.
   [[nodiscard]] std::vector<std::list<Entry>::iterator> plan_evictions(
-      Shard& shard, std::size_t incoming) const;
+      Shard& shard, std::size_t incoming) const MELOPPR_REQUIRES(shard.mu);
 
   /// Must hold `shard.mu`. Erases the planned victims and updates the
   /// byte accounting.
   void evict(Shard& shard,
-             const std::vector<std::list<Entry>::iterator>& victims);
+             const std::vector<std::list<Entry>::iterator>& victims)
+      MELOPPR_REQUIRES(shard.mu);
 
   /// Must hold `shard.mu`. Applies the admission policy for a ball of
   /// `incoming` bytes keyed `key`: evicts victims and returns true when
   /// the ball should be retained, or returns false (TinyLFU reject —
   /// nothing evicted) when a needed victim is estimated at least as hot.
-  bool admit(Shard& shard, const BallKey& key, std::size_t incoming);
+  bool admit(Shard& shard, const BallKey& key, std::size_t incoming)
+      MELOPPR_REQUIRES(shard.mu);
 
   /// Must hold `shard.mu`. Records one extraction's footprint into the
   /// recent-ball-bytes EWMA and, for root-prefetch kinds, into the
   /// shard's re-extraction records; counts a demand extraction of a
   /// recorded key as a re-extraction.
   void note_extraction(Shard& shard, const BallKey& key, FetchKind kind,
-                       std::size_t incoming);
+                       std::size_t incoming) MELOPPR_REQUIRES(shard.mu);
 
   /// Must hold `shard.mu`. Installs `ball` in the pinned side-table if
   /// capacity allows (an already-pinned key just keeps the better — lower —
@@ -553,14 +560,15 @@ class ShardedBallCache {
   /// shard's farthest-from-claim pin displaces it (ROADMAP "Pin-table
   /// admission"); otherwise the new pin is skipped.
   void maybe_pin(Shard& shard, const BallKey& key, const BallPtr& ball,
-                 std::size_t claim_priority, std::uint64_t version);
+                 std::size_t claim_priority, std::uint64_t version)
+      MELOPPR_REQUIRES(shard.mu);
 
   /// Must hold `shard.mu`; dynamic mode only. Adds/removes `key` under
   /// every member vertex of `ball` in the shard's reverse index.
   void index_ball(Shard& shard, const BallKey& key,
-                  const graph::Subgraph& ball);
+                  const graph::Subgraph& ball) MELOPPR_REQUIRES(shard.mu);
   void unindex_ball(Shard& shard, const BallKey& key,
-                    const graph::Subgraph& ball);
+                    const graph::Subgraph& ball) MELOPPR_REQUIRES(shard.mu);
 
   /// The DynamicGraph update listener: removes every resident ball listed
   /// under either endpoint in the reverse index and every pinned ball
@@ -618,8 +626,9 @@ class ShardedBallCache {
   std::atomic<std::size_t> total_bytes_{0};
   /// Serializes counter *resets* against stats() snapshots. Increments are
   /// lock-free; without this a snapshot interleaving with clear() could
-  /// pair pre-reset hits with post-reset misses.
-  mutable std::mutex stats_mu_;
+  /// pair pre-reset hits with post-reset misses. Guards no fields (the
+  /// counters stay atomic); it exists purely to order reset against read.
+  mutable util::Mutex stats_mu_;
 };
 
 }  // namespace meloppr::core

@@ -1,7 +1,6 @@
 #include "graph/dynamic_graph.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -35,6 +34,7 @@ bool sorted_contains(const std::vector<NodeId>& vec, NodeId v) {
 DynamicGraph::DynamicGraph(Graph base, DynamicGraphConfig config)
     : base_(std::move(base)),
       config_(config),
+      num_nodes_(base_.num_nodes()),
       num_edges_(base_.num_edges()) {
   if (config_.compaction_fraction < 0.0) {
     throw std::invalid_argument(
@@ -43,8 +43,8 @@ DynamicGraph::DynamicGraph(Graph base, DynamicGraphConfig config)
 }
 
 std::uint64_t DynamicGraph::apply(const EdgeUpdate& update) {
-  std::unique_lock lock(mu_);
-  const std::size_t n = base_.num_nodes();
+  util::WriterLock lock(mu_);
+  const std::size_t n = num_nodes_;
   if (update.u >= n || update.v >= n) {
     throw std::invalid_argument("DynamicGraph::apply: endpoint out of range");
   }
@@ -108,35 +108,35 @@ std::uint64_t DynamicGraph::apply(const EdgeUpdate& update) {
 
 std::size_t DynamicGraph::num_nodes() const {
   // The node universe is fixed at construction; no lock needed.
-  return base_.num_nodes();
+  return num_nodes_;
 }
 
 std::size_t DynamicGraph::num_edges() const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   return num_edges_;
 }
 
 std::size_t DynamicGraph::degree(NodeId v) const {
-  std::shared_lock lock(mu_);
-  if (v >= base_.num_nodes()) {
+  util::ReaderLock lock(mu_);
+  if (v >= num_nodes_) {
     throw std::invalid_argument("DynamicGraph::degree: node out of range");
   }
   return degree_locked(v);
 }
 
 bool DynamicGraph::has_edge(NodeId u, NodeId v) const {
-  std::shared_lock lock(mu_);
-  if (u >= base_.num_nodes() || v >= base_.num_nodes()) return false;
+  util::ReaderLock lock(mu_);
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
   return has_edge_locked(u, v);
 }
 
 std::size_t DynamicGraph::delta_edges() const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   return delta_half_edges_;
 }
 
 std::size_t DynamicGraph::compactions() const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   return compactions_;
 }
 
@@ -195,11 +195,11 @@ void DynamicGraph::merged_neighbors_locked(NodeId v,
 
 Subgraph DynamicGraph::extract_ball(NodeId root, unsigned radius,
                                     std::uint64_t* version_out) const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   if (version_out != nullptr) {
     *version_out = version_.load(std::memory_order_relaxed);
   }
-  if (root >= base_.num_nodes()) {
+  if (root >= num_nodes_) {
     throw std::invalid_argument("DynamicGraph::extract_ball: seed " +
                                 std::to_string(root) + " out of range");
   }
@@ -265,14 +265,14 @@ Subgraph DynamicGraph::extract_ball(NodeId root, unsigned radius,
 }
 
 Graph DynamicGraph::materialize() const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   return materialize_locked();
 }
 
 Graph DynamicGraph::materialize_locked() const {
-  GraphBuilder builder(base_.num_nodes());
+  GraphBuilder builder(num_nodes_);
   builder.reserve(num_edges_);
-  const std::size_t n = base_.num_nodes();
+  const std::size_t n = num_nodes_;
   for (NodeId u = 0; u < n; ++u) {
     const auto it = deltas_.find(u);
     const std::vector<NodeId>* removed =
@@ -294,7 +294,7 @@ Graph DynamicGraph::materialize_locked() const {
 bool DynamicGraph::touched_since(const Subgraph& ball,
                                  std::uint64_t since_version,
                                  std::uint64_t* checked_version_out) const {
-  std::shared_lock lock(mu_);
+  util::ReaderLock lock(mu_);
   const std::uint64_t now = version_.load(std::memory_order_relaxed);
   if (checked_version_out != nullptr) *checked_version_out = now;
   if (since_version >= now) return false;
@@ -312,14 +312,14 @@ bool DynamicGraph::touched_since(const Subgraph& ball,
 }
 
 std::size_t DynamicGraph::add_update_listener(UpdateListener listener) {
-  std::unique_lock lock(mu_);
+  util::WriterLock lock(mu_);
   const std::size_t id = next_listener_id_++;
   listeners_.push_back({id, std::move(listener)});
   return id;
 }
 
 void DynamicGraph::remove_listener(std::size_t id) {
-  std::unique_lock lock(mu_);
+  util::WriterLock lock(mu_);
   std::erase_if(listeners_,
                 [id](const ListenerSlot& slot) { return slot.id == id; });
 }

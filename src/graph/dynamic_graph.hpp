@@ -46,12 +46,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/subgraph.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace meloppr::graph {
 
@@ -141,34 +141,47 @@ class DynamicGraph {
     std::vector<NodeId> removed;  ///< sorted, subset of base adjacency
   };
 
-  // All _locked helpers assume mu_ is held (shared suffices unless noted).
-  [[nodiscard]] bool has_edge_locked(NodeId u, NodeId v) const;
-  [[nodiscard]] std::size_t degree_locked(NodeId v) const;
+  // The _locked helpers require mu_ held (shared suffices unless noted).
+  [[nodiscard]] bool has_edge_locked(NodeId u, NodeId v) const
+      MELOPPR_REQUIRES_SHARED(mu_);
+  [[nodiscard]] std::size_t degree_locked(NodeId v) const
+      MELOPPR_REQUIRES_SHARED(mu_);
   /// Merged sorted adjacency of v into `out` (cleared first).
-  void merged_neighbors_locked(NodeId v, std::vector<NodeId>& out) const;
-  void compact_locked();  // requires unique lock
-  [[nodiscard]] Graph materialize_locked() const;
+  void merged_neighbors_locked(NodeId v, std::vector<NodeId>& out) const
+      MELOPPR_REQUIRES_SHARED(mu_);
+  void compact_locked() MELOPPR_REQUIRES(mu_);
+  [[nodiscard]] Graph materialize_locked() const
+      MELOPPR_REQUIRES_SHARED(mu_);
 
-  mutable std::shared_mutex mu_;
-  Graph base_;  // by value: address stable across compactions
+  mutable util::SharedMutex mu_;
+  /// by value: address stable across compactions. Guarded — compaction
+  /// swaps in a folded CSR under the writer lock; the fixed quantities
+  /// (node count) are cached unguarded below.
+  Graph base_ MELOPPR_GUARDED_BY(mu_);
   DynamicGraphConfig config_;
-  std::unordered_map<NodeId, VertexDelta> deltas_;
-  std::size_t delta_half_edges_ = 0;  // Σ (added.size() + removed.size())
-  std::size_t num_edges_ = 0;         // current logical undirected edges
-  std::size_t compactions_ = 0;
+  /// Node universe size, fixed at construction — the one base_ property
+  /// compaction can never change, so it is readable without the lock.
+  std::size_t num_nodes_ = 0;
+  std::unordered_map<NodeId, VertexDelta> deltas_ MELOPPR_GUARDED_BY(mu_);
+  /// Σ (added.size() + removed.size())
+  std::size_t delta_half_edges_ MELOPPR_GUARDED_BY(mu_) = 0;
+  /// current logical undirected edges
+  std::size_t num_edges_ MELOPPR_GUARDED_BY(mu_) = 0;
+  std::size_t compactions_ MELOPPR_GUARDED_BY(mu_) = 0;
 
   struct HistoryEntry {
     EdgeUpdate update;
     std::uint64_t version = 0;
   };
-  std::deque<HistoryEntry> history_;  // versions ascending, bounded window
+  /// versions ascending, bounded window
+  std::deque<HistoryEntry> history_ MELOPPR_GUARDED_BY(mu_);
 
   struct ListenerSlot {
     std::size_t id = 0;
     UpdateListener fn;
   };
-  std::vector<ListenerSlot> listeners_;
-  std::size_t next_listener_id_ = 1;
+  std::vector<ListenerSlot> listeners_ MELOPPR_GUARDED_BY(mu_);
+  std::size_t next_listener_id_ MELOPPR_GUARDED_BY(mu_) = 1;
 
   std::atomic<std::uint64_t> version_{0};
 };

@@ -4,10 +4,10 @@
 #include <chrono>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 
 #include "util/assert.hpp"
 #include "util/env.hpp"
+#include "util/sleep.hpp"
 
 namespace meloppr::hw {
 
@@ -72,7 +72,7 @@ FpgaFarm::FpgaFarm(std::size_t devices, const AcceleratorConfig& config,
 
 int FpgaFarm::checkout_device(bool* is_probe) {
   Timer wait_timer;
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (;;) {
     // 1. Least-loaded free device whose breaker is closed.
     int best = -1;
@@ -114,7 +114,7 @@ int FpgaFarm::checkout_device(bool* is_probe) {
     // Short timed waits (not a bare wait) because a breaker can trip while
     // we sleep, flipping the answer from "wait" to "fail over".
     if (closed_but_busy) {
-      device_free_.wait_for(lock, std::chrono::microseconds(500));
+      device_free_.wait_for(lock.native(), std::chrono::microseconds(500));
       continue;
     }
     // 4. Nothing dispatchable: every breaker open/dead and no probe ready.
@@ -156,7 +156,7 @@ core::BackendResult FpgaFarm::run(const graph::Subgraph& ball, double mass,
       last.error = "farm: no device in rotation (breakers open or dead)";
       last.attempts = static_cast<std::uint32_t>(attempt);
       last.deadline_misses = misses_this_run;
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       ++exhausted_runs_;
       return last;
     }
@@ -168,7 +168,7 @@ core::BackendResult FpgaFarm::run(const graph::Subgraph& ball, double mass,
     } catch (const InvariantViolation&) {
       // A bug, not weather: release the device and let it propagate.
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         in_use_[device] = 0;
         ++free_count_;
       }
@@ -178,7 +178,7 @@ core::BackendResult FpgaFarm::run(const graph::Subgraph& ball, double mass,
       // Caller error (bad ball/seed): same device on the same input would
       // fail again — propagate, don't burn the retry budget.
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         in_use_[device] = 0;
         ++free_count_;
       }
@@ -198,7 +198,7 @@ core::BackendResult FpgaFarm::run(const graph::Subgraph& ball, double mass,
 
     bool retry = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       busy_seconds_[device] +=
           result.compute_seconds + result.transfer_seconds;
       in_use_[device] = 0;
@@ -251,8 +251,7 @@ core::BackendResult FpgaFarm::run(const graph::Subgraph& ball, double mass,
       last = std::move(result);
     }
     if (retry) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(
-          std::min(backoff, policy_.backoff_max_seconds)));
+      util::pause_for_seconds(std::min(backoff, policy_.backoff_max_seconds));
       backoff = std::min(backoff * policy_.backoff_multiplier,
                          policy_.backoff_max_seconds);
     }
@@ -284,7 +283,7 @@ std::unique_ptr<core::DiffusionBackend> FpgaFarm::clone() const {
 }
 
 core::DispatchHealth FpgaFarm::dispatch_health() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   core::DispatchHealth health;
   health.devices = devices_.size();
   for (const CircuitBreaker& breaker : breakers_) {
@@ -300,7 +299,7 @@ core::DispatchHealth FpgaFarm::dispatch_health() const {
 }
 
 std::size_t FpgaFarm::healthy_device_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::size_t healthy = 0;
   for (const CircuitBreaker& breaker : breakers_) {
     if (breaker.closed()) ++healthy;
@@ -309,7 +308,7 @@ std::size_t FpgaFarm::healthy_device_count() const {
 }
 
 std::size_t FpgaFarm::dead_device_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::size_t dead = 0;
   for (const CircuitBreaker& breaker : breakers_) {
     if (breaker.dead()) ++dead;
@@ -318,19 +317,19 @@ std::size_t FpgaFarm::dead_device_count() const {
 }
 
 double FpgaFarm::makespan_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return *std::max_element(busy_seconds_.begin(), busy_seconds_.end());
 }
 
 double FpgaFarm::serial_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   double total = 0.0;
   for (double b : busy_seconds_) total += b;
   return total;
 }
 
 double FpgaFarm::imbalance() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   double makespan = 0.0;
   double total = 0.0;
   for (double b : busy_seconds_) {
@@ -342,22 +341,22 @@ double FpgaFarm::imbalance() const {
 }
 
 std::size_t FpgaFarm::runs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return runs_;
 }
 
 double FpgaFarm::dispatch_wait_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return wait_seconds_;
 }
 
 std::size_t FpgaFarm::peak_concurrent_runs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return peak_in_use_;
 }
 
 void FpgaFarm::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   MELO_CHECK_MSG(free_count_ == devices_.size(),
                  "FpgaFarm::reset while dispatches are in flight");
   for (auto& device : devices_) device.reset_counters();

@@ -38,7 +38,6 @@
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/backend.hpp"
@@ -46,6 +45,7 @@
 #include "util/circuit_breaker.hpp"
 #include "util/fault_injection.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace meloppr::hw {
@@ -171,7 +171,7 @@ class FpgaFarm final : public core::DiffusionBackend {
   /// else waits only while some closed device is merely busy. Returns -1
   /// when nothing is dispatchable (degraded farm) — never blocks on probe
   /// timers. Sets *is_probe when the claim is a half-open probe.
-  int checkout_device(bool* is_probe);
+  int checkout_device(bool* is_probe) MELOPPR_EXCLUDES(mu_);
 
   // Kept for clone(); devices_ holds the live instances.
   AcceleratorConfig config_;
@@ -186,17 +186,22 @@ class FpgaFarm final : public core::DiffusionBackend {
   /// active, the raw device otherwise.
   std::vector<core::DiffusionBackend*> targets_;
 
-  std::vector<CircuitBreaker> breakers_;  ///< guarded by mu_
-  std::vector<double> busy_seconds_;   ///< guarded by mu_
-  std::vector<char> in_use_;           ///< guarded by mu_ (char: no vbool)
-  std::size_t free_count_;             ///< guarded by mu_
-  std::size_t runs_ = 0;               ///< guarded by mu_
-  double wait_seconds_ = 0.0;          ///< guarded by mu_
-  std::size_t peak_in_use_ = 0;        ///< guarded by mu_
-  std::size_t retries_ = 0;            ///< guarded by mu_
-  std::size_t deadline_misses_ = 0;    ///< guarded by mu_
-  std::size_t exhausted_runs_ = 0;     ///< guarded by mu_
-  Rng jitter_rng_;                     ///< guarded by mu_
+  /// CircuitBreaker is deliberately unsynchronized (clock-free, tested
+  /// with synthetic time); the farm is its external synchronization — all
+  /// breaker state transitions happen under mu_.
+  std::vector<CircuitBreaker> breakers_ MELOPPR_GUARDED_BY(mu_);
+  std::vector<double> busy_seconds_ MELOPPR_GUARDED_BY(mu_);
+  /// char: vector<bool> has no sane element references
+  std::vector<char> in_use_ MELOPPR_GUARDED_BY(mu_);
+  std::size_t free_count_ MELOPPR_GUARDED_BY(mu_);
+  std::size_t runs_ MELOPPR_GUARDED_BY(mu_) = 0;
+  double wait_seconds_ MELOPPR_GUARDED_BY(mu_) = 0.0;
+  std::size_t peak_in_use_ MELOPPR_GUARDED_BY(mu_) = 0;
+  std::size_t retries_ MELOPPR_GUARDED_BY(mu_) = 0;
+  std::size_t deadline_misses_ MELOPPR_GUARDED_BY(mu_) = 0;
+  std::size_t exhausted_runs_ MELOPPR_GUARDED_BY(mu_) = 0;
+  /// shared across dispatchers — backoff jitter draws serialize on mu_
+  Rng jitter_rng_ MELOPPR_GUARDED_BY(mu_);
 
   /// Monotonic farm-local clock feeding the breakers (clock-free testing
   /// happens directly against CircuitBreaker with a synthetic `now`).
@@ -205,7 +210,7 @@ class FpgaFarm final : public core::DiffusionBackend {
   /// Threads currently inside run(); see active_dispatches().
   std::atomic<std::size_t> active_dispatches_{0};
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   std::condition_variable device_free_;
 };
 

@@ -1,12 +1,11 @@
 #include "util/fault_injection.hpp"
 
-#include <chrono>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 
 #include "graph/bfs.hpp"
+#include "util/sleep.hpp"
 
 namespace meloppr {
 namespace {
@@ -157,7 +156,7 @@ BackendResult FaultyBackend::run(const graph::Subgraph& ball, double mass,
                                  unsigned length) {
   double spike_seconds = 0.0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (dead_ || (plan_.death_scheduled && instance_ == plan_.death_instance &&
                   successful_runs_ >= plan_.death_after_runs)) {
       dead_ = true;
@@ -185,15 +184,13 @@ BackendResult FaultyBackend::run(const graph::Subgraph& ball, double mass,
       return out;
     }
   }
-  if (spike_seconds > 0.0) {
-    // Real sleep, outside the mutex: wall-clock dispatch deadlines must
-    // genuinely trip on spikes, and other devices must keep dispatching.
-    std::this_thread::sleep_for(std::chrono::duration<double>(spike_seconds));
-  }
+  // Real sleep, outside the mutex: wall-clock dispatch deadlines must
+  // genuinely trip on spikes, and other devices must keep dispatching.
+  util::pause_for_seconds(spike_seconds);
   BackendResult out = inner_->run(ball, mass, length);
   out.compute_seconds += spike_seconds;
   if (out.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++successful_runs_;
   }
   return out;
@@ -212,22 +209,22 @@ std::unique_ptr<DiffusionBackend> FaultyBackend::clone() const {
 }
 
 std::size_t FaultyBackend::injected_transients() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return injected_transients_;
 }
 
 std::size_t FaultyBackend::injected_spikes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return injected_spikes_;
 }
 
 bool FaultyBackend::device_dead() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return dead_;
 }
 
 std::size_t FaultyBackend::runs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return successful_runs_;
 }
 
@@ -237,13 +234,13 @@ std::function<graph::Subgraph(const graph::Graph&, graph::NodeId, unsigned)>
 make_flaky_extractor(const FaultPlan& plan, std::uint64_t tag) {
   auto rng = std::make_shared<Rng>(plan.seed ^ 0xe7f1a2b3c4d5e6f7ULL ^
                                    (tag * 0x9e3779b97f4a7c15ULL));
-  auto mutex = std::make_shared<std::mutex>();
+  auto mutex = std::make_shared<util::Mutex>();
   const double p = plan.extractor_probability;
   return [rng, mutex, p](const graph::Graph& g, graph::NodeId seed,
                          unsigned radius) -> graph::Subgraph {
     bool fail = false;
     if (p > 0.0) {
-      std::lock_guard<std::mutex> lock(*mutex);
+      util::MutexLock lock(*mutex);
       fail = rng->chance(p);
     }
     if (fail) {

@@ -33,13 +33,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/backend.hpp"
 #include "graph/graph.hpp"
 #include "graph/subgraph.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace meloppr {
 
@@ -134,12 +134,12 @@ class FaultyBackend final : public DiffusionBackend {
   FaultPlan plan_;
   std::uint64_t instance_;
 
-  mutable std::mutex mutex_;
-  Rng rng_;
-  std::uint64_t successful_runs_ = 0;
-  std::size_t injected_transients_ = 0;
-  std::size_t injected_spikes_ = 0;
-  bool dead_ = false;
+  mutable util::Mutex mutex_;
+  Rng rng_ MELOPPR_GUARDED_BY(mutex_);
+  std::uint64_t successful_runs_ MELOPPR_GUARDED_BY(mutex_) = 0;
+  std::size_t injected_transients_ MELOPPR_GUARDED_BY(mutex_) = 0;
+  std::size_t injected_spikes_ MELOPPR_GUARDED_BY(mutex_) = 0;
+  bool dead_ MELOPPR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace core

@@ -1,0 +1,208 @@
+// Clang thread-safety-analysis vocabulary for the whole repo.
+//
+// Every mutex-owning class in src/ declares, per field, which lock guards
+// it (MELOPPR_GUARDED_BY) and, per method, what it requires or must not
+// hold (MELOPPR_REQUIRES / MELOPPR_EXCLUDES). Under Clang with
+// -Wthread-safety the declarations become compile-time checks: touching a
+// guarded field without its lock, or calling a REQUIRES method unlocked,
+// is a build error in the static-analysis CI job (and the negative-compile
+// tests in tests/negative/ prove the gate actually fires). Under GCC the
+// macros expand to nothing, so the tree builds identically everywhere.
+//
+// The std lock types carry no capability attributes, so this header also
+// provides annotated drop-ins: Mutex / SharedMutex (CAPABILITY wrappers
+// over the std types) and the RAII guards MutexLock / ReaderLock /
+// WriterLock (SCOPED_CAPABILITY wrappers over std::unique_lock /
+// std::shared_lock). They are the ONLY place in src/ allowed to name
+// std::mutex or std::shared_mutex — tools/check_source_invariants.sh
+// enforces that, which is what keeps every new lock annotated.
+//
+// Condition variables: std::condition_variable::wait needs the underlying
+// std::unique_lock, exposed as MutexLock::native(). The analysis treats
+// the capability as held across the wait (the standard convention — the
+// lock is re-acquired before wait returns), but it cannot see into lambda
+// bodies, so wait predicates that read guarded fields must be written as
+// explicit `while (!cond) cv.wait(lock.native());` loops, never as
+// `cv.wait(lock, [&]{ ... })`.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+// -- attribute spellings ----------------------------------------------------
+
+#if defined(__clang__) && !defined(MELOPPR_NO_THREAD_SAFETY_ANALYSIS_BUILD)
+#define MELOPPR_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MELOPPR_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define MELOPPR_CAPABILITY(x) MELOPPR_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define MELOPPR_SCOPED_CAPABILITY MELOPPR_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define MELOPPR_GUARDED_BY(x) MELOPPR_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointee may only be touched while holding `x` (the pointer itself is free).
+#define MELOPPR_PT_GUARDED_BY(x) MELOPPR_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Caller must hold `...` exclusively before calling.
+#define MELOPPR_REQUIRES(...) \
+  MELOPPR_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must hold `...` at least shared before calling.
+#define MELOPPR_REQUIRES_SHARED(...) \
+  MELOPPR_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires `...` exclusively and does not release it.
+#define MELOPPR_ACQUIRE(...) \
+  MELOPPR_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function acquires `...` shared and does not release it.
+#define MELOPPR_ACQUIRE_SHARED(...) \
+  MELOPPR_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases `...` (exclusive, or generic when empty — scoped
+/// destructors use the empty form so one spelling covers shared holders).
+#define MELOPPR_RELEASE(...) \
+  MELOPPR_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function releases the shared hold of `...`.
+#define MELOPPR_RELEASE_SHARED(...) \
+  MELOPPR_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire `...`; first argument is the success value.
+#define MELOPPR_TRY_ACQUIRE(...) \
+  MELOPPR_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Shared-mode try-acquire; first argument is the success value.
+#define MELOPPR_TRY_ACQUIRE_SHARED(...) \
+  MELOPPR_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold `...` (deadlock guard for self-calling APIs).
+#define MELOPPR_EXCLUDES(...) \
+  MELOPPR_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, by contract) that `...` is held — for callbacks
+/// invoked under a lock the analysis cannot see.
+#define MELOPPR_ASSERT_CAPABILITY(x) \
+  MELOPPR_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define MELOPPR_RETURN_CAPABILITY(x) \
+  MELOPPR_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment saying why the analysis cannot express the pattern.
+#define MELOPPR_NO_THREAD_SAFETY_ANALYSIS \
+  MELOPPR_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace meloppr::util {
+
+class MutexLock;
+
+/// Annotated drop-in for std::mutex. Same semantics, same footprint; the
+/// CAPABILITY attribute is what lets GUARDED_BY/REQUIRES name it.
+class MELOPPR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MELOPPR_ACQUIRE() { mu_.lock(); }
+  void unlock() MELOPPR_RELEASE() { mu_.unlock(); }
+  bool try_lock() MELOPPR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Annotated drop-in for std::shared_mutex.
+class MELOPPR_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() MELOPPR_ACQUIRE() { mu_.lock(); }
+  void unlock() MELOPPR_RELEASE() { mu_.unlock(); }
+  bool try_lock() MELOPPR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() MELOPPR_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() MELOPPR_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() MELOPPR_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  friend class ReaderLock;
+  friend class WriterLock;
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex — replaces both std::lock_guard and
+/// std::unique_lock (it wraps a std::unique_lock, so defer/adopt/try and
+/// mid-scope unlock()/lock() all work, and native() feeds
+/// std::condition_variable::wait).
+class MELOPPR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MELOPPR_ACQUIRE(mu) : lock_(mu.mu_) {}
+  MutexLock(Mutex& mu, std::defer_lock_t tag) noexcept MELOPPR_EXCLUDES(mu)
+      : lock_(mu.mu_, tag) {}
+  MutexLock(Mutex& mu, std::adopt_lock_t tag) MELOPPR_REQUIRES(mu)
+      : lock_(mu.mu_, tag) {}
+  MutexLock(Mutex& mu, std::try_to_lock_t tag) MELOPPR_TRY_ACQUIRE(true, mu)
+      : lock_(mu.mu_, tag) {}
+  ~MutexLock() MELOPPR_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() MELOPPR_ACQUIRE() { lock_.lock(); }
+  void unlock() MELOPPR_RELEASE() { lock_.unlock(); }
+  bool try_lock() MELOPPR_TRY_ACQUIRE(true) { return lock_.try_lock(); }
+  [[nodiscard]] bool owns_lock() const noexcept { return lock_.owns_lock(); }
+
+  /// The underlying std lock, for std::condition_variable::wait. The wait
+  /// releases and re-acquires the mutex internally; the analysis treats
+  /// the capability as held throughout, which matches the caller's view.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept {
+    return lock_;
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class MELOPPR_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) MELOPPR_ACQUIRE_SHARED(mu)
+      : lock_(mu.mu_) {}
+  ~ReaderLock() MELOPPR_RELEASE() {}
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class MELOPPR_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) MELOPPR_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~WriterLock() MELOPPR_RELEASE() {}
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+}  // namespace meloppr::util

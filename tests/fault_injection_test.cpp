@@ -61,14 +61,23 @@ TEST(FaultPlan, UnknownKeysIgnoredEmptySegmentsTolerated) {
 }
 
 TEST(FaultPlan, MalformedSpecsThrow) {
-  EXPECT_THROW(FaultPlan::parse("transient"), std::invalid_argument);
-  EXPECT_THROW(FaultPlan::parse("transient=1.5"), std::invalid_argument);
-  EXPECT_THROW(FaultPlan::parse("transient=-0.1"), std::invalid_argument);
-  EXPECT_THROW(FaultPlan::parse("transient=abc"), std::invalid_argument);
-  EXPECT_THROW(FaultPlan::parse("spike=0.5"), std::invalid_argument);
-  EXPECT_THROW(FaultPlan::parse("spike=0.5:-1"), std::invalid_argument);
-  EXPECT_THROW(FaultPlan::parse("death=x"), std::invalid_argument);
-  EXPECT_THROW(FaultPlan::parse("seed=12z"), std::invalid_argument);
+  // static_cast<void>: parse is [[nodiscard]]; here only the throw matters.
+  EXPECT_THROW(static_cast<void>(FaultPlan::parse("transient")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(FaultPlan::parse("transient=1.5")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(FaultPlan::parse("transient=-0.1")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(FaultPlan::parse("transient=abc")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(FaultPlan::parse("spike=0.5")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(FaultPlan::parse("spike=0.5:-1")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(FaultPlan::parse("death=x")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(FaultPlan::parse("seed=12z")),
+               std::invalid_argument);
 }
 
 TEST(FaultPlan, FromEnvRoundTrips) {

@@ -1,0 +1,24 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety-analysis:
+// writes a MELOPPR_GUARDED_BY field without holding its mutex. The free
+// function (not a constructor — ctors are exempt from the analysis) is the
+// canonical violation every annotated class in src/ is protected against.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  meloppr::util::Mutex mu;
+  int value MELOPPR_GUARDED_BY(mu) = 0;
+};
+
+int bump_without_lock(Counter& c) {
+  ++c.value;      // error: writing variable 'value' requires holding 'mu'
+  return c.value; // error: reading it requires the lock too
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return bump_without_lock(c);
+}

@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety-analysis:
+// calls a MELOPPR_REQUIRES method without holding the required mutex —
+// the "Must hold shard.mu" helper-function contract the sharded cache,
+// dynamic graph, and top-c·k aggregator all rely on.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Table {
+  meloppr::util::Mutex mu;
+  int entries MELOPPR_GUARDED_BY(mu) = 0;
+
+  void insert_locked() MELOPPR_REQUIRES(mu) { ++entries; }
+};
+
+void insert_without_lock(Table& t) {
+  t.insert_locked();  // error: calling requires holding mutex 'mu'
+}
+
+}  // namespace
+
+int main() {
+  Table t;
+  insert_without_lock(t);
+  return 0;
+}

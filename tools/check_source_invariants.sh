@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Project invariant linter — structural rules the compiler cannot enforce.
+# Run from anywhere; CI runs it in the static-analysis job and it must
+# exit 0 on a healthy tree. Each rule prints every violation it finds (not
+# just the first) so one run shows the full repair list.
+#
+#   R1  ISA hygiene: <immintrin.h> only in src/ppr/diffusion_avx2.cpp —
+#       the one TU built with -mavx2 behind runtime CPUID dispatch. Any
+#       other include could emit AVX2 in a TU that runs unguarded.
+#   R2  Lock discipline: no naked std::mutex / std::shared_mutex in src/
+#       outside util/thread_annotations.hpp. Everything locks through the
+#       annotated util::Mutex/SharedMutex wrappers so Clang's thread-
+#       safety analysis sees every acquire.
+#   R3  No hidden sleeps: sleep_for appears in src/ only inside
+#       util/sleep.hpp (pause_for_seconds). Sleeping with a lock held, or
+#       as ad-hoc backoff, has to go through the one audited choke point.
+#   R4  Smoke coverage: every bench/bench_*.cpp that implements a --smoke
+#       gate is actually run with --smoke in ci.yml. A gate nobody runs
+#       rots silently.
+#   R5  Suite hygiene: every test suite named in CMakeLists.txt's
+#       sanitizer lists and in ci.yml exists as tests/<name>.cpp, and
+#       every bench_* invoked by ci.yml exists in bench/.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+failures=0
+fail() {
+  echo "INVARIANT VIOLATION: $*" >&2
+  failures=$((failures + 1))
+}
+
+# --- R1: immintrin.h only in the AVX2 kernel TU ---------------------------
+while IFS= read -r f; do
+  [ "$f" = "src/ppr/diffusion_avx2.cpp" ] && continue
+  fail "R1: $f includes <immintrin.h>; only src/ppr/diffusion_avx2.cpp (the -mavx2 TU behind runtime dispatch) may"
+done < <(grep -rl 'immintrin' src/ 2>/dev/null)
+
+# --- R2: no naked standard mutexes outside the annotated wrappers ---------
+while IFS= read -r line; do
+  f=${line%%:*}
+  [ "$f" = "src/util/thread_annotations.hpp" ] && continue
+  fail "R2: naked std::mutex/std::shared_mutex at $line — use util::Mutex/util::SharedMutex (util/thread_annotations.hpp) so the thread-safety analysis sees the lock"
+done < <(grep -rn 'std::mutex\|std::shared_mutex' src/ 2>/dev/null)
+
+# --- R3: sleep_for only inside the audited sleep helper -------------------
+while IFS= read -r line; do
+  f=${line%%:*}
+  [ "$f" = "src/util/sleep.hpp" ] && continue
+  fail "R3: sleep_for at $line — call util::pause_for_seconds (util/sleep.hpp) instead; src/ must not sleep ad hoc"
+done < <(grep -rn 'sleep_for' src/ 2>/dev/null)
+
+# --- R4: every --smoke bench is exercised by CI ---------------------------
+ci=.github/workflows/ci.yml
+for bench_src in bench/bench_*.cpp; do
+  [ -e "$bench_src" ] || continue
+  grep -q -- '--smoke' "$bench_src" || continue
+  name=$(basename "$bench_src" .cpp)
+  if ! grep -Eq "\./$name +--smoke" "$ci"; then
+    fail "R4: $name implements --smoke but $ci never runs './$name --smoke'"
+  fi
+done
+
+# --- R5: suite lists and CI references point at real files ----------------
+# CMake sanitizer suite lists (the single source CI's -L labels draw from).
+while IFS= read -r suite; do
+  if [ ! -e "tests/${suite}.cpp" ]; then
+    fail "R5: CMakeLists.txt sanitizer suite '$suite' has no tests/${suite}.cpp"
+  fi
+done < <(sed -n '/^set(MELOPPR_\(TSAN\|ASAN\)_SUITES/,/)$/p' CMakeLists.txt |
+         grep -o '[a-z0-9_]*_test' | sort -u)
+
+# Anything ci.yml itself names as <word>_test must exist too.
+while IFS= read -r suite; do
+  if [ ! -e "tests/${suite}.cpp" ]; then
+    fail "R5: $ci references suite '$suite' but tests/${suite}.cpp does not exist"
+  fi
+done < <(grep -o '[a-z0-9][a-z0-9_]*_test\b' "$ci" | sort -u)
+
+# Benches ci.yml invokes must exist in bench/.
+while IFS= read -r bench; do
+  if [ ! -e "bench/${bench}.cpp" ]; then
+    fail "R5: $ci runs './$bench' but bench/${bench}.cpp does not exist"
+  fi
+done < <(grep -o '\./bench_[a-z0-9_]*' "$ci" | sed 's|^\./||' | sort -u)
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_source_invariants: $failures violation(s)" >&2
+  exit 1
+fi
+echo "check_source_invariants: OK"
